@@ -1,0 +1,126 @@
+// Command judgebench runs a single judge or pipeline configuration
+// against a probed suite and prints its per-issue scorecard — the tool
+// for exploring configurations beyond the paper's fixed experiments.
+//
+// Usage:
+//
+//	judgebench -dialect acc|omp -mode direct|agent|indirect|pipeline1|pipeline2 \
+//	           [-scale K] [-seed N] [-show N]
+//
+// -show N prints N sample prompt/response transcripts.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+
+	llm4vv "repro"
+	"repro/internal/agent"
+	"repro/internal/judge"
+	"repro/internal/metrics"
+	"repro/internal/pipeline"
+	"repro/internal/report"
+	"repro/internal/spec"
+)
+
+func main() {
+	dialectFlag := flag.String("dialect", "acc", "acc or omp")
+	mode := flag.String("mode", "pipeline1", "direct|agent|indirect|pipeline1|pipeline2")
+	scale := flag.Int("scale", 4, "divide suite sizes by this factor")
+	seed := flag.Uint64("seed", llm4vv.DefaultModelSeed, "model seed")
+	show := flag.Int("show", 0, "print this many sample transcripts")
+	flag.Parse()
+
+	var d spec.Dialect
+	switch *dialectFlag {
+	case "acc":
+		d = spec.OpenACC
+	case "omp":
+		d = spec.OpenMP
+	default:
+		fmt.Fprintln(os.Stderr, "judgebench: -dialect must be acc or omp")
+		os.Exit(2)
+	}
+	suiteSpec := llm4vv.PartTwoSpec(d).Scaled(*scale)
+	suite, err := llm4vv.BuildSuite(suiteSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "judgebench:", err)
+		os.Exit(1)
+	}
+
+	style := judge.AgentDirect
+	pipelineVerdict := false
+	switch *mode {
+	case "direct":
+		style = judge.Direct
+	case "agent":
+		style = judge.AgentDirect
+	case "indirect":
+		style = judge.AgentIndirect
+	case "pipeline1":
+		style, pipelineVerdict = judge.AgentDirect, true
+	case "pipeline2":
+		style, pipelineVerdict = judge.AgentIndirect, true
+	default:
+		fmt.Fprintln(os.Stderr, "judgebench: unknown -mode", *mode)
+		os.Exit(2)
+	}
+
+	inputs := make([]pipeline.Input, len(suite))
+	for i, pf := range suite {
+		inputs[i] = pipeline.Input{Name: pf.Name, Source: pf.Source, Lang: pf.Lang}
+	}
+	workers := runtime.GOMAXPROCS(0)
+	var jd *judge.Judge
+	if style == judge.Direct && !pipelineVerdict {
+		jd = &judge.Judge{LLM: llm4vv.NewModel(*seed), Style: judge.Direct, Dialect: d}
+	} else {
+		jd = &judge.Judge{LLM: llm4vv.NewModel(*seed), Style: style, Dialect: d}
+	}
+	cfg := pipeline.Config{
+		Tools:          agent.NewTools(d),
+		Judge:          jd,
+		CompileWorkers: workers,
+		ExecWorkers:    workers,
+		JudgeWorkers:   workers,
+		RecordAll:      true,
+		KeepResponses:  *show > 0,
+	}
+	if style == judge.Direct {
+		// The direct judge receives no tool info; evaluate outside the
+		// pipeline for fidelity to Part One.
+		outcomes := make([]metrics.Outcome, len(suite))
+		for i, pf := range suite {
+			ev := jd.Evaluate(pf.Source, nil)
+			outcomes[i] = metrics.Outcome{Issue: pf.Issue, JudgedValid: ev.Verdict == judge.Valid}
+			if i < *show {
+				fmt.Printf("--- %s (issue %d) ---\n%s\n", pf.Name, pf.Issue, ev.Response)
+			}
+		}
+		fmt.Println(report.PerIssueTable(fmt.Sprintf("Direct judge on %v (scale 1/%d)", d, *scale),
+			metrics.Score(d, outcomes)))
+		return
+	}
+
+	results, stats := pipeline.Run(cfg, inputs)
+	outcomes := make([]metrics.Outcome, len(results))
+	shown := 0
+	for i, r := range results {
+		v := r.Verdict == judge.Valid
+		if pipelineVerdict {
+			v = r.Valid
+		}
+		outcomes[i] = metrics.Outcome{Issue: suite[i].Issue, JudgedValid: v}
+		if shown < *show && r.Evaluation != nil {
+			fmt.Printf("--- %s (issue %d, pipeline valid=%v) ---\n%s\n",
+				r.Name, suite[i].Issue, r.Valid, r.Evaluation.Response)
+			shown++
+		}
+	}
+	title := fmt.Sprintf("%s on %v (scale 1/%d)", *mode, d, *scale)
+	fmt.Println(report.PerIssueTable(title, metrics.Score(d, outcomes)))
+	fmt.Printf("stage executions: compiles=%d runs=%d judge-calls=%d\n",
+		stats.Compiles, stats.Executions, stats.JudgeCalls)
+}

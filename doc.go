@@ -1,0 +1,22 @@
+// Package llm4vv is the public API of the LLM4VV reproduction: an
+// LLM-as-a-judge (LLMJ) framework for validating compiler V&V tests
+// for the directive-based programming models OpenACC and OpenMP,
+// following "LLM4VV: Exploring LLM-as-a-Judge for Validation and
+// Verification Testsuites" (SC 2024, arXiv:2408.11729).
+//
+// The package composes the internal substrates — a synthetic V&V test
+// corpus, negative-probing mutators, a simulated OpenACC/OpenMP
+// compiler and execution machine, a simulated code LLM, the
+// agent-based judging harness, and the staged validation pipeline —
+// into the paper's experiments:
+//
+//   - Part One (§V-A): the judge alone, with the direct analysis
+//     prompt, scored by negative probing (Tables I-III).
+//   - Part Two (§V-B): agent-based judges (LLMJ 1 and LLMJ 2) and the
+//     compile → execute → judge validation pipeline (Tables IV-IX,
+//     Figures 3-6).
+//
+// Every experiment is deterministic given its seeds. See DESIGN.md for
+// the system inventory and EXPERIMENTS.md for paper-vs-measured
+// results.
+package llm4vv

@@ -1,0 +1,272 @@
+package llm4vv
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/agent"
+	"repro/internal/judge"
+	"repro/internal/metrics"
+	"repro/internal/model"
+	"repro/internal/pipeline"
+	"repro/internal/probe"
+)
+
+// DefaultModelSeed seeds the simulated LLM for all published
+// experiment numbers.
+const DefaultModelSeed = 33
+
+// NewModel returns the simulated deepseek-coder-33B-instruct endpoint.
+func NewModel(seed uint64) judge.LLM { return model.New(seed) }
+
+// RunDirectProbing is the Part-One experiment: judge every file of the
+// suite with the direct analysis prompt (no tools, no pipeline) and
+// score the verdicts. It reproduces Tables I and II, and its summaries
+// aggregate into Table III.
+func RunDirectProbing(spec SuiteSpec, modelSeed uint64) (metrics.Summary, error) {
+	suite, err := BuildSuite(spec)
+	if err != nil {
+		return metrics.Summary{}, err
+	}
+	j := &judge.Judge{LLM: NewModel(modelSeed), Style: judge.Direct, Dialect: spec.Dialect}
+	outcomes := make([]metrics.Outcome, len(suite))
+	parallelFor(len(suite), func(i int) {
+		ev := j.Evaluate(suite[i].Source, nil)
+		outcomes[i] = metrics.Outcome{
+			Issue:       suite[i].Issue,
+			JudgedValid: ev.Verdict == judge.Valid,
+		}
+	})
+	return metrics.Score(spec.Dialect, outcomes), nil
+}
+
+// PartTwoResult carries every Part-Two measurement for one dialect:
+// the two agent-based judges scored alone (Tables VII-IX) and the two
+// pipelines built on them (Tables IV-VI), all from the same record-all
+// pipeline runs, exactly as the paper gathered them.
+type PartTwoResult struct {
+	// LLMJ1 / LLMJ2: agent-based judges with the direct and indirect
+	// analysis prompts.
+	LLMJ1 metrics.Summary
+	LLMJ2 metrics.Summary
+	// Pipeline1 / Pipeline2: validation-pipeline verdicts computed
+	// with each judge's evaluations.
+	Pipeline1 metrics.Summary
+	Pipeline2 metrics.Summary
+	// Direct is the non-agent judge on the same suite, for the
+	// Figure 5/6 three-way comparison.
+	Direct metrics.Summary
+	// Stats from the first pipeline run (throughput accounting).
+	Stats pipeline.Stats
+}
+
+// RunPartTwo executes the Part-Two experiment for one dialect.
+func RunPartTwo(spec SuiteSpec, modelSeed uint64) (PartTwoResult, error) {
+	suite, err := BuildSuite(spec)
+	if err != nil {
+		return PartTwoResult{}, err
+	}
+	inputs := make([]pipeline.Input, len(suite))
+	for i, pf := range suite {
+		inputs[i] = pipeline.Input{Name: pf.Name, Source: pf.Source, Lang: pf.Lang}
+	}
+	llm := NewModel(modelSeed)
+	tools := agent.NewTools(spec.Dialect)
+	workers := runtime.GOMAXPROCS(0)
+
+	var res PartTwoResult
+	run := func(style judge.Style) (judgeSum, pipeSum metrics.Summary, stats pipeline.Stats) {
+		results, st := pipeline.Run(pipeline.Config{
+			Tools:          tools,
+			Judge:          &judge.Judge{LLM: llm, Style: style, Dialect: spec.Dialect},
+			CompileWorkers: workers,
+			ExecWorkers:    workers,
+			JudgeWorkers:   workers,
+			RecordAll:      true,
+		}, inputs)
+		judgeOut := make([]metrics.Outcome, len(results))
+		pipeOut := make([]metrics.Outcome, len(results))
+		for i, r := range results {
+			judgeOut[i] = metrics.Outcome{Issue: suite[i].Issue, JudgedValid: r.Verdict == judge.Valid}
+			pipeOut[i] = metrics.Outcome{Issue: suite[i].Issue, JudgedValid: r.Valid}
+		}
+		return metrics.Score(spec.Dialect, judgeOut), metrics.Score(spec.Dialect, pipeOut), st
+	}
+	res.LLMJ1, res.Pipeline1, res.Stats = run(judge.AgentDirect)
+	res.LLMJ2, res.Pipeline2, _ = run(judge.AgentIndirect)
+
+	// The non-agent judge on the same suite (Figures 5/6 baseline).
+	direct := &judge.Judge{LLM: llm, Style: judge.Direct, Dialect: spec.Dialect}
+	outcomes := make([]metrics.Outcome, len(suite))
+	parallelFor(len(suite), func(i int) {
+		ev := direct.Evaluate(suite[i].Source, nil)
+		outcomes[i] = metrics.Outcome{Issue: suite[i].Issue, JudgedValid: ev.Verdict == judge.Valid}
+	})
+	res.Direct = metrics.Score(spec.Dialect, outcomes)
+	return res, nil
+}
+
+// AblationStages scores the pipeline with progressively more stages
+// enabled: compile only, compile+execute, and the full pipeline with
+// the agent-direct judge. It quantifies DESIGN.md ablation A3 (how
+// much accuracy each stage contributes).
+type AblationStagesResult struct {
+	CompileOnly   metrics.Summary
+	CompileAndRun metrics.Summary
+	FullPipeline  metrics.Summary
+}
+
+// RunAblationStages runs ablation A3 on the Part-Two suite.
+func RunAblationStages(spec SuiteSpec, modelSeed uint64) (AblationStagesResult, error) {
+	suite, err := BuildSuite(spec)
+	if err != nil {
+		return AblationStagesResult{}, err
+	}
+	tools := agent.NewTools(spec.Dialect)
+	workers := runtime.GOMAXPROCS(0)
+
+	score := func(judgeOn bool, execOn bool) metrics.Summary {
+		var jd *judge.Judge
+		if judgeOn {
+			jd = &judge.Judge{LLM: NewModel(modelSeed), Style: judge.AgentDirect, Dialect: spec.Dialect}
+		}
+		inputs := make([]pipeline.Input, len(suite))
+		for i, pf := range suite {
+			inputs[i] = pipeline.Input{Name: pf.Name, Source: pf.Source, Lang: pf.Lang}
+		}
+		results, _ := pipeline.Run(pipeline.Config{
+			Tools:          tools,
+			Judge:          jd,
+			CompileWorkers: workers,
+			ExecWorkers:    workers,
+			JudgeWorkers:   workers,
+			RecordAll:      true,
+		}, inputs)
+		out := make([]metrics.Outcome, len(results))
+		for i, r := range results {
+			valid := r.CompileOK
+			if execOn && r.ExecRan {
+				valid = valid && r.ExecOK
+			}
+			if judgeOn {
+				valid = valid && r.Verdict == judge.Valid
+			}
+			out[i] = metrics.Outcome{Issue: suite[i].Issue, JudgedValid: valid}
+		}
+		return metrics.Score(spec.Dialect, out)
+	}
+	return AblationStagesResult{
+		CompileOnly:   score(false, false),
+		CompileAndRun: score(false, true),
+		FullPipeline:  score(true, true),
+	}, nil
+}
+
+// AblationAgentInfo compares the same model judging the same suite
+// with and without tool information (DESIGN.md ablation A2): the
+// direct prompt versus the agent-direct prompt, holding everything
+// else fixed.
+type AblationAgentInfoResult struct {
+	WithoutTools metrics.Summary
+	WithTools    metrics.Summary
+}
+
+// RunAblationAgentInfo runs ablation A2.
+func RunAblationAgentInfo(spec SuiteSpec, modelSeed uint64) (AblationAgentInfoResult, error) {
+	suite, err := BuildSuite(spec)
+	if err != nil {
+		return AblationAgentInfoResult{}, err
+	}
+	llm := NewModel(modelSeed)
+	tools := agent.NewTools(spec.Dialect)
+	direct := &judge.Judge{LLM: llm, Style: judge.Direct, Dialect: spec.Dialect}
+	agentJudge := &judge.Judge{LLM: llm, Style: judge.AgentDirect, Dialect: spec.Dialect}
+
+	without := make([]metrics.Outcome, len(suite))
+	with := make([]metrics.Outcome, len(suite))
+	parallelFor(len(suite), func(i int) {
+		pf := suite[i]
+		evD := direct.Evaluate(pf.Source, nil)
+		without[i] = metrics.Outcome{Issue: pf.Issue, JudgedValid: evD.Verdict == judge.Valid}
+		outcome := tools.Gather(pf.Name, pf.Source, pf.Lang)
+		evA := agentJudge.Evaluate(pf.Source, &outcome.Info)
+		with[i] = metrics.Outcome{Issue: pf.Issue, JudgedValid: evA.Verdict == judge.Valid}
+	})
+	return AblationAgentInfoResult{
+		WithoutTools: metrics.Score(spec.Dialect, without),
+		WithTools:    metrics.Score(spec.Dialect, with),
+	}, nil
+}
+
+// PipelineThroughput measures the short-circuiting win (DESIGN.md
+// ablation A1): stage executions with and without early exit.
+type PipelineThroughputResult struct {
+	ShortCircuit pipeline.Stats
+	RecordAll    pipeline.Stats
+}
+
+// RunPipelineThroughput runs ablation A1 on the given suite.
+func RunPipelineThroughput(spec SuiteSpec, modelSeed uint64, workers int) (PipelineThroughputResult, error) {
+	suite, err := BuildSuite(spec)
+	if err != nil {
+		return PipelineThroughputResult{}, err
+	}
+	inputs := make([]pipeline.Input, len(suite))
+	for i, pf := range suite {
+		inputs[i] = pipeline.Input{Name: pf.Name, Source: pf.Source, Lang: pf.Lang}
+	}
+	tools := agent.NewTools(spec.Dialect)
+	var out PipelineThroughputResult
+	for _, recordAll := range []bool{false, true} {
+		_, st := pipeline.Run(pipeline.Config{
+			Tools:          tools,
+			Judge:          &judge.Judge{LLM: NewModel(modelSeed), Style: judge.AgentDirect, Dialect: spec.Dialect},
+			CompileWorkers: workers,
+			ExecWorkers:    workers,
+			JudgeWorkers:   workers,
+			RecordAll:      recordAll,
+		}, inputs)
+		if recordAll {
+			out.RecordAll = st
+		} else {
+			out.ShortCircuit = st
+		}
+	}
+	return out, nil
+}
+
+// parallelFor runs fn(i) for i in [0,n) across GOMAXPROCS workers.
+func parallelFor(n int, fn func(int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int, n)
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Issues re-exports the probe issue ids for example programs.
+var Issues = []probe.Issue{
+	probe.IssueDirective, probe.IssueBracket, probe.IssueUndeclared,
+	probe.IssueRandom, probe.IssueTruncated, probe.IssueNone,
+}

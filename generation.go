@@ -1,0 +1,24 @@
+package llm4vv
+
+import (
+	"repro/internal/genloop"
+	"repro/internal/judge"
+	"repro/internal/spec"
+)
+
+// GenerationResult re-exports the generation-loop outcome.
+type GenerationResult = genloop.Result
+
+// RunGenerationLoop executes the paper's future-work experiment
+// (DESIGN.md E1): the LLM authors candidate tests per feature and the
+// validation pipeline filters them, measuring how much trust the
+// filter adds over raw generation.
+func RunGenerationLoop(d spec.Dialect, perFeature int, modelSeed uint64) *GenerationResult {
+	return genloop.Run(genloop.Config{
+		Dialect:     d,
+		PerFeature:  perFeature,
+		MaxAttempts: 4,
+		ModelSeed:   modelSeed,
+		JudgeStyle:  judge.AgentDirect,
+	})
+}

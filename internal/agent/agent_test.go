@@ -1,0 +1,83 @@
+package agent
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/probe"
+	"repro/internal/rng"
+	"repro/internal/spec"
+	"repro/internal/testlang"
+)
+
+func TestGatherValidFile(t *testing.T) {
+	f, err := corpus.InstantiateTemplate(spec.OpenACC, "parallel_loop_vecadd", testlang.LangC, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := NewTools(spec.OpenACC).Gather(f.Name, f.Source, f.Lang)
+	if !out.CompilePassed() {
+		t.Fatalf("valid file failed compile:\n%s", out.Compile.Stderr)
+	}
+	if !out.RunPassed() {
+		t.Fatalf("valid file failed run: rc=%d stderr=%s", out.Run.ReturnCode, out.Run.Stderr)
+	}
+	if out.Info.CompileRC != 0 || !out.Info.Ran || out.Info.RunRC != 0 {
+		t.Fatalf("tool info wrong: %+v", out.Info)
+	}
+	if !strings.Contains(out.Info.RunStdout, "passed") && !strings.Contains(out.Info.RunStdout, "PASS") {
+		t.Fatalf("run stdout = %q", out.Info.RunStdout)
+	}
+}
+
+func TestGatherCompileFailure(t *testing.T) {
+	f, err := corpus.InstantiateTemplate(spec.OpenMP, "target_saxpy", testlang.LangC, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf := probe.Mutate(f, probe.IssueBracket, rng.New(1))
+	out := NewTools(spec.OpenMP).Gather(pf.Name, pf.Source, pf.Lang)
+	if out.CompilePassed() {
+		t.Fatal("bracket-mutated file compiled")
+	}
+	if out.Run != nil || out.Info.Ran {
+		t.Fatal("compile-failed file was executed")
+	}
+	if out.Info.CompileRC == 0 || out.Info.CompileStderr == "" {
+		t.Fatalf("tool info lacks compile failure: %+v", out.Info)
+	}
+}
+
+func TestGatherRuntimeFailure(t *testing.T) {
+	f, err := corpus.InstantiateTemplate(spec.OpenMP, "target_saxpy", testlang.LangC, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Removing the map clause leaves a compiling file that faults on
+	// the device at run time.
+	src := strings.Replace(f.Source, " map(to: x[0:N])", "", 1)
+	src = strings.Replace(src, " map(tofrom: y[0:N])", "", 1)
+	if src == f.Source {
+		t.Fatal("map clauses not found in template source")
+	}
+	out := NewTools(spec.OpenMP).Gather(f.Name, src, f.Lang)
+	if !out.CompilePassed() {
+		t.Fatalf("unexpected compile failure:\n%s", out.Compile.Stderr)
+	}
+	if out.RunPassed() {
+		t.Fatal("unmapped device access ran clean")
+	}
+	if out.Info.RunRC == 0 {
+		t.Fatalf("tool info run rc = 0: %+v", out.Info)
+	}
+}
+
+func TestToolsPersonalityPairing(t *testing.T) {
+	if NewTools(spec.OpenACC).Personality.Name != "nvc" {
+		t.Fatal("OpenACC tools should use the nvc personality")
+	}
+	if NewTools(spec.OpenMP).Personality.Name != "clang" {
+		t.Fatal("OpenMP tools should use the clang personality")
+	}
+}

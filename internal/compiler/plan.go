@@ -1,0 +1,526 @@
+package compiler
+
+import (
+	"strings"
+
+	"repro/internal/spec"
+	"repro/internal/testlang"
+)
+
+// DirKind classifies a directive for the machine.
+type DirKind int
+
+const (
+	// KindNoop: directives with no runtime effect in the simulation
+	// (wait, barrier, flush, routine, declare, init, ...).
+	KindNoop DirKind = iota
+	// KindComputeBlock: an offloaded structured block (acc parallel /
+	// kernels / serial, omp target / target teams / teams / target
+	// parallel). The body runs once in the device data environment.
+	KindComputeBlock
+	// KindComputeLoop: an offloaded work-shared loop (acc parallel
+	// loop, omp target teams distribute parallel for, ...). Iterations
+	// run concurrently in the device data environment.
+	KindComputeLoop
+	// KindHostParallel: omp parallel — the block runs once per thread
+	// on the host.
+	KindHostParallel
+	// KindHostLoop: omp parallel for (simd) — host work-shared loop.
+	KindHostLoop
+	// KindLoop: a loop directive nested inside an enclosing region
+	// (acc loop, omp for / simd / distribute). Work-shared when the
+	// region is parallel; the simulation distributes the enclosing
+	// construct, so nested loop directives execute their loop inline.
+	KindLoop
+	// KindData: structured data region (acc data, omp target data).
+	KindData
+	// KindEnterData and KindExitData: unstructured data actions.
+	KindEnterData
+	KindExitData
+	// KindUpdate: acc update / omp target update.
+	KindUpdate
+	// KindAtomic: atomic read/write/update/capture.
+	KindAtomic
+	// KindCritical: omp critical — body under a global mutex.
+	KindCritical
+	// KindOnce: omp single / master — body executes on one thread.
+	KindOnce
+	// KindInline: constructs executed inline sequentially in the
+	// simulation (sections, section, task, ordered).
+	KindInline
+)
+
+// opensComputeRegion reports whether nested orphaned loop directives
+// are legal inside this construct.
+func (k DirKind) opensComputeRegion() bool {
+	switch k {
+	case KindComputeBlock, KindComputeLoop, KindHostParallel, KindHostLoop:
+		return true
+	}
+	return false
+}
+
+// IsDevice reports whether the construct executes in the device data
+// environment (data movement and presence checks apply).
+func (k DirKind) IsDevice(dialect spec.Dialect, name string) bool {
+	switch k {
+	case KindComputeBlock, KindComputeLoop:
+		if dialect == spec.OpenACC {
+			return true
+		}
+		return strings.HasPrefix(name, "target") || strings.HasPrefix(name, "teams")
+	}
+	return false
+}
+
+// DataMode says what a DataOp does with its sections.
+type DataMode int
+
+const (
+	MCopyIn DataMode = iota
+	MCopyOut
+	MCopy
+	MCreate
+	MPresent
+	MDelete
+	MUpdateHost
+	MUpdateDevice
+	// MIgnore marks clauses that are validated but have no runtime
+	// data-movement effect in the simulation (no_create, deviceptr,
+	// use_device, attach, ...).
+	MIgnore
+)
+
+func (m DataMode) String() string {
+	switch m {
+	case MCopyIn:
+		return "copyin"
+	case MCopyOut:
+		return "copyout"
+	case MCopy:
+		return "copy"
+	case MCreate:
+		return "create"
+	case MPresent:
+		return "present"
+	case MDelete:
+		return "delete"
+	case MUpdateHost:
+		return "update-host"
+	case MUpdateDevice:
+		return "update-device"
+	default:
+		return "?"
+	}
+}
+
+// DataOp is one data-movement action derived from a clause.
+type DataOp struct {
+	Mode     DataMode
+	Sections []testlang.Section
+}
+
+// ReductionPlan is one reduction clause.
+type ReductionPlan struct {
+	Op   string
+	Vars []string
+}
+
+// DirPlan is the lowered, machine-executable form of one directive.
+type DirPlan struct {
+	Kind DirKind
+	// Name is the spec directive name, for diagnostics and device
+	// classification.
+	Name string
+	Data []DataOp
+	// Reductions across the construct.
+	Reductions []ReductionPlan
+	// Private and FirstPrivate variable names.
+	Private      []string
+	FirstPrivate []string
+	// NumWorkers is the requested parallelism expression (num_gangs,
+	// num_threads, num_teams, ...), nil when unspecified.
+	NumWorkers testlang.Expr
+	// If is the condition expression of an if() clause, nil if absent.
+	If testlang.Expr
+	// AtomicKind is "read", "write", "update" or "capture".
+	AtomicKind string
+	// Device reports whether the construct runs in the device data
+	// environment.
+	Device bool
+}
+
+// kindOf maps a spec directive name to its machine kind.
+func kindOf(dialect spec.Dialect, name string) DirKind {
+	if dialect == spec.OpenACC {
+		switch name {
+		case "parallel", "kernels", "serial":
+			return KindComputeBlock
+		case "parallel loop", "kernels loop", "serial loop":
+			return KindComputeLoop
+		case "loop":
+			return KindLoop
+		case "data":
+			return KindData
+		case "enter data":
+			return KindEnterData
+		case "exit data":
+			return KindExitData
+		case "update":
+			return KindUpdate
+		case "atomic":
+			return KindAtomic
+		case "host_data":
+			return KindData
+		default:
+			return KindNoop
+		}
+	}
+	switch name {
+	case "parallel":
+		return KindHostParallel
+	case "parallel for", "parallel for simd":
+		return KindHostLoop
+	case "for", "for simd", "simd", "distribute":
+		return KindLoop
+	case "target", "target parallel", "target teams", "teams":
+		return KindComputeBlock
+	case "target teams distribute", "teams distribute",
+		"target teams distribute parallel for",
+		"teams distribute parallel for", "target parallel for":
+		return KindComputeLoop
+	case "target data":
+		return KindData
+	case "target enter data":
+		return KindEnterData
+	case "target exit data":
+		return KindExitData
+	case "target update":
+		return KindUpdate
+	case "atomic":
+		return KindAtomic
+	case "critical":
+		return KindCritical
+	case "single", "master":
+		return KindOnce
+	case "sections", "section", "task", "ordered":
+		return KindInline
+	default:
+		return KindNoop
+	}
+}
+
+// clauseDataMode maps data-clause names to modes; ok=false for clauses
+// that do not move data.
+func clauseDataMode(dialect spec.Dialect, dirName, clause string) (DataMode, bool) {
+	switch clause {
+	case "copyin":
+		return MCopyIn, true
+	case "copyout":
+		return MCopyOut, true
+	case "copy":
+		return MCopy, true
+	case "create":
+		return MCreate, true
+	case "present":
+		return MPresent, true
+	case "delete":
+		return MDelete, true
+	case "host", "self":
+		return MUpdateHost, true
+	case "device":
+		if dirName == "update" {
+			return MUpdateDevice, true
+		}
+		return 0, false // omp device(n) clause: device number, not data
+	case "to":
+		if dirName == "target update" {
+			return MUpdateDevice, true
+		}
+		return 0, false // declare target to(...)
+	case "from":
+		return MUpdateHost, dirName == "target update"
+	case "no_create", "deviceptr", "use_device", "is_device_ptr", "device_resident", "link", "attach", "detach":
+		return MIgnore, true
+	}
+	return 0, false
+}
+
+func mapTypeMode(mt string) DataMode {
+	switch mt {
+	case "to":
+		return MCopyIn
+	case "from":
+		return MCopyOut
+	case "tofrom":
+		return MCopy
+	case "alloc":
+		return MCreate
+	case "release", "delete":
+		return MDelete
+	default:
+		return MCopy
+	}
+}
+
+// validateDirective checks one directive against the spec table and
+// the current scope, and lowers it to a DirPlan. It returns nil when
+// the directive is too broken to plan.
+func (c *checker) validateDirective(ds *testlang.DirectiveStmt, atFileScope bool) *DirPlan {
+	dir := ds.Dir
+	table := spec.ForDialect(c.pers.Dialect)
+	if !dir.Known {
+		c.errorf(dir.Pos(), "invalid text in %s directive: unknown directive %q",
+			c.pers.Dialect, dir.Name)
+		return nil
+	}
+	sd, _ := table.Lookup(dir.Name)
+	if sd.Version > table.MaxVersion {
+		c.errorf(dir.Pos(), "%s directive %q requires specification version %d.%d, newer than supported %d.%d",
+			c.pers.Dialect, dir.Name, sd.Version/10, sd.Version%10, table.MaxVersion/10, table.MaxVersion%10)
+	}
+	for _, d := range c.pers.featureDiags(dir) {
+		c.diags = append(c.diags, d)
+	}
+
+	plan := &DirPlan{Kind: kindOf(c.pers.Dialect, dir.Name), Name: dir.Name, AtomicKind: "update"}
+	plan.Device = plan.Kind.IsDevice(c.pers.Dialect, dir.Name)
+
+	for _, cl := range dir.Clauses {
+		arg, valid := sd.Clauses[cl.Name]
+		if !valid {
+			c.errorf(dir.Pos(), "invalid clause %q on %s directive %q", cl.Name, c.pers.Dialect, dir.Name)
+			continue
+		}
+		c.checkClauseShape(dir, cl, arg)
+		c.lowerClause(plan, dir, cl)
+	}
+
+	c.checkAssociation(ds, sd, plan, atFileScope)
+	return plan
+}
+
+// checkClauseShape validates the argument form of one clause.
+func (c *checker) checkClauseShape(dir *testlang.Directive, cl testlang.DirClause, arg spec.ClauseArg) {
+	switch arg {
+	case spec.ArgNone:
+		if cl.HasParens {
+			c.errorf(dir.Pos(), "clause %q takes no argument", cl.Name)
+		}
+	case spec.ArgIntExpr:
+		if !cl.HasParens || strings.TrimSpace(cl.Arg) == "" {
+			c.errorf(dir.Pos(), "clause %q requires an argument", cl.Name)
+			return
+		}
+		c.checkClauseExpr(dir, cl.Name, cl.Arg)
+	case spec.ArgOptionalIntExpr:
+		if cl.HasParens && strings.TrimSpace(cl.Arg) != "" {
+			c.checkClauseExpr(dir, cl.Name, cl.Arg)
+		}
+	case spec.ArgIfExpr:
+		if !cl.HasParens || strings.TrimSpace(cl.Arg) == "" {
+			c.errorf(dir.Pos(), "clause %q requires a condition", cl.Name)
+			return
+		}
+		c.checkClauseExpr(dir, cl.Name, cl.Arg)
+	case spec.ArgVarList:
+		if !cl.HasParens {
+			c.errorf(dir.Pos(), "clause %q requires a variable list", cl.Name)
+			return
+		}
+		// default(none|shared|present), schedule(static,4) and
+		// tile(8,8) style keyword/integer arguments are not variable
+		// lists.
+		if cl.Name == "default" || cl.Name == "schedule" || cl.Name == "proc_bind" ||
+			cl.Name == "dist_schedule" || cl.Name == "device_type" || cl.Name == "bind" ||
+			cl.Name == "depend" || cl.Name == "tile" || cl.Name == "aligned" ||
+			cl.Name == "linear" {
+			return
+		}
+		c.checkSections(dir, cl.Name, cl.Arg)
+	case spec.ArgReduction:
+		if !cl.HasParens {
+			c.errorf(dir.Pos(), "reduction clause requires operator and variables")
+			return
+		}
+		op, vars, ok := testlang.ReductionParts(cl.Arg)
+		if !ok {
+			c.errorf(dir.Pos(), "malformed reduction clause %q", cl.Arg)
+			return
+		}
+		if !spec.ValidReductionOp(op) {
+			c.errorf(dir.Pos(), "invalid reduction operator %q", op)
+		}
+		if len(vars) == 0 {
+			c.errorf(dir.Pos(), "reduction clause lists no variables")
+		}
+		for _, v := range vars {
+			c.checkClauseVar(dir, cl.Name, v)
+		}
+	case spec.ArgMap:
+		if !cl.HasParens {
+			c.errorf(dir.Pos(), "map clause requires an argument")
+			return
+		}
+		mt, _ := testlang.MapParts(cl.Arg)
+		if !spec.ValidMapType(mt) {
+			c.errorf(dir.Pos(), "invalid map type %q", mt)
+		}
+		c.checkSections(dir, cl.Name, afterTopColon(cl.Arg))
+	}
+}
+
+func afterTopColon(arg string) string {
+	depth := 0
+	for i := 0; i < len(arg); i++ {
+		switch arg[i] {
+		case '[', '(':
+			depth++
+		case ']', ')':
+			depth--
+		case ':':
+			if depth == 0 {
+				return arg[i+1:]
+			}
+		}
+	}
+	return arg
+}
+
+func (c *checker) checkClauseExpr(dir *testlang.Directive, clause, text string) {
+	e, errs := testlang.ParseExprString(text)
+	if len(errs) > 0 {
+		c.errorf(dir.Pos(), "malformed argument to clause %q: %q", clause, text)
+		return
+	}
+	c.checkExpr(e)
+}
+
+func (c *checker) checkSections(dir *testlang.Directive, clause, arg string) {
+	secs, errs := testlang.ParseSections(arg)
+	if len(errs) > 0 {
+		c.errorf(dir.Pos(), "malformed variable list in clause %q: %q", clause, arg)
+	}
+	for _, s := range secs {
+		c.checkClauseVar(dir, clause, s.Name)
+		if s.Lo != nil {
+			c.checkExpr(s.Lo)
+			c.checkExpr(s.Len)
+		}
+	}
+}
+
+func (c *checker) checkClauseVar(dir *testlang.Directive, clause, name string) {
+	if _, ok := c.scope.lookup(name); ok {
+		return
+	}
+	if _, ok := builtinConsts[name]; ok {
+		return
+	}
+	c.errorf(dir.Pos(), "variable %q in clause %q is not declared", name, clause)
+}
+
+// lowerClause records the runtime effect of one (already shape-checked)
+// clause in the plan.
+func (c *checker) lowerClause(plan *DirPlan, dir *testlang.Directive, cl testlang.DirClause) {
+	switch cl.Name {
+	case "reduction":
+		if op, vars, ok := testlang.ReductionParts(cl.Arg); ok {
+			plan.Reductions = append(plan.Reductions, ReductionPlan{Op: op, Vars: vars})
+		}
+	case "private":
+		plan.Private = append(plan.Private, testlang.ClauseVars(cl.Arg)...)
+	case "firstprivate":
+		plan.FirstPrivate = append(plan.FirstPrivate, testlang.ClauseVars(cl.Arg)...)
+	case "num_gangs", "num_workers", "num_threads", "num_teams", "vector_length", "thread_limit":
+		if plan.NumWorkers == nil && cl.HasParens {
+			if e, errs := testlang.ParseExprString(cl.Arg); len(errs) == 0 {
+				plan.NumWorkers = e
+			}
+		}
+	case "if":
+		if cl.HasParens {
+			if e, errs := testlang.ParseExprString(cl.Arg); len(errs) == 0 {
+				plan.If = e
+			}
+		}
+	case "read", "write", "update", "capture":
+		if plan.Kind == KindAtomic {
+			plan.AtomicKind = cl.Name
+		}
+	case "map":
+		mt, _ := testlang.MapParts(cl.Arg)
+		if secs, errs := testlang.ParseSections(afterTopColon(cl.Arg)); len(errs) == 0 {
+			plan.Data = append(plan.Data, DataOp{Mode: mapTypeMode(mt), Sections: secs})
+		}
+	default:
+		if mode, isData := clauseDataMode(c.pers.Dialect, dir.Name, cl.Name); isData {
+			if secs, errs := testlang.ParseSections(cl.Arg); len(errs) == 0 {
+				plan.Data = append(plan.Data, DataOp{Mode: mode, Sections: secs})
+			}
+		}
+	}
+}
+
+// checkAssociation validates the construct following the directive.
+func (c *checker) checkAssociation(ds *testlang.DirectiveStmt, sd *spec.Directive, plan *DirPlan, atFileScope bool) {
+	dir := ds.Dir
+	switch sd.Association {
+	case spec.AssocNone:
+		// Standalone; parser never attaches a body.
+	case spec.AssocLoop:
+		loop := ds.Body
+		// A combined construct may legally wrap another directive
+		// (e.g. "omp target" + "omp parallel for"), but loop-associated
+		// directives need the loop itself.
+		fs, ok := loop.(*testlang.ForStmt)
+		if !ok {
+			c.errorf(dir.Pos(), "for loop expected after %s directive %q", c.pers.Dialect, dir.Name)
+			return
+		}
+		c.checkCanonicalLoop(dir, fs)
+	case spec.AssocBlock:
+		if ds.Body == nil && !atFileScope {
+			c.errorf(dir.Pos(), "structured block expected after directive %q", dir.Name)
+		}
+	case spec.AssocStatement:
+		c.checkAtomicBody(dir, plan, ds.Body)
+	}
+}
+
+// checkCanonicalLoop enforces the canonical loop form both models
+// require for work-sharing: initialised loop variable, bounded test,
+// monotonic step.
+func (c *checker) checkCanonicalLoop(dir *testlang.Directive, fs *testlang.ForStmt) {
+	if fs.Cond == nil {
+		c.errorf(dir.Pos(), "associated loop has no termination condition (not in canonical form)")
+		return
+	}
+	if b, ok := fs.Cond.(*testlang.BinaryExpr); !ok || (b.Op != "<" && b.Op != "<=" && b.Op != ">" && b.Op != ">=" && b.Op != "!=") {
+		c.errorf(dir.Pos(), "associated loop condition is not in canonical form")
+	}
+	if fs.Post == nil {
+		c.errorf(dir.Pos(), "associated loop has no increment (not in canonical form)")
+	}
+}
+
+// checkAtomicBody validates the statement under an atomic directive.
+func (c *checker) checkAtomicBody(dir *testlang.Directive, plan *DirPlan, body testlang.Stmt) {
+	es, ok := body.(*testlang.ExprStmt)
+	if !ok {
+		c.errorf(dir.Pos(), "atomic directive requires an expression statement")
+		return
+	}
+	switch x := es.X.(type) {
+	case *testlang.AssignExpr:
+		// x = expr (write), x op= expr (update), v = x (read/capture)
+		return
+	case *testlang.UnaryExpr:
+		if x.Op == "++" || x.Op == "--" {
+			return
+		}
+	case *testlang.PostfixExpr:
+		return
+	}
+	c.errorf(dir.Pos(), "statement form not supported under atomic %s", plan.AtomicKind)
+}

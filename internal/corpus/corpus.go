@@ -1,0 +1,241 @@
+// Package corpus generates the synthetic V&V testsuites the
+// experiments probe. The paper draws its files from the OpenACC V&V
+// and OpenMP (SOLLVE) V&V repositories; this generator reproduces the
+// house style of those suites — initialise data, compute in parallel
+// under directives, recompute serially, compare, report PASS/FAIL via
+// the exit code — across a battery of feature templates with seeded
+// parameter variation.
+//
+// Two generator knobs drive experiment effects documented in
+// DESIGN.md:
+//
+//   - UnsupportedFraction: share of OpenACC files drawn from templates
+//     that use features the simulated nvc rejects, reproducing the
+//     paper's observation that a slice of valid hand-written tests
+//     fails a given toolchain (Tables IV/VI valid-row gap).
+//   - BrittleFraction: share of OpenMP files drawn from a template
+//     whose exact floating-point comparison is brittle under parallel
+//     reduction reordering, the (small) OpenMP valid-failure source.
+package corpus
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+	"repro/internal/spec"
+	"repro/internal/testlang"
+)
+
+// TestFile is one generated test.
+type TestFile struct {
+	// Name is the file name, e.g. "acc_data_copyin_0042.c".
+	Name    string
+	Source  string
+	Lang    testlang.Language
+	Dialect spec.Dialect
+	// Template is the generating template's id.
+	Template string
+	// Unsupported marks files whose template uses a feature the paired
+	// compiler personality rejects.
+	Unsupported bool
+	// Brittle marks files whose pass criterion is exact float equality
+	// (may legitimately fail under reduction reordering).
+	Brittle bool
+}
+
+// Config controls suite generation.
+type Config struct {
+	Dialect spec.Dialect
+	// Langs to draw from; default C only.
+	Langs []testlang.Language
+	// Seed drives all variation.
+	Seed uint64
+	// UnsupportedFraction of files from personality-unsupported
+	// templates (OpenACC: default 0).
+	UnsupportedFraction float64
+	// BrittleFraction of files from the brittle-comparison template
+	// (OpenMP: default 0).
+	BrittleFraction float64
+}
+
+// params feed a template instance.
+type params struct {
+	n    int
+	m    int
+	tag  int
+	lang testlang.Language
+}
+
+// template is one test generator.
+type template struct {
+	id          string
+	unsupported bool
+	brittle     bool
+	// gen renders C-dialect source. Required.
+	gen func(p params) string
+	// fortran renders the Fortran version; nil when the template has
+	// no Fortran rendering.
+	fortran func(p params) string
+}
+
+// Generate produces n test files deterministically from cfg.
+func Generate(cfg Config, n int) []TestFile {
+	langs := cfg.Langs
+	if len(langs) == 0 {
+		langs = []testlang.Language{testlang.LangC}
+	}
+	base := rng.New(cfg.Seed)
+	var templates []template
+	if cfg.Dialect == spec.OpenACC {
+		templates = accTemplates
+	} else {
+		templates = ompTemplates
+	}
+	var normal, unsupported, brittle []template
+	for _, t := range templates {
+		switch {
+		case t.unsupported:
+			unsupported = append(unsupported, t)
+		case t.brittle:
+			brittle = append(brittle, t)
+		default:
+			normal = append(normal, t)
+		}
+	}
+
+	files := make([]TestFile, 0, n)
+	for i := 0; i < n; i++ {
+		label := fmt.Sprintf("file-%04d", i)
+		r := base.Split(label)
+		var tmpl template
+		switch {
+		case len(unsupported) > 0 && r.Bool(cfg.UnsupportedFraction):
+			tmpl = unsupported[r.Intn(len(unsupported))]
+		case len(brittle) > 0 && r.Bool(cfg.BrittleFraction):
+			tmpl = brittle[r.Intn(len(brittle))]
+		default:
+			tmpl = normal[r.Intn(len(normal))]
+		}
+		lang := langs[r.Intn(len(langs))]
+		if lang == testlang.LangFortran && tmpl.fortran == nil {
+			lang = testlang.LangC
+		}
+		p := params{
+			n:    []int{64, 128, 256, 512, 1024}[r.Intn(5)],
+			m:    []int{8, 16, 32}[r.Intn(3)],
+			tag:  r.Intn(1000),
+			lang: lang,
+		}
+		name := fmt.Sprintf("%s_%s_%04d%s", cfg.Dialect.Sentinel(), tmpl.id, i, lang.Ext())
+		var src string
+		if lang == testlang.LangFortran {
+			src = tmpl.fortran(p)
+		} else {
+			src = renderForLang(tmpl.gen(p), lang)
+		}
+		files = append(files, TestFile{
+			Name:        name,
+			Source:      header(name, cfg.Dialect, p.tag, lang) + src,
+			Lang:        lang,
+			Dialect:     cfg.Dialect,
+			Template:    tmpl.id,
+			Unsupported: tmpl.unsupported,
+			Brittle:     tmpl.brittle,
+		})
+	}
+	return files
+}
+
+// header renders the per-file identification comment the V&V suites
+// carry at the top of every test. Besides realism it guarantees every
+// generated file is textually unique, so identically-parameterised
+// template instances remain distinct documents (prompts, hashes,
+// mutation targets).
+func header(name string, d spec.Dialect, tag int, lang testlang.Language) string {
+	if lang == testlang.LangFortran {
+		return fmt.Sprintf("! %s\n! %s V&V functional test (auto-generated, variant %d)\n\n", name, d, tag)
+	}
+	return fmt.Sprintf("// %s\n// %s V&V functional test (auto-generated, variant %d)\n\n", name, d, tag)
+}
+
+// renderForLang adapts a C source to C++ surface conventions when the
+// target is a .cpp file, as the V&V suites' C++ tests do.
+func renderForLang(src string, lang testlang.Language) string {
+	if lang != testlang.LangCPP {
+		return src
+	}
+	out := "// C++ variant generated from the C test\n"
+	out += "using namespace std;\n"
+	return out + src
+}
+
+// TemplateIDs lists the ids for a dialect (tests iterate all of them).
+func TemplateIDs(d spec.Dialect) []string {
+	var ts []template
+	if d == spec.OpenACC {
+		ts = accTemplates
+	} else {
+		ts = ompTemplates
+	}
+	ids := make([]string, len(ts))
+	for i, t := range ts {
+		ids[i] = t.id
+	}
+	return ids
+}
+
+// TemplateUnsupported reports whether a template uses a feature the
+// dialect's paired compiler personality rejects.
+func TemplateUnsupported(d spec.Dialect, id string) bool {
+	var ts []template
+	if d == spec.OpenACC {
+		ts = accTemplates
+	} else {
+		ts = ompTemplates
+	}
+	for _, t := range ts {
+		if t.id == id {
+			return t.unsupported
+		}
+	}
+	return false
+}
+
+// InstantiateTemplate renders one template by id with deterministic
+// mid-sized parameters (tests and examples use this).
+func InstantiateTemplate(d spec.Dialect, id string, lang testlang.Language, seed uint64) (TestFile, error) {
+	var ts []template
+	if d == spec.OpenACC {
+		ts = accTemplates
+	} else {
+		ts = ompTemplates
+	}
+	for _, t := range ts {
+		if t.id != id {
+			continue
+		}
+		r := rng.New(seed)
+		p := params{n: 256, m: 16, tag: r.Intn(1000), lang: lang}
+		name := fmt.Sprintf("%s_%s_s%d%s", d.Sentinel(), id, seed, lang.Ext())
+		var src string
+		if lang == testlang.LangFortran {
+			if t.fortran == nil {
+				return TestFile{}, fmt.Errorf("corpus: template %q has no Fortran rendering", id)
+			}
+			src = t.fortran(p)
+		} else {
+			src = renderForLang(t.gen(p), lang)
+		}
+		src = header(name, d, p.tag, lang) + src
+		return TestFile{
+			Name:        name,
+			Source:      src,
+			Lang:        lang,
+			Dialect:     d,
+			Template:    id,
+			Unsupported: t.unsupported,
+			Brittle:     t.brittle,
+		}, nil
+	}
+	return TestFile{}, fmt.Errorf("corpus: unknown template %q for %v", id, d)
+}

@@ -1,0 +1,300 @@
+package corpus
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/compiler"
+	"repro/internal/machine"
+	"repro/internal/rng"
+	"repro/internal/spec"
+	"repro/internal/testlang"
+)
+
+// TestEveryTemplateCompilesAndPasses is the corpus conformance gate:
+// every template, in every language it renders, must compile under the
+// idealised reference compiler and exit 0 (brittle templates are
+// allowed to fail at run time — that is their documented purpose).
+func TestEveryTemplateCompilesAndPasses(t *testing.T) {
+	for _, d := range []spec.Dialect{spec.OpenACC, spec.OpenMP} {
+		ref := compiler.Reference(d)
+		for _, id := range TemplateIDs(d) {
+			for _, lang := range []testlang.Language{testlang.LangC, testlang.LangCPP, testlang.LangFortran} {
+				for seed := uint64(0); seed < 3; seed++ {
+					tf, err := InstantiateTemplate(d, id, lang, seed)
+					if err != nil {
+						if lang == testlang.LangFortran {
+							continue // template has no Fortran rendering
+						}
+						t.Fatalf("%v/%s/%v: %v", d, id, lang, err)
+					}
+					res := ref.Compile(tf.Name, tf.Source, tf.Lang)
+					if !res.OK {
+						t.Errorf("%v/%s/%v seed %d failed reference compile:\n%s\n--- source ---\n%s",
+							d, id, lang, seed, res.Stderr, tf.Source)
+						continue
+					}
+					if tf.Lang == testlang.LangFortran {
+						continue // checked only, not executed
+					}
+					run := machine.Run(res.Object, machine.Options{})
+					if run.ReturnCode != 0 && !tf.Brittle {
+						t.Errorf("%v/%s/%v seed %d exited %d:\nstdout: %s\nstderr: %s\n--- source ---\n%s",
+							d, id, lang, seed, run.ReturnCode, run.Stdout, run.Stderr, tf.Source)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSupportedTemplatesPassPairedPersonality checks that templates
+// not marked unsupported also build under the dialect's paired
+// personality (nvc / clang), which is what the pipeline uses.
+func TestSupportedTemplatesPassPairedPersonality(t *testing.T) {
+	for _, d := range []spec.Dialect{spec.OpenACC, spec.OpenMP} {
+		pers := compiler.ForDialect(d)
+		for _, id := range TemplateIDs(d) {
+			tf, err := InstantiateTemplate(d, id, testlang.LangC, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res := pers.Compile(tf.Name, tf.Source, tf.Lang)
+			if tf.Unsupported {
+				if res.OK {
+					t.Errorf("%v/%s marked unsupported but %s accepted it", d, id, pers.Name)
+				}
+				continue
+			}
+			if !res.OK {
+				t.Errorf("%v/%s rejected by %s:\n%s", d, id, pers.Name, res.Stderr)
+			}
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := Config{Dialect: spec.OpenACC, Seed: 99}
+	a := Generate(cfg, 50)
+	b := Generate(cfg, 50)
+	if len(a) != 50 || len(b) != 50 {
+		t.Fatalf("lengths %d/%d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Source != b[i].Source || a[i].Name != b[i].Name {
+			t.Fatalf("file %d differs between identical-seed generations", i)
+		}
+	}
+	c := Generate(Config{Dialect: spec.OpenACC, Seed: 100}, 50)
+	same := 0
+	for i := range a {
+		if a[i].Source == c[i].Source {
+			same++
+		}
+	}
+	if same == 50 {
+		t.Fatal("different seeds produced identical suites")
+	}
+}
+
+func TestGenerateLanguageMix(t *testing.T) {
+	cfg := Config{
+		Dialect: spec.OpenACC,
+		Langs:   []testlang.Language{testlang.LangC, testlang.LangCPP, testlang.LangFortran},
+		Seed:    7,
+	}
+	files := Generate(cfg, 300)
+	counts := map[testlang.Language]int{}
+	for _, f := range files {
+		counts[f.Lang]++
+		if !strings.HasSuffix(f.Name, f.Lang.Ext()) {
+			t.Errorf("file %q has wrong extension for %v", f.Name, f.Lang)
+		}
+	}
+	if counts[testlang.LangC] < 80 || counts[testlang.LangCPP] < 80 {
+		t.Errorf("C/C++ underrepresented: %v", counts)
+	}
+	// Fortran is deliberately a small share (only a few templates have
+	// Fortran renderings), matching the paper's "small set of Fortran
+	// files" in the Part-One OpenACC suite.
+	if counts[testlang.LangFortran] < 10 {
+		t.Errorf("Fortran absent from mixed suite: %v", counts)
+	}
+}
+
+func TestUnsupportedFraction(t *testing.T) {
+	cfg := Config{Dialect: spec.OpenACC, Seed: 11, UnsupportedFraction: 0.3}
+	files := Generate(cfg, 1000)
+	n := 0
+	for _, f := range files {
+		if f.Unsupported {
+			n++
+		}
+	}
+	if n < 240 || n > 360 {
+		t.Fatalf("unsupported count = %d/1000, want ~300", n)
+	}
+	// Zero fraction: none.
+	for _, f := range Generate(Config{Dialect: spec.OpenACC, Seed: 11}, 200) {
+		if f.Unsupported {
+			t.Fatal("unsupported template selected with zero fraction")
+		}
+	}
+}
+
+func TestBrittleFraction(t *testing.T) {
+	cfg := Config{Dialect: spec.OpenMP, Seed: 13, BrittleFraction: 0.2}
+	files := Generate(cfg, 1000)
+	n := 0
+	for _, f := range files {
+		if f.Brittle {
+			n++
+		}
+	}
+	if n < 140 || n > 260 {
+		t.Fatalf("brittle count = %d/1000, want ~200", n)
+	}
+}
+
+// TestBrittleTemplateActuallyBrittle documents that the exact-compare
+// template fails under multi-worker reduction reordering for at least
+// some sizes — the mechanism behind OpenMP valid-file run failures.
+func TestBrittleTemplateActuallyBrittle(t *testing.T) {
+	pers := compiler.ForDialect(spec.OpenMP)
+	failures := 0
+	total := 0
+	for seed := uint64(0); seed < 10; seed++ {
+		tf, err := InstantiateTemplate(spec.OpenMP, "exact_float_compare", testlang.LangC, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := pers.Compile(tf.Name, tf.Source, tf.Lang)
+		if !res.OK {
+			t.Fatalf("brittle template failed compile:\n%s", res.Stderr)
+		}
+		for _, w := range []int{2, 4, 8} {
+			total++
+			if machine.Run(res.Object, machine.Options{Workers: w}).ReturnCode != 0 {
+				failures++
+			}
+		}
+	}
+	t.Logf("brittle template failed %d/%d runs", failures, total)
+	if failures == 0 {
+		t.Error("exact_float_compare never failed; brittleness mechanism broken")
+	}
+}
+
+func TestRandomPlainCompilesBothPersonalities(t *testing.T) {
+	r := rng.New(21)
+	for i := 0; i < 20; i++ {
+		src := randomPlainC(r, false)
+		for _, d := range []spec.Dialect{spec.OpenACC, spec.OpenMP} {
+			res := compiler.ForDialect(d).Compile("rnd.c", src, testlang.LangC)
+			if !res.OK {
+				t.Fatalf("plain random C rejected by %v:\n%s\n%s", d, res.Stderr, src)
+			}
+			run := machine.Run(res.Object, machine.Options{})
+			if run.ReturnCode != 0 {
+				t.Fatalf("plain random C exited %d under %v:\n%s\n%s", run.ReturnCode, d, run.Stderr, src)
+			}
+			if strings.Contains(src, "#pragma") {
+				t.Fatal("random code contains a pragma")
+			}
+		}
+	}
+}
+
+func TestRandomImplicitSplitsPersonalities(t *testing.T) {
+	r := rng.New(22)
+	for i := 0; i < 10; i++ {
+		src := randomPlainC(r, true)
+		// Strict nvc model: compile error.
+		if res := compiler.NVCSim().Compile("rnd.c", src, testlang.LangC); res.OK {
+			t.Fatalf("nvc accepted implicit-call random code:\n%s", src)
+		}
+		// Lenient clang model: compiles, traps at run time.
+		res := compiler.ClangSim().Compile("rnd.c", src, testlang.LangC)
+		if !res.OK {
+			t.Fatalf("clang rejected implicit-call random code:\n%s", res.Stderr)
+		}
+		run := machine.Run(res.Object, machine.Options{})
+		if run.ReturnCode == 0 {
+			t.Fatalf("implicit-call random code ran clean:\n%s", src)
+		}
+	}
+}
+
+func TestRandomGarbageFailsEverywhere(t *testing.T) {
+	r := rng.New(23)
+	for i := 0; i < 10; i++ {
+		src := randomGarbage(r)
+		for _, d := range []spec.Dialect{spec.OpenACC, spec.OpenMP} {
+			if res := compiler.ForDialect(d).Compile("rnd.c", src, testlang.LangC); res.OK {
+				t.Fatalf("garbage compiled under %v:\n%s", d, src)
+			}
+		}
+	}
+}
+
+func TestRandomFortranChecks(t *testing.T) {
+	r := rng.New(24)
+	for i := 0; i < 10; i++ {
+		src := randomFortran(r)
+		res := compiler.NVCSim().Compile("rnd.f90", src, testlang.LangFortran)
+		if !res.OK {
+			t.Fatalf("random Fortran rejected:\n%s\n%s", res.Stderr, src)
+		}
+		if strings.Contains(src, "!$acc") || strings.Contains(src, "!$omp") {
+			t.Fatal("random Fortran contains directives")
+		}
+	}
+}
+
+func TestRandomModesDistribution(t *testing.T) {
+	r := rng.New(25)
+	opts := DefaultRandomOpts()
+	garbage := 0
+	const n = 400
+	for i := 0; i < n; i++ {
+		src := RandomC(r, opts)
+		if _, errs := testlang.ParseFile(src, testlang.LangC, spec.OpenACC); len(errs) > 0 {
+			garbage++
+		}
+	}
+	frac := float64(garbage) / n
+	if frac < 0.15 || frac > 0.40 {
+		t.Fatalf("garbage fraction = %v, want ~0.25", frac)
+	}
+}
+
+func TestRandomForLangSurface(t *testing.T) {
+	r := rng.New(26)
+	cpp := RandomForLang(r, testlang.LangCPP, RandomOpts{PlainProb: 1})
+	if !strings.HasPrefix(cpp, "using namespace std;") {
+		t.Fatal("C++ random file lacks C++ surface marker")
+	}
+	f90 := RandomForLang(r, testlang.LangFortran, DefaultRandomOpts())
+	if !strings.Contains(f90, "program ") {
+		t.Fatal("Fortran random file lacks program unit")
+	}
+}
+
+func TestInstantiateUnknownTemplate(t *testing.T) {
+	if _, err := InstantiateTemplate(spec.OpenACC, "no_such_template", testlang.LangC, 0); err == nil {
+		t.Fatal("unknown template did not error")
+	}
+}
+
+func TestGeneratedSuiteCompilesUnderReference(t *testing.T) {
+	for _, d := range []spec.Dialect{spec.OpenACC, spec.OpenMP} {
+		ref := compiler.Reference(d)
+		files := Generate(Config{Dialect: d, Seed: 31, Langs: []testlang.Language{testlang.LangC, testlang.LangCPP}}, 60)
+		for _, f := range files {
+			res := ref.Compile(f.Name, f.Source, f.Lang)
+			if !res.OK {
+				t.Errorf("%s failed reference compile:\n%s", f.Name, res.Stderr)
+			}
+		}
+	}
+}

@@ -1,0 +1,150 @@
+package corpus
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/rng"
+	"repro/internal/testlang"
+)
+
+// RandomOpts tunes the random non-directive code generator used by
+// negative-probing issue 3 ("replaced file with randomly-generated
+// non-OpenACC/OpenMP code").
+//
+// The three modes model how such files behave under real toolchains:
+//
+//   - plain: valid C with no directives. Compiles and runs clean under
+//     both personalities — only a judge can flag it as "not a compiler
+//     test for this model".
+//   - implicit: valid C that calls undeclared functions. The strict
+//     nvc model rejects it at compile time; the lenient clang model
+//     compiles with a warning and then traps at run time on the
+//     unresolved symbol.
+//   - garbage: not C at all; fails the front end everywhere.
+type RandomOpts struct {
+	PlainProb    float64
+	ImplicitProb float64
+	// Remaining probability mass is garbage mode.
+}
+
+// DefaultRandomOpts mirrors the mode mix fitted in EXPERIMENTS.md.
+func DefaultRandomOpts() RandomOpts {
+	return RandomOpts{PlainProb: 0.55, ImplicitProb: 0.20}
+}
+
+var (
+	randNouns = []string{
+		"matrix", "buffer", "table", "queue", "payload", "window",
+		"cursor", "ledger", "packet", "bucket", "stream", "grid",
+	}
+	randVerbs = []string{
+		"process", "update", "shuffle", "encode", "collapse", "migrate",
+		"digest", "balance", "rotate", "fold",
+	}
+	randTypes = []string{"int", "long", "double"}
+)
+
+// RandomC generates a random C file with no directives, in one of the
+// three modes.
+func RandomC(r *rng.Source, opts RandomOpts) string {
+	roll := r.Float64()
+	switch {
+	case roll < opts.PlainProb:
+		return randomPlainC(r, false)
+	case roll < opts.PlainProb+opts.ImplicitProb:
+		return randomPlainC(r, true)
+	default:
+		return randomGarbage(r)
+	}
+}
+
+// RandomForLang generates random non-directive code matching the
+// surface language of the replaced file.
+func RandomForLang(r *rng.Source, lang testlang.Language, opts RandomOpts) string {
+	if lang == testlang.LangFortran {
+		return randomFortran(r)
+	}
+	src := RandomC(r, opts)
+	if lang == testlang.LangCPP {
+		return "using namespace std;\n" + src
+	}
+	return src
+}
+
+func randomPlainC(r *rng.Source, implicitCalls bool) string {
+	var b strings.Builder
+	b.WriteString("#include <stdio.h>\n#include <stdlib.h>\n\n")
+
+	helperName := r.Pick(randVerbs) + "_" + r.Pick(randNouns)
+	typ := r.Pick(randTypes)
+	k1 := r.IntRange(2, 9)
+	k2 := r.IntRange(1, 17)
+	fmt.Fprintf(&b, "%s %s(%s v)\n{\n    return v * %d + %d;\n}\n\n",
+		typ, helperName, typ, k1, k2)
+
+	n := []int{32, 50, 80, 120}[r.Intn(4)]
+	arr := r.Pick(randNouns)
+	acc := "total_" + r.Pick(randNouns)
+	b.WriteString("int main()\n{\n")
+	fmt.Fprintf(&b, "    %s %s[%d];\n", typ, arr, n)
+	fmt.Fprintf(&b, "    %s %s = 0;\n", typ, acc)
+	if implicitCalls {
+		// Call to a function with no declaration anywhere: strict
+		// compilers error, lenient ones warn and fail at link/run.
+		fmt.Fprintf(&b, "    %s = configure_%s_%d(%d);\n", acc, r.Pick(randNouns), r.Intn(100), r.Intn(10))
+	}
+	fmt.Fprintf(&b, "    for (int i = 0; i < %d; i++) {\n", n)
+	fmt.Fprintf(&b, "        %s[i] = %s((%s)(i %% %d));\n", arr, helperName, typ, r.IntRange(3, 11))
+	fmt.Fprintf(&b, "        %s = %s + %s[i];\n", acc, acc, arr)
+	b.WriteString("    }\n")
+	switch r.Intn(3) {
+	case 0:
+		fmt.Fprintf(&b, "    printf(\"%s done: %%d\\n\", (int)%s);\n", helperName, acc)
+	case 1:
+		fmt.Fprintf(&b, "    if (%s < 0) {\n        printf(\"unexpected\\n\");\n    }\n", acc)
+	default:
+		fmt.Fprintf(&b, "    printf(\"checksum %%d\\n\", (int)(%s %% 1000));\n", acc)
+	}
+	b.WriteString("    return 0;\n}\n")
+	return b.String()
+}
+
+func randomGarbage(r *rng.Source) string {
+	words := []string{
+		"flarb", "quon", "##", "<<<", "zeta::", "}{", "@", "BEGIN",
+		"let", "defun", "lambda", ";;;", "::=", "->>", "MODULE", "elif",
+		"yield", "match", "0b1z2", "`tick`", "~~>",
+	}
+	var b strings.Builder
+	lines := r.IntRange(8, 24)
+	for i := 0; i < lines; i++ {
+		k := r.IntRange(2, 6)
+		for j := 0; j < k; j++ {
+			b.WriteString(words[r.Intn(len(words))])
+			b.WriteByte(' ')
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func randomFortran(r *rng.Source) string {
+	name := r.Pick(randVerbs)
+	n := []int{20, 40, 64}[r.Intn(3)]
+	k := r.IntRange(2, 7)
+	return fmt.Sprintf(`program %s
+    implicit none
+    integer :: i, acc
+    integer :: data(%d)
+
+    acc = 0
+    do i = 1, %d
+        data(i) = i * %d
+        acc = acc + data(i)
+    end do
+
+    print *, "result", acc
+end program %s
+`, name, n, n, k, name)
+}

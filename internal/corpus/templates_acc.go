@@ -1,0 +1,777 @@
+package corpus
+
+import "fmt"
+
+// accTemplates is the OpenACC battery. Every template follows the V&V
+// house style: initialise, compute under directives, recompute
+// serially, compare, FAIL via a trailing check block, PASS via exit 0.
+// The trailing check block being the last bracketed section of the
+// file is deliberate: it is what the paper's "removed last bracketed
+// section" mutation excises, leaving a clean-running test with no
+// verification logic.
+var accTemplates = []template{
+	{id: "parallel_loop_vecadd", gen: accVecAdd, fortran: accVecAddF90},
+	{id: "parallel_loop_saxpy", gen: accSaxpy, fortran: accSaxpyF90},
+	{id: "reduction_sum", gen: accReductionSum, fortran: accReductionSumF90},
+	{id: "reduction_max", gen: accReductionMax},
+	{id: "data_region", gen: accDataRegion, fortran: accDataRegionF90},
+	{id: "enter_exit_update", gen: accEnterExit},
+	{id: "kernels_loop", gen: accKernelsLoop},
+	{id: "serial_construct", gen: accSerial},
+	{id: "atomic_update", gen: accAtomic},
+	{id: "gang_vector_matvec", gen: accGangVector},
+	{id: "collapse_matmul", gen: accCollapseMatmul},
+	{id: "private_clause", gen: accPrivate},
+	{id: "firstprivate_clause", gen: accFirstPrivate},
+	{id: "if_clause", gen: accIfClause},
+	{id: "stencil_1d", gen: accStencil},
+	{id: "routine_seq", gen: accRoutine},
+	{id: "tile_clause", gen: accTile, unsupported: true},
+	{id: "host_data_use_device", gen: accHostData, unsupported: true},
+	{id: "no_create_clause", gen: accNoCreate, unsupported: true},
+	{id: "set_directive", gen: accSetDirective, unsupported: true},
+}
+
+func accVecAdd(p params) string {
+	return fmt.Sprintf(`#include <stdio.h>
+#include <stdlib.h>
+#include <math.h>
+#define N %d
+
+int main()
+{
+    double *a = (double *)malloc(N * sizeof(double));
+    double *b = (double *)malloc(N * sizeof(double));
+    double *c = (double *)malloc(N * sizeof(double));
+    int errs = 0;
+    for (int i = 0; i < N; i++) {
+        a[i] = i * 0.5 + %d;
+        b[i] = i * 2.0;
+        c[i] = 0.0;
+    }
+#pragma acc parallel loop copyin(a[0:N], b[0:N]) copyout(c[0:N])
+    for (int i = 0; i < N; i++) {
+        c[i] = a[i] + b[i];
+    }
+    for (int i = 0; i < N; i++) {
+        if (fabs(c[i] - (a[i] + b[i])) > 1e-9) {
+            errs = errs + 1;
+        }
+    }
+    free(a);
+    free(b);
+    free(c);
+    if (errs != 0) {
+        printf("Test failed with %%d errors\n", errs);
+        return 1;
+    }
+    printf("Test passed\n");
+    return 0;
+}
+`, p.n, p.tag%7)
+}
+
+func accSaxpy(p params) string {
+	return fmt.Sprintf(`#include <stdio.h>
+#include <stdlib.h>
+#include <math.h>
+#define N %d
+
+int main()
+{
+    double *x = (double *)malloc(N * sizeof(double));
+    double *y = (double *)malloc(N * sizeof(double));
+    double *ref = (double *)malloc(N * sizeof(double));
+    double alpha = %d.5;
+    int errs = 0;
+    for (int i = 0; i < N; i++) {
+        x[i] = i * 0.25;
+        y[i] = N - i;
+        ref[i] = alpha * x[i] + y[i];
+    }
+#pragma acc parallel loop copyin(x[0:N]) copy(y[0:N])
+    for (int i = 0; i < N; i++) {
+        y[i] = alpha * x[i] + y[i];
+    }
+    for (int i = 0; i < N; i++) {
+        if (fabs(y[i] - ref[i]) > 1e-9) {
+            errs++;
+        }
+    }
+    free(x);
+    free(y);
+    free(ref);
+    if (errs != 0) {
+        printf("FAIL: %%d mismatches\n", errs);
+        return 1;
+    }
+    printf("PASS\n");
+    return 0;
+}
+`, p.n, p.tag%5)
+}
+
+func accReductionSum(p params) string {
+	return fmt.Sprintf(`#include <stdio.h>
+#include <stdlib.h>
+#define N %d
+
+int main()
+{
+    int *a = (int *)malloc(N * sizeof(int));
+    long sum = 0;
+    long expect = 0;
+    for (int i = 0; i < N; i++) {
+        a[i] = (i * %d) %% 97;
+        expect += a[i];
+    }
+#pragma acc parallel loop copyin(a[0:N]) reduction(+:sum)
+    for (int i = 0; i < N; i++) {
+        sum += a[i];
+    }
+    free(a);
+    if (sum != expect) {
+        printf("FAIL: sum %%ld expected %%ld\n", sum, expect);
+        return 1;
+    }
+    printf("PASS\n");
+    return 0;
+}
+`, p.n, 3+p.tag%11)
+}
+
+func accReductionMax(p params) string {
+	return fmt.Sprintf(`#include <stdio.h>
+#include <stdlib.h>
+#define N %d
+
+int main()
+{
+    double *a = (double *)malloc(N * sizeof(double));
+    double best = -1.0;
+    double expect = -1.0;
+    for (int i = 0; i < N; i++) {
+        a[i] = (double)((i * %d) %% 251);
+        if (a[i] > expect) {
+            expect = a[i];
+        }
+    }
+#pragma acc parallel loop copyin(a[0:N]) reduction(max:best)
+    for (int i = 0; i < N; i++) {
+        if (a[i] > best) {
+            best = a[i];
+        }
+    }
+    free(a);
+    if (best != expect) {
+        printf("FAIL: max %%f expected %%f\n", best, expect);
+        return 1;
+    }
+    printf("PASS\n");
+    return 0;
+}
+`, p.n, 7+p.tag%13)
+}
+
+func accDataRegion(p params) string {
+	return fmt.Sprintf(`#include <stdio.h>
+#include <stdlib.h>
+#define N %d
+
+int main()
+{
+    int *a = (int *)malloc(N * sizeof(int));
+    int *b = (int *)malloc(N * sizeof(int));
+    int *c = (int *)malloc(N * sizeof(int));
+    int errs = 0;
+    for (int i = 0; i < N; i++) {
+        a[i] = i + %d;
+        b[i] = 0;
+        c[i] = 0;
+    }
+#pragma acc data copyin(a[0:N]) create(b[0:N]) copyout(c[0:N])
+    {
+#pragma acc parallel loop present(a[0:N], b[0:N])
+        for (int i = 0; i < N; i++) {
+            b[i] = a[i] * 2;
+        }
+#pragma acc parallel loop present(b[0:N], c[0:N])
+        for (int i = 0; i < N; i++) {
+            c[i] = b[i] + 1;
+        }
+    }
+    for (int i = 0; i < N; i++) {
+        if (c[i] != a[i] * 2 + 1) {
+            errs++;
+        }
+    }
+    free(a);
+    free(b);
+    free(c);
+    if (errs != 0) {
+        printf("Test failed: %%d errors\n", errs);
+        return 1;
+    }
+    printf("Test passed\n");
+    return 0;
+}
+`, p.n, p.tag%9)
+}
+
+func accEnterExit(p params) string {
+	return fmt.Sprintf(`#include <stdio.h>
+#include <stdlib.h>
+#define N %d
+
+int main()
+{
+    double *a = (double *)malloc(N * sizeof(double));
+    double *b = (double *)malloc(N * sizeof(double));
+    int errs = 0;
+    for (int i = 0; i < N; i++) {
+        a[i] = i * 1.5;
+        b[i] = 0.0;
+    }
+#pragma acc enter data copyin(a[0:N]) create(b[0:N])
+#pragma acc parallel loop present(a[0:N], b[0:N])
+    for (int i = 0; i < N; i++) {
+        b[i] = a[i] * a[i];
+    }
+#pragma acc update host(b[0:N])
+    for (int i = 0; i < N; i++) {
+        if (b[i] != a[i] * a[i]) {
+            errs++;
+        }
+    }
+#pragma acc exit data copyout(b[0:N]) delete(a)
+    free(a);
+    free(b);
+    if (errs != 0) {
+        printf("FAIL: %%d errors\n", errs);
+        return 1;
+    }
+    printf("PASS\n");
+    return 0;
+}
+`, p.n)
+}
+
+func accKernelsLoop(p params) string {
+	return fmt.Sprintf(`#include <stdio.h>
+#include <stdlib.h>
+#define N %d
+
+int main()
+{
+    int *src = (int *)malloc(N * sizeof(int));
+    int *dst = (int *)malloc(N * sizeof(int));
+    int errs = 0;
+    for (int i = 0; i < N; i++) {
+        src[i] = N - i + %d;
+        dst[i] = 0;
+    }
+#pragma acc kernels loop copyin(src[0:N]) copyout(dst[0:N])
+    for (int i = 0; i < N; i++) {
+        dst[i] = src[i] * 3 - 1;
+    }
+    for (int i = 0; i < N; i++) {
+        if (dst[i] != src[i] * 3 - 1) {
+            errs++;
+        }
+    }
+    free(src);
+    free(dst);
+    if (errs != 0) {
+        printf("Test FAILED (%%d wrong)\n", errs);
+        return 1;
+    }
+    printf("Test PASSED\n");
+    return 0;
+}
+`, p.n, p.tag%4)
+}
+
+func accSerial(p params) string {
+	return fmt.Sprintf(`#include <stdio.h>
+#define N %d
+
+int main()
+{
+    int data[N];
+    int checksum = 0;
+    for (int i = 0; i < N; i++) {
+        data[i] = i;
+    }
+#pragma acc serial copyin(data) copy(checksum)
+    {
+        int local = 0;
+        for (int i = 0; i < N; i++) {
+            local += data[i];
+        }
+        checksum = local;
+    }
+    if (checksum != (N - 1) * N / 2) {
+        printf("FAIL: checksum %%d\n", checksum);
+        return 1;
+    }
+    printf("PASS\n");
+    return 0;
+}
+`, p.m*8)
+}
+
+func accAtomic(p params) string {
+	return fmt.Sprintf(`#include <stdio.h>
+#include <stdlib.h>
+#define N %d
+
+int main()
+{
+    int *a = (int *)malloc(N * sizeof(int));
+    int count = 0;
+    for (int i = 0; i < N; i++) {
+        a[i] = i %% 2;
+    }
+#pragma acc parallel loop copyin(a[0:N]) copy(count)
+    for (int i = 0; i < N; i++) {
+        if (a[i] == 1) {
+#pragma acc atomic update
+            count += 1;
+        }
+    }
+    free(a);
+    if (count != N / 2) {
+        printf("FAIL: count %%d expected %%d\n", count, N / 2);
+        return 1;
+    }
+    printf("PASS\n");
+    return 0;
+}
+`, p.n)
+}
+
+func accGangVector(p params) string {
+	return fmt.Sprintf(`#include <stdio.h>
+#include <math.h>
+#define R %d
+#define C %d
+
+int main()
+{
+    double m[R][C];
+    double v[C];
+    double out[R];
+    int errs = 0;
+    for (int j = 0; j < C; j++) {
+        v[j] = j * 0.5;
+    }
+    for (int i = 0; i < R; i++) {
+        out[i] = 0.0;
+        for (int j = 0; j < C; j++) {
+            m[i][j] = i + j + %d;
+        }
+    }
+#pragma acc parallel loop gang copyin(m, v) copyout(out)
+    for (int i = 0; i < R; i++) {
+        double rowsum = 0.0;
+#pragma acc loop vector reduction(+:rowsum)
+        for (int j = 0; j < C; j++) {
+            rowsum += m[i][j] * v[j];
+        }
+        out[i] = rowsum;
+    }
+    for (int i = 0; i < R; i++) {
+        double expect = 0.0;
+        for (int j = 0; j < C; j++) {
+            expect += m[i][j] * v[j];
+        }
+        if (fabs(out[i] - expect) > 1e-6) {
+            errs++;
+        }
+    }
+    if (errs != 0) {
+        printf("FAIL: %%d rows wrong\n", errs);
+        return 1;
+    }
+    printf("PASS\n");
+    return 0;
+}
+`, p.m*2, p.m, p.tag%6)
+}
+
+func accCollapseMatmul(p params) string {
+	return fmt.Sprintf(`#include <stdio.h>
+#include <math.h>
+#define N %d
+
+int main()
+{
+    double a[N][N];
+    double b[N][N];
+    double c[N][N];
+    int errs = 0;
+    for (int i = 0; i < N; i++) {
+        for (int j = 0; j < N; j++) {
+            a[i][j] = i - j;
+            b[i][j] = i + 2 * j + %d;
+            c[i][j] = 0.0;
+        }
+    }
+#pragma acc parallel loop collapse(2) copyin(a, b) copyout(c)
+    for (int i = 0; i < N; i++) {
+        for (int j = 0; j < N; j++) {
+            double s = 0.0;
+            for (int k = 0; k < N; k++) {
+                s += a[i][k] * b[k][j];
+            }
+            c[i][j] = s;
+        }
+    }
+    for (int i = 0; i < N; i++) {
+        for (int j = 0; j < N; j++) {
+            double expect = 0.0;
+            for (int k = 0; k < N; k++) {
+                expect += a[i][k] * b[k][j];
+            }
+            if (fabs(c[i][j] - expect) > 1e-6) {
+                errs++;
+            }
+        }
+    }
+    if (errs != 0) {
+        printf("FAIL: %%d elements wrong\n", errs);
+        return 1;
+    }
+    printf("PASS\n");
+    return 0;
+}
+`, p.m, p.tag%5)
+}
+
+func accPrivate(p params) string {
+	return fmt.Sprintf(`#include <stdio.h>
+#include <stdlib.h>
+#define N %d
+
+int main()
+{
+    int *a = (int *)malloc(N * sizeof(int));
+    int *b = (int *)malloc(N * sizeof(int));
+    int t = 0;
+    int errs = 0;
+    for (int i = 0; i < N; i++) {
+        a[i] = i + %d;
+        b[i] = 0;
+    }
+#pragma acc parallel loop private(t) copyin(a[0:N]) copyout(b[0:N])
+    for (int i = 0; i < N; i++) {
+        t = a[i] * 2;
+        b[i] = t + 1;
+    }
+    for (int i = 0; i < N; i++) {
+        if (b[i] != a[i] * 2 + 1) {
+            errs++;
+        }
+    }
+    free(a);
+    free(b);
+    if (errs != 0) {
+        printf("FAIL: %%d errors\n", errs);
+        return 1;
+    }
+    printf("PASS\n");
+    return 0;
+}
+`, p.n, p.tag%8)
+}
+
+func accFirstPrivate(p params) string {
+	return fmt.Sprintf(`#include <stdio.h>
+#include <stdlib.h>
+#include <math.h>
+#define N %d
+
+int main()
+{
+    double *x = (double *)malloc(N * sizeof(double));
+    double *y = (double *)malloc(N * sizeof(double));
+    double scale = %d.25;
+    int errs = 0;
+    for (int i = 0; i < N; i++) {
+        x[i] = i;
+        y[i] = 0.0;
+    }
+#pragma acc parallel loop firstprivate(scale) copyin(x[0:N]) copyout(y[0:N])
+    for (int i = 0; i < N; i++) {
+        y[i] = x[i] * scale;
+    }
+    for (int i = 0; i < N; i++) {
+        if (fabs(y[i] - x[i] * scale) > 1e-9) {
+            errs++;
+        }
+    }
+    free(x);
+    free(y);
+    if (errs != 0) {
+        printf("FAIL: %%d errors\n", errs);
+        return 1;
+    }
+    printf("PASS\n");
+    return 0;
+}
+`, p.n, 1+p.tag%4)
+}
+
+func accIfClause(p params) string {
+	return fmt.Sprintf(`#include <stdio.h>
+#include <stdlib.h>
+#define N %d
+
+int main()
+{
+    int *a = (int *)malloc(N * sizeof(int));
+    int use_device = %d;
+    int errs = 0;
+    for (int i = 0; i < N; i++) {
+        a[i] = 0;
+    }
+#pragma acc parallel loop if(use_device) copy(a[0:N])
+    for (int i = 0; i < N; i++) {
+        a[i] = i * 5;
+    }
+    for (int i = 0; i < N; i++) {
+        if (a[i] != i * 5) {
+            errs++;
+        }
+    }
+    free(a);
+    if (errs != 0) {
+        printf("FAIL with %%d errors\n", errs);
+        return 1;
+    }
+    printf("PASS\n");
+    return 0;
+}
+`, p.n, p.tag%2)
+}
+
+func accStencil(p params) string {
+	return fmt.Sprintf(`#include <stdio.h>
+#include <stdlib.h>
+#include <math.h>
+#define N %d
+
+int main()
+{
+    double *in = (double *)malloc(N * sizeof(double));
+    double *out = (double *)malloc(N * sizeof(double));
+    int errs = 0;
+    for (int i = 0; i < N; i++) {
+        in[i] = (i * %d) %% 17;
+        out[i] = 0.0;
+    }
+#pragma acc parallel loop copyin(in[0:N]) copyout(out[0:N])
+    for (int i = 1; i < N - 1; i++) {
+        out[i] = (in[i - 1] + in[i] + in[i + 1]) / 3.0;
+    }
+    for (int i = 1; i < N - 1; i++) {
+        double expect = (in[i - 1] + in[i] + in[i + 1]) / 3.0;
+        if (fabs(out[i] - expect) > 1e-9) {
+            errs++;
+        }
+    }
+    free(in);
+    free(out);
+    if (errs != 0) {
+        printf("Stencil FAILED: %%d errors\n", errs);
+        return 1;
+    }
+    printf("Stencil PASSED\n");
+    return 0;
+}
+`, p.n, 3+p.tag%7)
+}
+
+func accRoutine(p params) string {
+	return fmt.Sprintf(`#include <stdio.h>
+#include <stdlib.h>
+#define N %d
+
+#pragma acc routine seq
+int transform(int x)
+{
+    return x * x + %d;
+}
+
+int main()
+{
+    int *a = (int *)malloc(N * sizeof(int));
+    int *b = (int *)malloc(N * sizeof(int));
+    int errs = 0;
+    for (int i = 0; i < N; i++) {
+        a[i] = i %% 50;
+        b[i] = 0;
+    }
+#pragma acc parallel loop copyin(a[0:N]) copyout(b[0:N])
+    for (int i = 0; i < N; i++) {
+        b[i] = transform(a[i]);
+    }
+    for (int i = 0; i < N; i++) {
+        if (b[i] != transform(a[i])) {
+            errs++;
+        }
+    }
+    free(a);
+    free(b);
+    if (errs != 0) {
+        printf("FAIL: %%d errors\n", errs);
+        return 1;
+    }
+    printf("PASS\n");
+    return 0;
+}
+`, p.n, p.tag%10)
+}
+
+func accTile(p params) string {
+	return fmt.Sprintf(`#include <stdio.h>
+#include <math.h>
+#define N %d
+
+int main()
+{
+    double a[N][N];
+    double b[N][N];
+    int errs = 0;
+    for (int i = 0; i < N; i++) {
+        for (int j = 0; j < N; j++) {
+            a[i][j] = i * j + %d;
+            b[i][j] = 0.0;
+        }
+    }
+#pragma acc parallel loop tile(8, 8) copyin(a) copyout(b)
+    for (int i = 0; i < N; i++) {
+        for (int j = 0; j < N; j++) {
+            b[i][j] = a[i][j] * 3.0;
+        }
+    }
+    for (int i = 0; i < N; i++) {
+        for (int j = 0; j < N; j++) {
+            if (fabs(b[i][j] - a[i][j] * 3.0) > 1e-9) {
+                errs++;
+            }
+        }
+    }
+    if (errs != 0) {
+        printf("FAIL: %%d errors\n", errs);
+        return 1;
+    }
+    printf("PASS\n");
+    return 0;
+}
+`, p.m, p.tag%6)
+}
+
+func accHostData(p params) string {
+	return fmt.Sprintf(`#include <stdio.h>
+#include <stdlib.h>
+#define N %d
+
+int main()
+{
+    int *a = (int *)malloc(N * sizeof(int));
+    int total = 0;
+    for (int i = 0; i < N; i++) {
+        a[i] = 1;
+    }
+#pragma acc data copyin(a[0:N])
+    {
+#pragma acc host_data use_device(a)
+        {
+            total = a[0];
+        }
+#pragma acc parallel loop present(a[0:N]) reduction(+:total)
+        for (int i = 0; i < N; i++) {
+            total += a[i];
+        }
+    }
+    if (total != N + 1) {
+        printf("FAIL: total %%d\n", total);
+        return 1;
+    }
+    printf("PASS\n");
+    return 0;
+}
+`, p.n)
+}
+
+func accNoCreate(p params) string {
+	return fmt.Sprintf(`#include <stdio.h>
+#include <stdlib.h>
+#define N %d
+
+int main()
+{
+    int *a = (int *)malloc(N * sizeof(int));
+    int *b = (int *)malloc(N * sizeof(int));
+    int errs = 0;
+    for (int i = 0; i < N; i++) {
+        a[i] = i;
+        b[i] = 0;
+    }
+#pragma acc data copyin(a[0:N]) no_create(b[0:N])
+    {
+#pragma acc parallel loop present(a[0:N])
+        for (int i = 0; i < N; i++) {
+            b[i] = a[i] + 7;
+        }
+    }
+    for (int i = 0; i < N; i++) {
+        if (b[i] != a[i] + 7) {
+            errs++;
+        }
+    }
+    free(a);
+    free(b);
+    if (errs != 0) {
+        printf("FAIL: %%d errors\n", errs);
+        return 1;
+    }
+    printf("PASS\n");
+    return 0;
+}
+`, p.n)
+}
+
+func accSetDirective(p params) string {
+	return fmt.Sprintf(`#include <stdio.h>
+#include <stdlib.h>
+#define N %d
+
+int main()
+{
+#pragma acc set device_num(0)
+    int *a = (int *)malloc(N * sizeof(int));
+    int errs = 0;
+    for (int i = 0; i < N; i++) {
+        a[i] = 0;
+    }
+#pragma acc parallel loop copy(a[0:N])
+    for (int i = 0; i < N; i++) {
+        a[i] = i + %d;
+    }
+    for (int i = 0; i < N; i++) {
+        if (a[i] != i + %d) {
+            errs++;
+        }
+    }
+    free(a);
+    if (errs != 0) {
+        printf("FAIL: %%d errors\n", errs);
+        return 1;
+    }
+    printf("PASS\n");
+    return 0;
+}
+`, p.n, p.tag%9, p.tag%9)
+}

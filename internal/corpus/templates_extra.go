@@ -1,0 +1,335 @@
+package corpus
+
+import "fmt"
+
+// Additional feature templates beyond the core battery, registered in
+// registerExtraTemplates (called from an init so the template tables
+// stay declarative). They broaden corpus coverage to asynchronous
+// OpenACC execution, self-updates, multi-region data reuse, OpenMP
+// work-shared sections, tasking, and the block form of target teams.
+
+func init() {
+	accTemplates = append(accTemplates,
+		template{id: "async_wait", gen: accAsyncWait},
+		template{id: "update_self", gen: accUpdateSelf},
+		template{id: "multi_region_data", gen: accMultiRegion},
+		template{id: "jacobi_sweeps", gen: accJacobi},
+	)
+	ompTemplates = append(ompTemplates,
+		template{id: "sections_split", gen: ompSections},
+		template{id: "task_single", gen: ompTaskSingle},
+		template{id: "target_teams_block", gen: ompTargetTeamsBlock},
+	)
+}
+
+func accAsyncWait(p params) string {
+	return fmt.Sprintf(`#include <stdio.h>
+#include <stdlib.h>
+#define N %d
+
+int main()
+{
+    int *a = (int *)malloc(N * sizeof(int));
+    int *b = (int *)malloc(N * sizeof(int));
+    int errs = 0;
+    for (int i = 0; i < N; i++) {
+        a[i] = i + %d;
+        b[i] = 0;
+    }
+#pragma acc parallel loop async(1) copyin(a[0:N]) copyout(b[0:N])
+    for (int i = 0; i < N; i++) {
+        b[i] = a[i] * 4;
+    }
+#pragma acc wait
+    for (int i = 0; i < N; i++) {
+        if (b[i] != a[i] * 4) {
+            errs++;
+        }
+    }
+    free(a);
+    free(b);
+    if (errs != 0) {
+        printf("FAIL: %%d errors after wait\n", errs);
+        return 1;
+    }
+    printf("PASS\n");
+    return 0;
+}
+`, p.n, p.tag%6)
+}
+
+func accUpdateSelf(p params) string {
+	return fmt.Sprintf(`#include <stdio.h>
+#include <stdlib.h>
+#define N %d
+
+int main()
+{
+    double *v = (double *)malloc(N * sizeof(double));
+    int errs = 0;
+    for (int i = 0; i < N; i++) {
+        v[i] = i * 0.25;
+    }
+#pragma acc enter data copyin(v[0:N])
+#pragma acc parallel loop present(v[0:N])
+    for (int i = 0; i < N; i++) {
+        v[i] = v[i] + 10.0;
+    }
+#pragma acc update self(v[0:N])
+    for (int i = 0; i < N; i++) {
+        if (v[i] != i * 0.25 + 10.0) {
+            errs++;
+        }
+    }
+#pragma acc exit data delete(v)
+    free(v);
+    if (errs != 0) {
+        printf("FAIL: %%d stale values\n", errs);
+        return 1;
+    }
+    printf("PASS\n");
+    return 0;
+}
+`, p.n)
+}
+
+func accMultiRegion(p params) string {
+	return fmt.Sprintf(`#include <stdio.h>
+#include <stdlib.h>
+#define N %d
+
+int main()
+{
+    int *data = (int *)malloc(N * sizeof(int));
+    long total = 0;
+    long expect = 0;
+    for (int i = 0; i < N; i++) {
+        data[i] = i %% %d;
+    }
+#pragma acc data copy(data[0:N])
+    {
+#pragma acc parallel loop present(data[0:N])
+        for (int i = 0; i < N; i++) {
+            data[i] = data[i] * 2;
+        }
+#pragma acc parallel loop present(data[0:N])
+        for (int i = 0; i < N; i++) {
+            data[i] = data[i] + 1;
+        }
+#pragma acc parallel loop present(data[0:N]) reduction(+:total)
+        for (int i = 0; i < N; i++) {
+            total += data[i];
+        }
+    }
+    for (int i = 0; i < N; i++) {
+        expect += (i %% %d) * 2 + 1;
+    }
+    free(data);
+    if (total != expect) {
+        printf("FAIL: total %%ld expected %%ld\n", total, expect);
+        return 1;
+    }
+    printf("PASS\n");
+    return 0;
+}
+`, p.n, 3+p.tag%9, 3+p.tag%9)
+}
+
+func accJacobi(p params) string {
+	return fmt.Sprintf(`#include <stdio.h>
+#include <stdlib.h>
+#include <math.h>
+#define N %d
+#define SWEEPS %d
+
+int main()
+{
+    double *cur = (double *)malloc(N * sizeof(double));
+    double *next = (double *)malloc(N * sizeof(double));
+    double *ref = (double *)malloc(N * sizeof(double));
+    int errs = 0;
+    for (int i = 0; i < N; i++) {
+        cur[i] = (i %% 7) * 1.0;
+        next[i] = cur[i];
+        ref[i] = cur[i];
+    }
+#pragma acc data copy(cur[0:N]) create(next[0:N])
+    {
+        for (int s = 0; s < SWEEPS; s++) {
+#pragma acc parallel loop present(cur[0:N], next[0:N])
+            for (int i = 1; i < N - 1; i++) {
+                next[i] = (cur[i - 1] + cur[i + 1]) / 2.0;
+            }
+#pragma acc parallel loop present(cur[0:N], next[0:N])
+            for (int i = 1; i < N - 1; i++) {
+                cur[i] = next[i];
+            }
+        }
+    }
+    double *rnext = (double *)malloc(N * sizeof(double));
+    for (int i = 0; i < N; i++) {
+        rnext[i] = ref[i];
+    }
+    for (int s = 0; s < SWEEPS; s++) {
+        for (int i = 1; i < N - 1; i++) {
+            rnext[i] = (ref[i - 1] + ref[i + 1]) / 2.0;
+        }
+        for (int i = 1; i < N - 1; i++) {
+            ref[i] = rnext[i];
+        }
+    }
+    for (int i = 0; i < N; i++) {
+        if (fabs(cur[i] - ref[i]) > 1e-9) {
+            errs++;
+        }
+    }
+    free(cur);
+    free(next);
+    free(ref);
+    free(rnext);
+    if (errs != 0) {
+        printf("FAIL: %%d points diverged\n", errs);
+        return 1;
+    }
+    printf("PASS\n");
+    return 0;
+}
+`, p.n, 2+p.tag%4)
+}
+
+func ompSections(p params) string {
+	// Section bodies perform idempotent writes, so the simulation's
+	// per-worker inline execution of sections matches the standard's
+	// once-per-section semantics observably.
+	return fmt.Sprintf(`#include <stdio.h>
+#include <stdlib.h>
+#define N %d
+
+int main()
+{
+    int *a = (int *)malloc(N * sizeof(int));
+    int errs = 0;
+    for (int i = 0; i < N; i++) {
+        a[i] = 0;
+    }
+#pragma omp parallel num_threads(%d)
+    {
+#pragma omp sections
+        {
+#pragma omp section
+            {
+                for (int i = 0; i < N / 2; i++) {
+                    a[i] = i * 2;
+                }
+            }
+#pragma omp section
+            {
+                for (int i = N / 2; i < N; i++) {
+                    a[i] = i * 3;
+                }
+            }
+        }
+    }
+    for (int i = 0; i < N / 2; i++) {
+        if (a[i] != i * 2) {
+            errs++;
+        }
+    }
+    for (int i = N / 2; i < N; i++) {
+        if (a[i] != i * 3) {
+            errs++;
+        }
+    }
+    free(a);
+    int status = 1;
+    if (errs != 0) {
+        printf("FAIL: %%d wrong entries\n", errs);
+    }
+    if (errs == 0) {
+        printf("PASS\n");
+        status = 0;
+    }
+    return status;
+}
+`, p.n, 2+p.tag%3)
+}
+
+func ompTaskSingle(p params) string {
+	return fmt.Sprintf(`#include <stdio.h>
+#define N %d
+
+int main()
+{
+    int results[N];
+    int errs = 0;
+    for (int i = 0; i < N; i++) {
+        results[i] = 0;
+    }
+#pragma omp parallel num_threads(%d)
+    {
+#pragma omp single
+        {
+            for (int i = 0; i < N; i++) {
+#pragma omp task firstprivate(i)
+                {
+                    results[i] = i * i;
+                }
+            }
+#pragma omp taskwait
+        }
+    }
+    for (int i = 0; i < N; i++) {
+        if (results[i] != i * i) {
+            errs++;
+        }
+    }
+    int status = 1;
+    if (errs != 0) {
+        printf("FAIL: %%d tasks wrong\n", errs);
+    }
+    if (errs == 0) {
+        printf("PASS\n");
+        status = 0;
+    }
+    return status;
+}
+`, p.m*4, 2+p.tag%4)
+}
+
+func ompTargetTeamsBlock(p params) string {
+	return fmt.Sprintf(`#include <stdio.h>
+#include <stdlib.h>
+#define N %d
+
+int main()
+{
+    int *a = (int *)malloc(N * sizeof(int));
+    int errs = 0;
+    for (int i = 0; i < N; i++) {
+        a[i] = -1;
+    }
+#pragma omp target teams map(tofrom: a[0:N])
+    {
+#pragma omp distribute
+        for (int i = 0; i < N; i++) {
+            a[i] = i + %d;
+        }
+    }
+    for (int i = 0; i < N; i++) {
+        if (a[i] != i + %d) {
+            errs++;
+        }
+    }
+    free(a);
+    int status = 1;
+    if (errs != 0) {
+        printf("FAIL: %%d errors\n", errs);
+    }
+    if (errs == 0) {
+        printf("PASS\n");
+        status = 0;
+    }
+    return status;
+}
+`, p.n, 2+p.tag%8, 2+p.tag%8)
+}

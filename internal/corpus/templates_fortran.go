@@ -1,0 +1,149 @@
+package corpus
+
+import "fmt"
+
+// Fortran renderings of selected OpenACC templates. The paper's
+// Part-One OpenACC suite mixes C, C++ and a small set of Fortran
+// files; these cover that set.
+
+func accVecAddF90(p params) string {
+	return fmt.Sprintf(`program vecadd
+    use openacc
+    implicit none
+    integer, parameter :: n = %d
+    integer :: i, errs
+    real(8) :: a(n), b(n), c(n)
+
+    do i = 1, n
+        a(i) = i * 0.5 + %d
+        b(i) = i * 2.0
+        c(i) = 0.0
+    end do
+
+    !$acc parallel loop copyin(a, b) copyout(c)
+    do i = 1, n
+        c(i) = a(i) + b(i)
+    end do
+
+    errs = 0
+    do i = 1, n
+        if (abs(c(i) - (a(i) + b(i))) > 1e-9) then
+            errs = errs + 1
+        end if
+    end do
+
+    if (errs /= 0) then
+        print *, "Test failed with errors:", errs
+        stop 1
+    end if
+    print *, "Test passed"
+end program vecadd
+`, p.n, p.tag%7)
+}
+
+func accSaxpyF90(p params) string {
+	return fmt.Sprintf(`program saxpy
+    use openacc
+    implicit none
+    integer, parameter :: n = %d
+    integer :: i, errs
+    real(8) :: x(n), y(n), ref(n), alpha
+
+    alpha = %d.5
+    do i = 1, n
+        x(i) = i * 0.25
+        y(i) = n - i
+        ref(i) = alpha * x(i) + y(i)
+    end do
+
+    !$acc parallel loop copyin(x) copy(y)
+    do i = 1, n
+        y(i) = alpha * x(i) + y(i)
+    end do
+
+    errs = 0
+    do i = 1, n
+        if (abs(y(i) - ref(i)) > 1e-9) then
+            errs = errs + 1
+        end if
+    end do
+
+    if (errs /= 0) then
+        print *, "FAIL:", errs
+        stop 1
+    end if
+    print *, "PASS"
+end program saxpy
+`, p.n, p.tag%5)
+}
+
+func accReductionSumF90(p params) string {
+	return fmt.Sprintf(`program redsum
+    use openacc
+    implicit none
+    integer, parameter :: n = %d
+    integer :: i
+    integer(8) :: total, expect
+    integer :: a(n)
+
+    expect = 0
+    do i = 1, n
+        a(i) = mod(i * %d, 97)
+        expect = expect + a(i)
+    end do
+
+    total = 0
+    !$acc parallel loop copyin(a) reduction(+:total)
+    do i = 1, n
+        total = total + a(i)
+    end do
+
+    if (total /= expect) then
+        print *, "FAIL: total", total, "expected", expect
+        stop 1
+    end if
+    print *, "PASS"
+end program redsum
+`, p.n, 3+p.tag%11)
+}
+
+func accDataRegionF90(p params) string {
+	return fmt.Sprintf(`program dataregion
+    use openacc
+    implicit none
+    integer, parameter :: n = %d
+    integer :: i, errs
+    integer :: a(n), b(n), c(n)
+
+    do i = 1, n
+        a(i) = i + %d
+        b(i) = 0
+        c(i) = 0
+    end do
+
+    !$acc data copyin(a) create(b) copyout(c)
+    !$acc parallel loop present(a, b)
+    do i = 1, n
+        b(i) = a(i) * 2
+    end do
+    !$acc parallel loop present(b, c)
+    do i = 1, n
+        c(i) = b(i) + 1
+    end do
+    !$acc end data
+
+    errs = 0
+    do i = 1, n
+        if (c(i) /= a(i) * 2 + 1) then
+            errs = errs + 1
+        end if
+    end do
+
+    if (errs /= 0) then
+        print *, "Test failed:", errs
+        stop 1
+    end if
+    print *, "Test passed"
+end program dataregion
+`, p.n, p.tag%9)
+}

@@ -1,0 +1,544 @@
+package corpus
+
+import "fmt"
+
+// ompTemplates is the OpenMP battery, restricted to OpenMP <= 4.5
+// features as the paper's Part-Two suite is.
+var ompTemplates = []template{
+	{id: "target_ttdpf_map", gen: ompTargetTTDPF},
+	{id: "target_data_region", gen: ompTargetData},
+	{id: "target_enter_exit", gen: ompTargetEnterExit},
+	{id: "parallel_for_reduction", gen: ompParallelForReduction},
+	{id: "atomic_counter", gen: ompAtomicCounter},
+	{id: "critical_accumulate", gen: ompCritical},
+	{id: "parallel_for_simd", gen: ompParallelForSimd},
+	{id: "target_saxpy", gen: ompTargetSaxpy},
+	{id: "collapse_matmul_target", gen: ompCollapseMatmul},
+	{id: "single_region", gen: ompSingle},
+	{id: "private_clauses", gen: ompPrivate},
+	{id: "dot_product_target", gen: ompDotProduct},
+	{id: "target_parallel_for", gen: ompTargetParallelFor},
+	{id: "exact_float_compare", gen: ompExactFloat, brittle: true},
+}
+
+func ompTargetTTDPF(p params) string {
+	return fmt.Sprintf(`#include <stdio.h>
+#include <stdlib.h>
+#define N %d
+
+int main()
+{
+    int *a = (int *)malloc(N * sizeof(int));
+    int *b = (int *)malloc(N * sizeof(int));
+    int errs = 0;
+    for (int i = 0; i < N; i++) {
+        a[i] = i + %d;
+        b[i] = 0;
+    }
+#pragma omp target teams distribute parallel for map(to: a[0:N]) map(from: b[0:N])
+    for (int i = 0; i < N; i++) {
+        b[i] = a[i] * 2;
+    }
+    for (int i = 0; i < N; i++) {
+        if (b[i] != a[i] * 2) {
+            errs++;
+        }
+    }
+    free(a);
+    free(b);
+    int status = 1;
+    if (errs != 0) {
+        printf("Test failed with %%d errors\n", errs);
+    }
+    if (!(errs != 0)) {
+        printf("Test passed\n");
+        status = 0;
+    }
+    return status;
+}
+`, p.n, p.tag%7)
+}
+
+func ompTargetData(p params) string {
+	return fmt.Sprintf(`#include <stdio.h>
+#include <stdlib.h>
+#define N %d
+
+int main()
+{
+    int *a = (int *)malloc(N * sizeof(int));
+    int *b = (int *)malloc(N * sizeof(int));
+    int errs = 0;
+    for (int i = 0; i < N; i++) {
+        a[i] = i;
+        b[i] = 0;
+    }
+#pragma omp target data map(to: a[0:N]) map(from: b[0:N])
+    {
+#pragma omp target teams distribute parallel for
+        for (int i = 0; i < N; i++) {
+            b[i] = a[i] + %d;
+        }
+    }
+    for (int i = 0; i < N; i++) {
+        if (b[i] != a[i] + %d) {
+            errs++;
+        }
+    }
+    free(a);
+    free(b);
+    int status = 1;
+    if (errs != 0) {
+        printf("FAIL: %%d errors\n", errs);
+    }
+    if (!(errs != 0)) {
+        printf("PASS\n");
+        status = 0;
+    }
+    return status;
+}
+`, p.n, 1+p.tag%9, 1+p.tag%9)
+}
+
+func ompTargetEnterExit(p params) string {
+	return fmt.Sprintf(`#include <stdio.h>
+#include <stdlib.h>
+#define N %d
+
+int main()
+{
+    double *a = (double *)malloc(N * sizeof(double));
+    int errs = 0;
+    for (int i = 0; i < N; i++) {
+        a[i] = i * 0.5;
+    }
+#pragma omp target enter data map(to: a[0:N])
+#pragma omp target teams distribute parallel for
+    for (int i = 0; i < N; i++) {
+        a[i] = a[i] * 4.0;
+    }
+#pragma omp target update from(a[0:N])
+    for (int i = 0; i < N; i++) {
+        if (a[i] != i * 2.0) {
+            errs++;
+        }
+    }
+#pragma omp target exit data map(delete: a[0:N])
+    free(a);
+    int status = 1;
+    if (errs != 0) {
+        printf("FAIL: %%d errors\n", errs);
+    }
+    if (!(errs != 0)) {
+        printf("PASS\n");
+        status = 0;
+    }
+    return status;
+}
+`, p.n)
+}
+
+func ompParallelForReduction(p params) string {
+	return fmt.Sprintf(`#include <stdio.h>
+#include <stdlib.h>
+#define N %d
+
+int main()
+{
+    int *a = (int *)malloc(N * sizeof(int));
+    long total = 0;
+    long expect = 0;
+    for (int i = 0; i < N; i++) {
+        a[i] = (i * %d) %% 101;
+        expect += a[i];
+    }
+#pragma omp parallel for reduction(+:total)
+    for (int i = 0; i < N; i++) {
+        total += a[i];
+    }
+    free(a);
+    int status = 1;
+    if (total != expect) {
+        printf("FAIL: total %%ld expected %%ld\n", total, expect);
+    }
+    if (!(total != expect)) {
+        printf("PASS\n");
+        status = 0;
+    }
+    return status;
+}
+`, p.n, 5+p.tag%11)
+}
+
+func ompAtomicCounter(p params) string {
+	return fmt.Sprintf(`#include <stdio.h>
+#include <stdlib.h>
+#define N %d
+
+int main()
+{
+    int *flags = (int *)malloc(N * sizeof(int));
+    int count = 0;
+    int expect = 0;
+    for (int i = 0; i < N; i++) {
+        flags[i] = (i %% 3) == 0;
+        if (flags[i]) {
+            expect++;
+        }
+    }
+#pragma omp parallel for
+    for (int i = 0; i < N; i++) {
+        if (flags[i]) {
+#pragma omp atomic
+            count += 1;
+        }
+    }
+    free(flags);
+    int status = 1;
+    if (count != expect) {
+        printf("FAIL: count %%d expected %%d\n", count, expect);
+    }
+    if (!(count != expect)) {
+        printf("PASS\n");
+        status = 0;
+    }
+    return status;
+}
+`, p.n)
+}
+
+func ompCritical(p params) string {
+	return fmt.Sprintf(`#include <stdio.h>
+#include <math.h>
+
+int main()
+{
+    double total = 0.0;
+    int width = 0;
+#pragma omp parallel num_threads(%d)
+    {
+#pragma omp single
+        {
+            width = omp_get_num_threads();
+        }
+#pragma omp critical
+        {
+            total = total + 1.5;
+        }
+    }
+    if (fabs(total - 1.5 * width) > 1e-9) {
+        printf("FAIL: total %%f width %%d\n", total, width);
+        return 1;
+    }
+    printf("PASS\n");
+    return 0;
+}
+`, 2+p.tag%4)
+}
+
+func ompParallelForSimd(p params) string {
+	return fmt.Sprintf(`#include <stdio.h>
+#include <stdlib.h>
+#include <math.h>
+#define N %d
+
+int main()
+{
+    double *x = (double *)malloc(N * sizeof(double));
+    double *y = (double *)malloc(N * sizeof(double));
+    int errs = 0;
+    for (int i = 0; i < N; i++) {
+        x[i] = i * 0.125;
+        y[i] = 0.0;
+    }
+#pragma omp parallel for simd
+    for (int i = 0; i < N; i++) {
+        y[i] = x[i] * x[i] + 1.0;
+    }
+    for (int i = 0; i < N; i++) {
+        if (fabs(y[i] - (x[i] * x[i] + 1.0)) > 1e-9) {
+            errs++;
+        }
+    }
+    free(x);
+    free(y);
+    int status = 1;
+    if (errs != 0) {
+        printf("FAIL: %%d errors\n", errs);
+    }
+    if (!(errs != 0)) {
+        printf("PASS\n");
+        status = 0;
+    }
+    return status;
+}
+`, p.n)
+}
+
+func ompTargetSaxpy(p params) string {
+	return fmt.Sprintf(`#include <stdio.h>
+#include <stdlib.h>
+#include <math.h>
+#define N %d
+
+int main()
+{
+    double *x = (double *)malloc(N * sizeof(double));
+    double *y = (double *)malloc(N * sizeof(double));
+    double *ref = (double *)malloc(N * sizeof(double));
+    double alpha = %d.5;
+    int errs = 0;
+    for (int i = 0; i < N; i++) {
+        x[i] = i * 0.5;
+        y[i] = N - i;
+        ref[i] = alpha * x[i] + y[i];
+    }
+#pragma omp target teams distribute parallel for map(to: x[0:N]) map(tofrom: y[0:N])
+    for (int i = 0; i < N; i++) {
+        y[i] = alpha * x[i] + y[i];
+    }
+    for (int i = 0; i < N; i++) {
+        if (fabs(y[i] - ref[i]) > 1e-9) {
+            errs++;
+        }
+    }
+    free(x);
+    free(y);
+    free(ref);
+    int status = 1;
+    if (errs != 0) {
+        printf("FAIL: %%d mismatches\n", errs);
+    }
+    if (!(errs != 0)) {
+        printf("PASS\n");
+        status = 0;
+    }
+    return status;
+}
+`, p.n, p.tag%5)
+}
+
+func ompCollapseMatmul(p params) string {
+	return fmt.Sprintf(`#include <stdio.h>
+#include <math.h>
+#define N %d
+
+int main()
+{
+    double a[N][N];
+    double b[N][N];
+    double c[N][N];
+    int errs = 0;
+    for (int i = 0; i < N; i++) {
+        for (int j = 0; j < N; j++) {
+            a[i][j] = i + j;
+            b[i][j] = i - j + %d;
+            c[i][j] = 0.0;
+        }
+    }
+#pragma omp target teams distribute parallel for collapse(2) map(to: a, b) map(from: c)
+    for (int i = 0; i < N; i++) {
+        for (int j = 0; j < N; j++) {
+            double s = 0.0;
+            for (int k = 0; k < N; k++) {
+                s += a[i][k] * b[k][j];
+            }
+            c[i][j] = s;
+        }
+    }
+    for (int i = 0; i < N; i++) {
+        for (int j = 0; j < N; j++) {
+            double expect = 0.0;
+            for (int k = 0; k < N; k++) {
+                expect += a[i][k] * b[k][j];
+            }
+            if (fabs(c[i][j] - expect) > 1e-6) {
+                errs++;
+            }
+        }
+    }
+    int status = 1;
+    if (errs != 0) {
+        printf("FAIL: %%d elements wrong\n", errs);
+    }
+    if (!(errs != 0)) {
+        printf("PASS\n");
+        status = 0;
+    }
+    return status;
+}
+`, p.m, p.tag%4)
+}
+
+func ompSingle(p params) string {
+	return fmt.Sprintf(`#include <stdio.h>
+
+int main()
+{
+    int width = 0;
+    int visits = 0;
+#pragma omp parallel num_threads(%d)
+    {
+#pragma omp single
+        {
+            width = omp_get_num_threads();
+            visits = visits + 1;
+        }
+    }
+    if (width < 1 || visits != 1) {
+        printf("FAIL: width %%d visits %%d\n", width, visits);
+        return 1;
+    }
+    printf("PASS\n");
+    return 0;
+}
+`, 2+p.tag%6)
+}
+
+func ompPrivate(p params) string {
+	return fmt.Sprintf(`#include <stdio.h>
+#include <stdlib.h>
+#define N %d
+
+int main()
+{
+    int *a = (int *)malloc(N * sizeof(int));
+    int t = 0;
+    int offset = %d;
+    int errs = 0;
+    for (int i = 0; i < N; i++) {
+        a[i] = 0;
+    }
+#pragma omp parallel for private(t) firstprivate(offset)
+    for (int i = 0; i < N; i++) {
+        t = i * 2 + offset;
+        a[i] = t;
+    }
+    for (int i = 0; i < N; i++) {
+        if (a[i] != i * 2 + offset) {
+            errs++;
+        }
+    }
+    free(a);
+    int status = 1;
+    if (errs != 0) {
+        printf("FAIL: %%d errors\n", errs);
+    }
+    if (!(errs != 0)) {
+        printf("PASS\n");
+        status = 0;
+    }
+    return status;
+}
+`, p.n, 3+p.tag%5)
+}
+
+func ompDotProduct(p params) string {
+	return fmt.Sprintf(`#include <stdio.h>
+#include <stdlib.h>
+#include <math.h>
+#define N %d
+
+int main()
+{
+    double *x = (double *)malloc(N * sizeof(double));
+    double *y = (double *)malloc(N * sizeof(double));
+    double dot = 0.0;
+    double expect = 0.0;
+    for (int i = 0; i < N; i++) {
+        x[i] = i %% 13;
+        y[i] = (N - i) %% 7;
+        expect += x[i] * y[i];
+    }
+#pragma omp target teams distribute parallel for map(to: x[0:N], y[0:N]) reduction(+:dot)
+    for (int i = 0; i < N; i++) {
+        dot += x[i] * y[i];
+    }
+    free(x);
+    free(y);
+    int status = 1;
+    if (fabs(dot - expect) > 1e-6) {
+        printf("FAIL: dot %%f expected %%f\n", dot, expect);
+    }
+    if (!(fabs(dot - expect) > 1e-6)) {
+        printf("PASS\n");
+        status = 0;
+    }
+    return status;
+}
+`, p.n)
+}
+
+func ompTargetParallelFor(p params) string {
+	return fmt.Sprintf(`#include <stdio.h>
+#include <stdlib.h>
+#define N %d
+
+int main()
+{
+    int *a = (int *)malloc(N * sizeof(int));
+    int errs = 0;
+    for (int i = 0; i < N; i++) {
+        a[i] = -1;
+    }
+#pragma omp target parallel for map(tofrom: a[0:N])
+    for (int i = 0; i < N; i++) {
+        a[i] = i %% %d;
+    }
+    for (int i = 0; i < N; i++) {
+        if (a[i] != i %% %d) {
+            errs++;
+        }
+    }
+    free(a);
+    int status = 1;
+    if (errs != 0) {
+        printf("FAIL: %%d errors\n", errs);
+    }
+    if (!(errs != 0)) {
+        printf("PASS\n");
+        status = 0;
+    }
+    return status;
+}
+`, p.n, 3+p.tag%9, 3+p.tag%9)
+}
+
+// ompExactFloat is the brittle template: it compares a parallel
+// floating-point reduction against a serial sum with an unreasonably
+// tight tolerance, so reduction reordering can legitimately fail it.
+// The paper's valid suites contain a small number of such
+// environment-sensitive tests; they are what makes the OpenMP
+// pipeline's valid-recognition fractionally lower than the judge's.
+func ompExactFloat(p params) string {
+	return fmt.Sprintf(`#include <stdio.h>
+#include <stdlib.h>
+#include <math.h>
+#define N %d
+
+int main()
+{
+    double *a = (double *)malloc(N * sizeof(double));
+    double sum = 0.0;
+    double expect = 0.0;
+    for (int i = 0; i < N; i++) {
+        a[i] = 0.1 * i + 0.01;
+        expect += a[i];
+    }
+#pragma omp parallel for reduction(+:sum)
+    for (int i = 0; i < N; i++) {
+        sum += a[i];
+    }
+    free(a);
+    int status = 1;
+    if (fabs(sum - expect) > 1e-15) {
+        printf("FAIL: sum %%.17g expected %%.17g\n", sum, expect);
+    }
+    if (!(fabs(sum - expect) > 1e-15)) {
+        printf("PASS\n");
+        status = 0;
+    }
+    return status;
+}
+`, p.n)
+}

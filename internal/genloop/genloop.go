@@ -1,0 +1,192 @@
+// Package genloop implements the paper's future-work direction (§VI):
+// automating compiler-test *generation* by pairing an LLM author with
+// the validation pipeline as the acceptance filter. A candidate test
+// is requested from the model for each target feature; the pipeline
+// compiles, executes, and judges it; rejected candidates are
+// regenerated up to a retry budget.
+//
+// Because the simulated author discloses its ground truth (whether a
+// candidate carries a defect), the loop can also score the filter
+// itself: how many defective candidates were admitted into the suite
+// (false accepts) and how many sound candidates were wasted (false
+// rejects) — the quantities that decide whether an auto-generated V&V
+// suite can be trusted.
+package genloop
+
+import (
+	"fmt"
+
+	"repro/internal/agent"
+	"repro/internal/corpus"
+	"repro/internal/judge"
+	"repro/internal/model"
+	"repro/internal/spec"
+	"repro/internal/testlang"
+)
+
+// Config controls one generation campaign.
+type Config struct {
+	Dialect spec.Dialect
+	// Features lists the corpus template ids to request tests for;
+	// empty means every supported feature of the dialect.
+	Features []string
+	// PerFeature is the number of accepted tests wanted per feature.
+	PerFeature int
+	// MaxAttempts bounds generation attempts per wanted test.
+	MaxAttempts int
+	// ModelSeed seeds the author+judge model.
+	ModelSeed uint64
+	// JudgeStyle selects the pipeline's judge prompt (default
+	// AgentDirect, the paper's stronger overall configuration).
+	JudgeStyle judge.Style
+}
+
+// Candidate records one generated test and its journey through the
+// filter.
+type Candidate struct {
+	Feature string
+	Name    string
+	Source  string
+	// Defect is the author's ground-truth label ("" = sound).
+	Defect string
+	// Stage outcomes.
+	CompileOK bool
+	RunOK     bool
+	Verdict   judge.Verdict
+	Accepted  bool
+}
+
+// Result is the outcome of a campaign.
+type Result struct {
+	Candidates []Candidate
+	// Accepted tests, in acceptance order.
+	Accepted []Candidate
+	// Filter-quality counters.
+	SoundGenerated     int
+	DefectiveGenerated int
+	SoundAccepted      int
+	DefectiveAccepted  int
+	SoundRejected      int
+	DefectiveRejected  int
+}
+
+// AcceptancePrecision is the fraction of accepted tests that are
+// sound — the trustworthiness of the generated suite.
+func (r *Result) AcceptancePrecision() float64 {
+	total := r.SoundAccepted + r.DefectiveAccepted
+	if total == 0 {
+		return 0
+	}
+	return float64(r.SoundAccepted) / float64(total)
+}
+
+// DefectCatchRate is the fraction of defective candidates the filter
+// rejected.
+func (r *Result) DefectCatchRate() float64 {
+	total := r.DefectiveAccepted + r.DefectiveRejected
+	if total == 0 {
+		return 0
+	}
+	return float64(r.DefectiveRejected) / float64(total)
+}
+
+// SoundYield is the fraction of sound candidates that survived the
+// filter (1 - false-reject rate).
+func (r *Result) SoundYield() float64 {
+	total := r.SoundAccepted + r.SoundRejected
+	if total == 0 {
+		return 0
+	}
+	return float64(r.SoundAccepted) / float64(total)
+}
+
+// RawSoundRate is the author's unfiltered quality: sound candidates
+// over all candidates.
+func (r *Result) RawSoundRate() float64 {
+	if len(r.Candidates) == 0 {
+		return 0
+	}
+	return float64(r.SoundGenerated) / float64(len(r.Candidates))
+}
+
+// Run executes a generation campaign.
+func Run(cfg Config) *Result {
+	if cfg.PerFeature <= 0 {
+		cfg.PerFeature = 1
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 4
+	}
+	features := cfg.Features
+	if len(features) == 0 {
+		features = SupportedFeatures(cfg.Dialect)
+	}
+	author := model.New(cfg.ModelSeed)
+	tools := agent.NewTools(cfg.Dialect)
+	jd := &judge.Judge{LLM: author, Style: cfg.JudgeStyle, Dialect: cfg.Dialect}
+
+	res := &Result{}
+	nonce := 0
+	for _, feature := range features {
+		for k := 0; k < cfg.PerFeature; k++ {
+			for attempt := 0; attempt < cfg.MaxAttempts; attempt++ {
+				nonce++
+				prompt := model.GenerationPrompt(cfg.Dialect, feature, nonce)
+				code, defect := author.GenerateTest(prompt)
+				cand := Candidate{
+					Feature: feature,
+					Name:    fmt.Sprintf("gen_%s_%04d.c", feature, nonce),
+					Source:  code,
+					Defect:  defect,
+				}
+				if defect == "" {
+					res.SoundGenerated++
+				} else {
+					res.DefectiveGenerated++
+				}
+
+				// Validation pipeline with short-circuiting: the filter
+				// a production generation loop would run.
+				outcome := tools.Gather(cand.Name, cand.Source, testlang.LangC)
+				cand.CompileOK = outcome.CompilePassed()
+				if cand.CompileOK {
+					cand.RunOK = outcome.RunPassed()
+					if cand.RunOK {
+						ev := jd.Evaluate(cand.Source, &outcome.Info)
+						cand.Verdict = ev.Verdict
+						cand.Accepted = ev.Verdict == judge.Valid
+					}
+				}
+				res.Candidates = append(res.Candidates, cand)
+
+				if cand.Accepted {
+					if defect == "" {
+						res.SoundAccepted++
+					} else {
+						res.DefectiveAccepted++
+					}
+					res.Accepted = append(res.Accepted, cand)
+					break
+				}
+				if defect == "" {
+					res.SoundRejected++
+				} else {
+					res.DefectiveRejected++
+				}
+			}
+		}
+	}
+	return res
+}
+
+// SupportedFeatures lists the features the campaign can target: every
+// corpus template the dialect's toolchain supports.
+func SupportedFeatures(d spec.Dialect) []string {
+	var out []string
+	for _, id := range corpus.TemplateIDs(d) {
+		if !corpus.TemplateUnsupported(d, id) {
+			out = append(out, id)
+		}
+	}
+	return out
+}

@@ -1,0 +1,139 @@
+package genloop
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/judge"
+	"repro/internal/model"
+	"repro/internal/spec"
+)
+
+func runCampaign(t *testing.T, d spec.Dialect) *Result {
+	t.Helper()
+	return Run(Config{
+		Dialect:     d,
+		PerFeature:  2,
+		MaxAttempts: 3,
+		ModelSeed:   33,
+		JudgeStyle:  judge.AgentDirect,
+	})
+}
+
+func TestCampaignProducesAcceptedTests(t *testing.T) {
+	r := runCampaign(t, spec.OpenACC)
+	if len(r.Accepted) == 0 {
+		t.Fatal("campaign accepted nothing")
+	}
+	features := map[string]bool{}
+	for _, c := range r.Accepted {
+		features[c.Feature] = true
+		if !c.CompileOK || !c.RunOK || c.Verdict != judge.Valid {
+			t.Errorf("accepted candidate %s did not pass all stages: %+v", c.Name, c)
+		}
+	}
+	if len(features) < len(SupportedFeatures(spec.OpenACC))/2 {
+		t.Errorf("only %d features covered", len(features))
+	}
+}
+
+func TestFilterImprovesSoundness(t *testing.T) {
+	// The core claim of the extension: the pipeline filter makes the
+	// accepted suite much sounder than the raw generation stream.
+	for _, d := range []spec.Dialect{spec.OpenACC, spec.OpenMP} {
+		r := runCampaign(t, d)
+		raw := r.RawSoundRate()
+		filtered := r.AcceptancePrecision()
+		t.Logf("%v: raw sound %.2f -> accepted precision %.2f (catch rate %.2f, yield %.2f)",
+			d, raw, filtered, r.DefectCatchRate(), r.SoundYield())
+		if raw > 0.75 {
+			t.Errorf("%v: raw generation too clean (%.2f); author calibration drifted", d, raw)
+		}
+		if filtered < raw+0.15 {
+			t.Errorf("%v: filter added too little precision: %.2f -> %.2f", d, raw, filtered)
+		}
+		if r.DefectCatchRate() < 0.6 {
+			t.Errorf("%v: defect catch rate %.2f too low", d, r.DefectCatchRate())
+		}
+		if r.SoundYield() < 0.5 {
+			t.Errorf("%v: sound yield %.2f too low (filter wastes good tests)", d, r.SoundYield())
+		}
+	}
+}
+
+func TestCampaignDeterministic(t *testing.T) {
+	a := runCampaign(t, spec.OpenMP)
+	b := runCampaign(t, spec.OpenMP)
+	if len(a.Candidates) != len(b.Candidates) {
+		t.Fatalf("candidate counts differ: %d vs %d", len(a.Candidates), len(b.Candidates))
+	}
+	for i := range a.Candidates {
+		if a.Candidates[i].Source != b.Candidates[i].Source ||
+			a.Candidates[i].Accepted != b.Candidates[i].Accepted {
+			t.Fatalf("candidate %d differs between identical runs", i)
+		}
+	}
+}
+
+func TestFeatureTargeting(t *testing.T) {
+	r := Run(Config{
+		Dialect:     spec.OpenACC,
+		Features:    []string{"reduction_sum"},
+		PerFeature:  3,
+		MaxAttempts: 4,
+		ModelSeed:   33,
+		JudgeStyle:  judge.AgentDirect,
+	})
+	for _, c := range r.Accepted {
+		if !strings.Contains(c.Source, "reduction(") {
+			t.Errorf("accepted test for reduction_sum lacks a reduction clause:\n%s", c.Source)
+		}
+	}
+	if len(r.Accepted) == 0 {
+		t.Fatal("no accepted tests for targeted feature")
+	}
+}
+
+func TestSupportedFeaturesExcludeGaps(t *testing.T) {
+	feats := SupportedFeatures(spec.OpenACC)
+	for _, f := range feats {
+		for _, bad := range []string{"tile_clause", "host_data_use_device", "no_create_clause", "set_directive"} {
+			if f == bad {
+				t.Errorf("unsupported template %q offered as a generation target", f)
+			}
+		}
+	}
+	if len(feats) < 12 {
+		t.Errorf("only %d supported OpenACC features", len(feats))
+	}
+}
+
+func TestCountersConsistent(t *testing.T) {
+	r := runCampaign(t, spec.OpenACC)
+	if r.SoundGenerated+r.DefectiveGenerated != len(r.Candidates) {
+		t.Error("generated counters do not sum to candidates")
+	}
+	if r.SoundAccepted+r.SoundRejected != r.SoundGenerated {
+		t.Error("sound counters inconsistent")
+	}
+	if r.DefectiveAccepted+r.DefectiveRejected != r.DefectiveGenerated {
+		t.Error("defective counters inconsistent")
+	}
+	if len(r.Accepted) != r.SoundAccepted+r.DefectiveAccepted {
+		t.Error("accepted list inconsistent with counters")
+	}
+}
+
+// TestGenerationThroughLLMContract verifies the generation path works
+// through the plain Complete interface (no ground-truth side channel).
+func TestGenerationThroughLLMContract(t *testing.T) {
+	m := model.New(33)
+	prompt := model.GenerationPrompt(spec.OpenMP, "target_saxpy", 1)
+	code := m.Complete(prompt)
+	if !strings.Contains(code, "#pragma omp") && !strings.Contains(code, "int main") {
+		t.Fatalf("generation response does not look like code:\n%s", code)
+	}
+	if strings.Contains(code, "FINAL JUDGEMENT") {
+		t.Fatal("generation response contains a judgement phrase")
+	}
+}

@@ -1,0 +1,208 @@
+// Package judge implements the LLM-as-a-judge harness: the three
+// prompt templates of the paper (Listings 1-4), submission of prompts
+// to an LLM endpoint, and extraction of the mandated
+// "FINAL JUDGEMENT: ..." phrase from free-text responses.
+package judge
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/spec"
+)
+
+// LLM is the endpoint contract: prompt text in, response text out.
+// internal/model provides the simulated deepseek-coder endpoint; a
+// real model client would satisfy the same interface.
+type LLM interface {
+	Complete(prompt string) string
+}
+
+// Style selects the prompt template.
+type Style int
+
+const (
+	// Direct is the Part-One prompt (Listing 3): judge the code as
+	// presented, answer correct/incorrect.
+	Direct Style = iota
+	// AgentDirect is the agent-based direct prompt (Listing 2): the
+	// criteria plus toolchain outputs, answer valid/invalid. LLMJ 1.
+	AgentDirect
+	// AgentIndirect is the describe-then-judge prompt (Listing 4).
+	// LLMJ 2.
+	AgentIndirect
+)
+
+func (s Style) String() string {
+	switch s {
+	case Direct:
+		return "direct"
+	case AgentDirect:
+		return "agent-direct"
+	case AgentIndirect:
+		return "agent-indirect"
+	default:
+		return "?"
+	}
+}
+
+// Verdict is the parsed judgement.
+type Verdict int
+
+const (
+	// Unparsable: the response did not contain the mandated phrase.
+	Unparsable Verdict = iota
+	// Valid / Invalid mirror the judgement phrases.
+	Valid
+	Invalid
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case Valid:
+		return "valid"
+	case Invalid:
+		return "invalid"
+	default:
+		return "unparsable"
+	}
+}
+
+// ToolInfo carries the toolchain outputs injected into agent prompts.
+type ToolInfo struct {
+	CompileRC     int
+	CompileStderr string
+	CompileStdout string
+	// Ran reports whether the execution stage happened (compilation
+	// succeeded).
+	Ran       bool
+	RunRC     int
+	RunStderr string
+	RunStdout string
+}
+
+// Judge binds an LLM endpoint to a prompt style and dialect.
+type Judge struct {
+	LLM     LLM
+	Style   Style
+	Dialect spec.Dialect
+}
+
+// Evaluation is the record of judging one file.
+type Evaluation struct {
+	Prompt   string
+	Response string
+	Verdict  Verdict
+}
+
+// Evaluate builds the prompt for code (with tool info for agent
+// styles), queries the LLM, and parses the verdict.
+func (j *Judge) Evaluate(code string, info *ToolInfo) Evaluation {
+	prompt := j.BuildPrompt(code, info)
+	resp := j.LLM.Complete(prompt)
+	return Evaluation{
+		Prompt:   prompt,
+		Response: resp,
+		Verdict:  ParseVerdict(resp),
+	}
+}
+
+// criteria renders the Listing-1 evaluation criteria for a dialect.
+func criteria(d spec.Dialect) string {
+	name := d.String()
+	return fmt.Sprintf(`Syntax: Ensure all %[1]s directives and pragmas are syntactically correct.
+Directive Appropriateness: Check if the right directives are used for the intended parallel computations.
+Clause Correctness: Verify that all clauses within the directives are correctly used according to %[1]s specifications.
+Memory Management: Assess the accuracy of data movement between CPU and GPU.
+Compliance: Ensure the code adheres to the latest %[1]s specifications and best practices.
+Logic: Verify that the logic of the test (e.g. performing the same computation in serial and parallel and comparing) is correct.
+`, name)
+}
+
+// toolBlock renders the toolchain-information section of agent
+// prompts.
+func toolBlock(d spec.Dialect, info *ToolInfo) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "When compiled with a compliant %s compiler, the below code causes the following outputs:\n", d)
+	fmt.Fprintf(&b, "Compiler return code: %d\n", info.CompileRC)
+	fmt.Fprintf(&b, "Compiler STDERR: %s\n", info.CompileStderr)
+	fmt.Fprintf(&b, "Compiler STDOUT: %s\n", info.CompileStdout)
+	switch {
+	case info.Ran:
+		b.WriteString("When the compiled code is run, it gives the following results:\n")
+		fmt.Fprintf(&b, "Return code: %d\n", info.RunRC)
+		fmt.Fprintf(&b, "STDERR: %s\n", info.RunStderr)
+		fmt.Fprintf(&b, "STDOUT: %s\n", info.RunStdout)
+	case info.CompileRC != 0:
+		b.WriteString("The code could not be executed because compilation failed.\n")
+	default:
+		b.WriteString("The compiled program was not executed.\n")
+	}
+	return b.String()
+}
+
+// BuildPrompt renders the full prompt for a file.
+func (j *Judge) BuildPrompt(code string, info *ToolInfo) string {
+	d := j.Dialect
+	var b strings.Builder
+	switch j.Style {
+	case Direct:
+		fmt.Fprintf(&b, "Review the following %s code and evaluate it based on the following criteria:\n\n", d)
+		b.WriteString(criteria(d))
+		b.WriteString(`Based on these criteria, evaluate the code in a brief summary, then respond with precisely "FINAL JUDGEMENT: correct" (or incorrect).
+You MUST include the exact phrase "FINAL JUDGEMENT: correct" in your evaluation if you believe the code is correct. Otherwise, you must include the phrase "FINAL JUDGEMENT: incorrect" in your evaluation.
+`)
+		b.WriteString("Here is the code:\n")
+		b.WriteString(code)
+	case AgentDirect:
+		b.WriteString(criteria(d))
+		b.WriteString(`Based on these criteria, evaluate the code and determine if it is a valid or invalid test. Think step by step.
+You MUST include the exact phrase, "FINAL JUDGEMENT: valid" in your response if you deem the test to be valid.
+If you deem the test to be invalid, include the exact phrase "FINAL JUDGEMENT: invalid" in your response instead.
+Here is some information about the code to help you.
+`)
+		if info != nil {
+			b.WriteString(toolBlock(d, info))
+		}
+		b.WriteString("Here is the code:\n")
+		b.WriteString(code)
+	case AgentIndirect:
+		fmt.Fprintf(&b, "Describe what the below %s program will do when run. Think step by step.\n", d)
+		b.WriteString("Here is some information about the code to help you; you do not have to compile or run the code yourself.\n")
+		if info != nil {
+			b.WriteString(toolBlock(d, info))
+		}
+		fmt.Fprintf(&b, `Using this information, describe in full detail how the below code works, what the below code will do when run, and suggest why the below code might have been written this way.
+Then, based on that description, determine whether the described program would be a valid or invalid compiler test for %[1]s compilers.
+You MUST include the exact phrase "FINAL JUDGEMENT: valid" in your final response if you believe that your description of the below %[1]s code describes a valid compiler test; otherwise, your final response MUST include the exact phrase "FINAL JUDGEMENT: invalid".
+`, d)
+		b.WriteString("Here is the code for you to analyze:\n")
+		b.WriteString(code)
+	}
+	return b.String()
+}
+
+// ParseVerdict extracts the FINAL JUDGEMENT phrase from a response.
+// Both wording schemes (valid/invalid, correct/incorrect) are
+// accepted; "invalid" and "incorrect" are checked first because
+// "valid" is a substring of "invalid".
+func ParseVerdict(resp string) Verdict {
+	idx := strings.LastIndex(resp, "FINAL JUDGEMENT:")
+	if idx < 0 {
+		return Unparsable
+	}
+	tail := resp[idx+len("FINAL JUDGEMENT:"):]
+	// Only look at the text right after the phrase.
+	if len(tail) > 40 {
+		tail = tail[:40]
+	}
+	tail = strings.ToLower(tail)
+	switch {
+	case strings.Contains(tail, "invalid") || strings.Contains(tail, "incorrect"):
+		return Invalid
+	case strings.Contains(tail, "valid") || strings.Contains(tail, "correct"):
+		return Valid
+	default:
+		return Unparsable
+	}
+}

@@ -1,0 +1,154 @@
+package judge
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/spec"
+)
+
+// scriptedLLM returns canned responses and records prompts.
+type scriptedLLM struct {
+	response string
+	prompts  []string
+}
+
+func (s *scriptedLLM) Complete(prompt string) string {
+	s.prompts = append(s.prompts, prompt)
+	return s.response
+}
+
+const sampleCode = "#pragma acc parallel loop\nfor (int i = 0; i < 4; i++) { }\n"
+
+func TestDirectPromptShape(t *testing.T) {
+	j := &Judge{LLM: &scriptedLLM{response: "FINAL JUDGEMENT: correct"}, Style: Direct, Dialect: spec.OpenACC}
+	ev := j.Evaluate(sampleCode, nil)
+	p := ev.Prompt
+	for _, want := range []string{
+		"Review the following OpenACC code",
+		"Syntax: Ensure all OpenACC directives and pragmas are syntactically correct.",
+		"Directive Appropriateness:",
+		"Clause Correctness:",
+		"Memory Management:",
+		"Compliance:",
+		"Logic: Verify that the logic of the test",
+		`"FINAL JUDGEMENT: correct"`,
+		"Here is the code:",
+	} {
+		if !strings.Contains(p, want) {
+			t.Errorf("direct prompt missing %q", want)
+		}
+	}
+	if strings.Contains(p, "Compiler return code") {
+		t.Error("direct prompt leaks tool info")
+	}
+	if !strings.HasSuffix(p, sampleCode) {
+		t.Error("code not at end of prompt")
+	}
+	if ev.Verdict != Valid {
+		t.Errorf("verdict = %v", ev.Verdict)
+	}
+}
+
+func TestAgentDirectPromptShape(t *testing.T) {
+	info := &ToolInfo{
+		CompileRC:     1,
+		CompileStderr: "nvc t.c:3: error: boom",
+		Ran:           false,
+	}
+	j := &Judge{LLM: &scriptedLLM{response: "FINAL JUDGEMENT: invalid"}, Style: AgentDirect, Dialect: spec.OpenACC}
+	ev := j.Evaluate(sampleCode, info)
+	p := ev.Prompt
+	for _, want := range []string{
+		"Think step by step.",
+		`"FINAL JUDGEMENT: valid"`,
+		"Here is some information about the code to help you.",
+		"Compiler return code: 1",
+		"Compiler STDERR: nvc t.c:3: error: boom",
+		"could not be executed because compilation failed",
+	} {
+		if !strings.Contains(p, want) {
+			t.Errorf("agent prompt missing %q", want)
+		}
+	}
+	if ev.Verdict != Invalid {
+		t.Errorf("verdict = %v", ev.Verdict)
+	}
+}
+
+func TestAgentDirectPromptWithRun(t *testing.T) {
+	info := &ToolInfo{Ran: true, RunRC: 1, RunStderr: "Segmentation fault", RunStdout: ""}
+	j := &Judge{LLM: &scriptedLLM{response: "FINAL JUDGEMENT: invalid"}, Style: AgentDirect, Dialect: spec.OpenMP}
+	p := j.BuildPrompt(sampleCode, info)
+	for _, want := range []string{
+		"When the compiled code is run",
+		"Return code: 1",
+		"STDERR: Segmentation fault",
+	} {
+		if !strings.Contains(p, want) {
+			t.Errorf("prompt missing %q", want)
+		}
+	}
+}
+
+func TestAgentIndirectPromptShape(t *testing.T) {
+	info := &ToolInfo{Ran: true}
+	j := &Judge{LLM: &scriptedLLM{response: "FINAL JUDGEMENT: valid"}, Style: AgentIndirect, Dialect: spec.OpenMP}
+	p := j.BuildPrompt(sampleCode, info)
+	for _, want := range []string{
+		"Describe what the below OpenMP program will do when run.",
+		"you do not have to compile or run the code yourself",
+		"suggest why the below code might have been written this way",
+		"valid or invalid compiler test for OpenMP compilers",
+		"Here is the code for you to analyze:",
+	} {
+		if !strings.Contains(p, want) {
+			t.Errorf("indirect prompt missing %q", want)
+		}
+	}
+}
+
+func TestParseVerdict(t *testing.T) {
+	cases := []struct {
+		resp string
+		want Verdict
+	}{
+		{"blah blah FINAL JUDGEMENT: valid", Valid},
+		{"blah blah FINAL JUDGEMENT: invalid", Invalid},
+		{"FINAL JUDGEMENT: correct\n", Valid},
+		{"FINAL JUDGEMENT: incorrect\n", Invalid},
+		{"The test is valid.", Unparsable},
+		{"", Unparsable},
+		{"FINAL JUDGEMENT: maybe", Unparsable},
+		// The model may restate the phrase; the LAST occurrence rules.
+		{"I could say FINAL JUDGEMENT: valid but on reflection\nFINAL JUDGEMENT: invalid", Invalid},
+		// Case of the verdict word is forgiving, phrase is not.
+		{"FINAL JUDGEMENT: Valid", Valid},
+		{"final judgement: valid", Unparsable},
+	}
+	for _, c := range cases {
+		if got := ParseVerdict(c.resp); got != c.want {
+			t.Errorf("ParseVerdict(%q) = %v, want %v", c.resp, got, c.want)
+		}
+	}
+}
+
+func TestVerdictStrings(t *testing.T) {
+	if Valid.String() != "valid" || Invalid.String() != "invalid" || Unparsable.String() != "unparsable" {
+		t.Fatal("verdict strings wrong")
+	}
+	if Direct.String() != "direct" || AgentDirect.String() != "agent-direct" || AgentIndirect.String() != "agent-indirect" {
+		t.Fatal("style strings wrong")
+	}
+}
+
+func TestOMPPromptsUseOMPWording(t *testing.T) {
+	j := &Judge{LLM: &scriptedLLM{response: "FINAL JUDGEMENT: valid"}, Style: Direct, Dialect: spec.OpenMP}
+	p := j.BuildPrompt(sampleCode, nil)
+	if !strings.Contains(p, "OpenMP directives") {
+		t.Error("OMP prompt lacks OpenMP wording")
+	}
+	if strings.Contains(p, "OpenACC") {
+		t.Error("OMP prompt mentions OpenACC")
+	}
+}

@@ -1,0 +1,279 @@
+package machine
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/spec"
+)
+
+func TestPrivateClauseIsolatesWorkers(t *testing.T) {
+	r := run(t, `
+#include <stdlib.h>
+#define N 512
+int main() {
+    int *out = (int *)malloc(N * sizeof(int));
+    int scratch = -1;
+#pragma acc parallel loop private(scratch) copyout(out[0:N])
+    for (int i = 0; i < N; i++) {
+        scratch = i * 3;
+        out[i] = scratch;
+    }
+    for (int i = 0; i < N; i++) {
+        if (out[i] != i * 3) return 1;
+    }
+    // The host copy must be untouched (private, not copied back).
+    return scratch == -1 ? 0 : 2;
+}
+`, spec.OpenACC)
+	if r.ReturnCode != 0 {
+		t.Fatalf("rc = %d", r.ReturnCode)
+	}
+}
+
+func TestFirstPrivateSeedsWorkers(t *testing.T) {
+	r := run(t, `
+#include <stdlib.h>
+#define N 256
+int main() {
+    int *out = (int *)malloc(N * sizeof(int));
+    int offset = 7;
+#pragma omp parallel for firstprivate(offset)
+    for (int i = 0; i < N; i++) {
+        out[i] = i + offset;
+    }
+    for (int i = 0; i < N; i++) {
+        if (out[i] != i + 7) return 1;
+    }
+    return 0;
+}
+`, spec.OpenMP)
+	if r.ReturnCode != 0 {
+		t.Fatalf("rc = %d", r.ReturnCode)
+	}
+}
+
+func TestNestedDataRegionsRefcount(t *testing.T) {
+	// An inner structured region re-entering present data must not
+	// free the outer region's copy on exit (present_or_copy
+	// refcounting).
+	r := run(t, `
+#include <stdlib.h>
+#define N 64
+int main() {
+    int *a = (int *)malloc(N * sizeof(int));
+    for (int i = 0; i < N; i++) a[i] = 1;
+#pragma acc data copy(a[0:N])
+    {
+#pragma acc data copyin(a[0:N])
+        {
+#pragma acc parallel loop present(a[0:N])
+            for (int i = 0; i < N; i++) a[i] = a[i] + 1;
+        }
+#pragma acc parallel loop present(a[0:N])
+        for (int i = 0; i < N; i++) a[i] = a[i] * 2;
+    }
+    return a[5] == 4 ? 0 : 1;
+}
+`, spec.OpenACC)
+	if r.ReturnCode != 0 {
+		t.Fatalf("rc = %d err=%q", r.ReturnCode, r.Stderr)
+	}
+}
+
+func TestReductionMinAndLogical(t *testing.T) {
+	r := run(t, `
+#include <stdlib.h>
+#define N 300
+int main() {
+    int *a = (int *)malloc(N * sizeof(int));
+    for (int i = 0; i < N; i++) a[i] = (i * 13) % 101 + 5;
+    int lo = 1000000;
+    int allpos = 1;
+    int anybig = 0;
+#pragma acc parallel loop copyin(a[0:N]) reduction(min:lo) reduction(&&:allpos) reduction(||:anybig)
+    for (int i = 0; i < N; i++) {
+        if (a[i] < lo) lo = a[i];
+        allpos = allpos && (a[i] > 0);
+        anybig = anybig || (a[i] > 100);
+    }
+    int expectLo = 1000000;
+    for (int i = 0; i < N; i++) if (a[i] < expectLo) expectLo = a[i];
+    if (lo != expectLo) return 1;
+    if (!allpos) return 2;
+    if (!anybig) return 3;
+    return 0;
+}
+`, spec.OpenACC)
+	if r.ReturnCode != 0 {
+		t.Fatalf("rc = %d", r.ReturnCode)
+	}
+}
+
+func TestReductionProduct(t *testing.T) {
+	r := run(t, `
+int main() {
+    long prod = 1;
+#pragma omp parallel for reduction(*:prod)
+    for (int i = 1; i <= 15; i++) {
+        prod *= i;
+    }
+    // 15! = 1307674368000
+    return prod == 1307674368000 ? 0 : 1;
+}
+`, spec.OpenMP)
+	if r.ReturnCode != 0 {
+		t.Fatalf("rc = %d", r.ReturnCode)
+	}
+}
+
+func TestAtomicOnArrayElement(t *testing.T) {
+	r := run(t, `
+#include <stdlib.h>
+#define N 1200
+int main() {
+    int hist[4];
+    int *v = (int *)malloc(N * sizeof(int));
+    for (int i = 0; i < 4; i++) hist[i] = 0;
+    for (int i = 0; i < N; i++) v[i] = i % 4;
+#pragma omp parallel for
+    for (int i = 0; i < N; i++) {
+        int b = v[i];
+#pragma omp atomic
+        hist[b] += 1;
+    }
+    for (int i = 0; i < 4; i++) {
+        if (hist[i] != N / 4) return 1;
+    }
+    return 0;
+}
+`, spec.OpenMP)
+	if r.ReturnCode != 0 {
+		t.Fatalf("rc = %d", r.ReturnCode)
+	}
+}
+
+func TestSerialConstructSingleWorker(t *testing.T) {
+	// acc serial runs with exactly one worker: order-dependent code is
+	// legal inside it.
+	r := run(t, `
+#define N 32
+int main() {
+    int seq[N];
+    int pos = 0;
+#pragma acc serial copy(seq, pos)
+    {
+        for (int i = 0; i < N; i++) {
+            seq[pos] = i;
+            pos = pos + 1;
+        }
+    }
+    if (pos != N) return 1;
+    for (int i = 0; i < N; i++) if (seq[i] != i) return 2;
+    return 0;
+}
+`, spec.OpenACC)
+	if r.ReturnCode != 0 {
+		t.Fatalf("rc = %d", r.ReturnCode)
+	}
+}
+
+func TestDescendingAndStridedLoops(t *testing.T) {
+	r := run(t, `
+#include <stdlib.h>
+#define N 240
+int main() {
+    int *a = (int *)malloc(N * sizeof(int));
+    int *b = (int *)malloc(N * sizeof(int));
+    for (int i = 0; i < N; i++) { a[i] = 0; b[i] = 0; }
+#pragma acc parallel loop copyout(a[0:N])
+    for (int i = N - 1; i >= 0; i--) {
+        a[i] = i;
+    }
+#pragma acc parallel loop copy(b[0:N])
+    for (int i = 0; i < N; i += 3) {
+        b[i] = 1;
+    }
+    for (int i = 0; i < N; i++) {
+        if (a[i] != i) return 1;
+        if (b[i] != (i % 3 == 0 ? 1 : 0)) return 2;
+    }
+    return 0;
+}
+`, spec.OpenACC)
+	if r.ReturnCode != 0 {
+		t.Fatalf("rc = %d err=%q", r.ReturnCode, r.Stderr)
+	}
+}
+
+func TestDeleteThenPresentFaults(t *testing.T) {
+	r := run(t, `
+#include <stdlib.h>
+#define N 16
+int main() {
+    int *a = (int *)malloc(N * sizeof(int));
+#pragma acc enter data copyin(a[0:N])
+#pragma acc exit data delete(a)
+#pragma acc parallel loop present(a[0:N])
+    for (int i = 0; i < N; i++) { a[i] = i; }
+    return 0;
+}
+`, spec.OpenACC)
+	if r.Trap != "device-fault" {
+		t.Fatalf("trap = %q rc=%d", r.Trap, r.ReturnCode)
+	}
+}
+
+func TestSectionOutOfBoundsTransferFaults(t *testing.T) {
+	r := run(t, `
+#include <stdlib.h>
+int main() {
+    int n = 16;
+    int *a = (int *)malloc(n * sizeof(int));
+#pragma acc parallel loop copyin(a[0:64])
+    for (int i = 0; i < n; i++) { int x = a[i]; x++; }
+    return 0;
+}
+`, spec.OpenACC)
+	if r.Trap != "device-fault" || !strings.Contains(r.Stderr, "out of bounds") {
+		t.Fatalf("trap = %q stderr=%q", r.Trap, r.Stderr)
+	}
+}
+
+func TestCharAndBoolTypes(t *testing.T) {
+	// Note: scalar cells are untyped at run time — narrowing happens at
+	// initialisation and on array stores, not on scalar re-assignment.
+	// The corpus never relies on scalar overflow semantics.
+	r := run(t, `
+int main() {
+    char c = 'A';
+    c = c + 1;
+    bool flag = c == 'B';
+    char narrowedAtInit = 300;  // 300 -> int8 truncation at init
+    if (!flag) return 1;
+    if (narrowedAtInit != 44) return 2;
+    return 0;
+}
+`, spec.OpenACC)
+	if r.ReturnCode != 0 {
+		t.Fatalf("rc = %d", r.ReturnCode)
+	}
+}
+
+func TestTernaryAndCompoundAssign(t *testing.T) {
+	r := run(t, `
+int main() {
+    int x = 10;
+    x += 5;
+    x -= 3;
+    x *= 2;
+    x /= 4;   // 6
+    x %= 4;   // 2
+    int y = x > 1 ? 100 : 200;
+    return y == 100 ? 0 : 1;
+}
+`, spec.OpenACC)
+	if r.ReturnCode != 0 {
+		t.Fatalf("rc = %d", r.ReturnCode)
+	}
+}

@@ -1,0 +1,797 @@
+package machine
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/compiler"
+	"repro/internal/spec"
+	"repro/internal/testlang"
+)
+
+// run compiles with the dialect's personality and executes.
+func run(t *testing.T, src string, d spec.Dialect) *Result {
+	t.Helper()
+	res := compiler.ForDialect(d).Compile("test.c", src, testlang.LangC)
+	if !res.OK {
+		t.Fatalf("compile failed:\n%s", res.Stderr)
+	}
+	return Run(res.Object, Options{})
+}
+
+// compileMaybe compiles without failing the test on errors.
+func compileMaybe(src string, d spec.Dialect) *compiler.Result {
+	return compiler.ForDialect(d).Compile("test.c", src, testlang.LangC)
+}
+
+func TestHelloWorld(t *testing.T) {
+	r := run(t, `
+#include <stdio.h>
+int main() { printf("hello %d %s %.2f\n", 42, "world", 3.14159); return 0; }
+`, spec.OpenACC)
+	if r.ReturnCode != 0 {
+		t.Fatalf("rc = %d, stderr = %s", r.ReturnCode, r.Stderr)
+	}
+	if r.Stdout != "hello 42 world 3.14\n" {
+		t.Fatalf("stdout = %q", r.Stdout)
+	}
+}
+
+func TestReturnCode(t *testing.T) {
+	r := run(t, `int main() { return 7; }`, spec.OpenACC)
+	if r.ReturnCode != 7 {
+		t.Fatalf("rc = %d", r.ReturnCode)
+	}
+}
+
+func TestExitCall(t *testing.T) {
+	r := run(t, `
+#include <stdlib.h>
+#include <stdio.h>
+int main() { printf("before\n"); exit(3); printf("after\n"); return 0; }
+`, spec.OpenACC)
+	if r.ReturnCode != 3 {
+		t.Fatalf("rc = %d", r.ReturnCode)
+	}
+	if r.Stdout != "before\n" {
+		t.Fatalf("stdout = %q", r.Stdout)
+	}
+}
+
+func TestArithmeticAndControlFlow(t *testing.T) {
+	r := run(t, `
+#include <stdio.h>
+int main() {
+    int s = 0;
+    for (int i = 1; i <= 10; i++) {
+        if (i % 2 == 0) continue;
+        s += i;          // 1+3+5+7+9 = 25
+        if (i > 8) break;
+    }
+    int j = 0;
+    while (j < 5) j++;
+    printf("%d %d\n", s, j);
+    return s == 25 && j == 5 ? 0 : 1;
+}
+`, spec.OpenACC)
+	if r.ReturnCode != 0 {
+		t.Fatalf("rc = %d stdout=%q", r.ReturnCode, r.Stdout)
+	}
+	if r.Stdout != "25 5\n" {
+		t.Fatalf("stdout = %q", r.Stdout)
+	}
+}
+
+func TestFunctionsAndRecursion(t *testing.T) {
+	r := run(t, `
+int fib(int n) {
+    if (n < 2) return n;
+    return fib(n - 1) + fib(n - 2);
+}
+int main() { return fib(10) == 55 ? 0 : 1; }
+`, spec.OpenACC)
+	if r.ReturnCode != 0 {
+		t.Fatalf("rc = %d", r.ReturnCode)
+	}
+}
+
+func TestInfiniteRecursionTraps(t *testing.T) {
+	r := run(t, `
+int f(int n) { return f(n + 1); }
+int main() { return f(0); }
+`, spec.OpenACC)
+	if r.Trap != "segfault" || r.ReturnCode != 139 {
+		t.Fatalf("trap = %q rc = %d", r.Trap, r.ReturnCode)
+	}
+}
+
+func TestMallocFreeRoundTrip(t *testing.T) {
+	r := run(t, `
+#include <stdlib.h>
+int main() {
+    double *p = (double *)malloc(8 * sizeof(double));
+    for (int i = 0; i < 8; i++) p[i] = i * 1.5;
+    double s = 0;
+    for (int i = 0; i < 8; i++) s += p[i];
+    free(p);
+    return s == 42.0 ? 0 : 1;
+}
+`, spec.OpenACC)
+	if r.ReturnCode != 0 {
+		t.Fatalf("rc = %d stderr=%s", r.ReturnCode, r.Stderr)
+	}
+}
+
+func TestNullDerefSegfaults(t *testing.T) {
+	r := run(t, `
+#include <stdlib.h>
+int main() {
+    int *p = NULL;
+    p[0] = 1;
+    return 0;
+}
+`, spec.OpenACC)
+	if r.Trap != "segfault" || r.ReturnCode != 139 {
+		t.Fatalf("trap = %q rc = %d", r.Trap, r.ReturnCode)
+	}
+	if !strings.Contains(r.Stderr, "Segmentation fault") {
+		t.Fatalf("stderr = %q", r.Stderr)
+	}
+}
+
+func TestUninitializedPointerSegfaults(t *testing.T) {
+	// The shape "removed malloc" probing produces.
+	r := run(t, `
+int main() {
+    double *a;
+    a[3] = 1.0;
+    return 0;
+}
+`, spec.OpenACC)
+	if r.Trap != "segfault" {
+		t.Fatalf("trap = %q", r.Trap)
+	}
+}
+
+func TestUseAfterFree(t *testing.T) {
+	r := run(t, `
+#include <stdlib.h>
+int main() {
+    int *p = (int *)malloc(4 * sizeof(int));
+    free(p);
+    return p[0];
+}
+`, spec.OpenACC)
+	if r.Trap != "segfault" {
+		t.Fatalf("trap = %q rc = %d", r.Trap, r.ReturnCode)
+	}
+}
+
+func TestDoubleFreeAborts(t *testing.T) {
+	r := run(t, `
+#include <stdlib.h>
+int main() {
+    int *p = (int *)malloc(4 * sizeof(int));
+    free(p);
+    free(p);
+    return 0;
+}
+`, spec.OpenACC)
+	if r.Trap != "abort" || r.ReturnCode != 134 {
+		t.Fatalf("trap = %q rc = %d", r.Trap, r.ReturnCode)
+	}
+}
+
+func TestOutOfBoundsTraps(t *testing.T) {
+	r := run(t, `
+int main() {
+    int a[4];
+    a[10] = 1;
+    return 0;
+}
+`, spec.OpenACC)
+	if r.Trap != "segfault" {
+		t.Fatalf("trap = %q", r.Trap)
+	}
+}
+
+func TestDivideByZero(t *testing.T) {
+	r := run(t, `
+int main() {
+    int x = 4, y = 0;
+    return x / y;
+}
+`, spec.OpenACC)
+	if r.Trap != "fpe" || r.ReturnCode != 136 {
+		t.Fatalf("trap = %q rc = %d", r.Trap, r.ReturnCode)
+	}
+}
+
+func TestStepLimitKillsInfiniteLoop(t *testing.T) {
+	res := compileMaybe(`int main() { int x = 1; while (x) { x = 1; } return 0; }`, spec.OpenACC)
+	if !res.OK {
+		t.Fatalf("compile: %s", res.Stderr)
+	}
+	r := Run(res.Object, Options{StepLimit: 100000})
+	if r.Trap != "step-limit" || r.ReturnCode != 124 {
+		t.Fatalf("trap = %q rc = %d", r.Trap, r.ReturnCode)
+	}
+}
+
+func TestStderrCapture(t *testing.T) {
+	r := run(t, `
+#include <stdio.h>
+int main() {
+    fprintf(stderr, "err: %d\n", 5);
+    printf("out\n");
+    return 0;
+}
+`, spec.OpenACC)
+	if r.Stderr != "err: 5\n" || r.Stdout != "out\n" {
+		t.Fatalf("stdout=%q stderr=%q", r.Stdout, r.Stderr)
+	}
+}
+
+func TestACCParallelLoopReduction(t *testing.T) {
+	r := run(t, `
+#include <stdio.h>
+#include <stdlib.h>
+#define N 1000
+int main() {
+    int *a = (int *)malloc(N * sizeof(int));
+    long sum = 0;
+    for (int i = 0; i < N; i++) a[i] = i;
+#pragma acc parallel loop copyin(a[0:N]) reduction(+:sum)
+    for (int i = 0; i < N; i++) {
+        sum += a[i];
+    }
+    free(a);
+    if (sum != (long)(N - 1) * N / 2) { printf("got %ld\n", sum); return 1; }
+    printf("PASS\n");
+    return 0;
+}
+`, spec.OpenACC)
+	if r.ReturnCode != 0 {
+		t.Fatalf("rc = %d out=%q err=%q", r.ReturnCode, r.Stdout, r.Stderr)
+	}
+}
+
+func TestACCDataRegionCopyout(t *testing.T) {
+	r := run(t, `
+#include <stdlib.h>
+#define N 256
+int main() {
+    double *a = (double *)malloc(N * sizeof(double));
+    double *b = (double *)malloc(N * sizeof(double));
+    for (int i = 0; i < N; i++) { a[i] = i; b[i] = 0; }
+#pragma acc data copyin(a[0:N]) copyout(b[0:N])
+    {
+#pragma acc parallel loop
+        for (int i = 0; i < N; i++) {
+            b[i] = a[i] * 2.0;
+        }
+    }
+    for (int i = 0; i < N; i++) {
+        if (b[i] != i * 2.0) return 1;
+    }
+    return 0;
+}
+`, spec.OpenACC)
+	if r.ReturnCode != 0 {
+		t.Fatalf("rc = %d err=%q", r.ReturnCode, r.Stderr)
+	}
+}
+
+func TestACCImplicitCopyMasksMissingClause(t *testing.T) {
+	// Declared array with no data clauses: OpenACC implicit data
+	// movement makes this work — the mechanism that masks some
+	// "removed ACC memory allocation" mutations from the pipeline.
+	r := run(t, `
+#define N 128
+int main() {
+    int a[N];
+    for (int i = 0; i < N; i++) a[i] = 0;
+#pragma acc parallel loop
+    for (int i = 0; i < N; i++) {
+        a[i] = i;
+    }
+    for (int i = 0; i < N; i++) if (a[i] != i) return 1;
+    return 0;
+}
+`, spec.OpenACC)
+	if r.ReturnCode != 0 {
+		t.Fatalf("rc = %d err=%q", r.ReturnCode, r.Stderr)
+	}
+}
+
+func TestACCUnknownBoundsPointerRejected(t *testing.T) {
+	// Heap pointer with no bounds from any data clause: real OpenACC
+	// compilers reject this ("size of the GPU copy is unknown").
+	res := compileMaybe(`
+#include <stdlib.h>
+#define N 128
+int main() {
+    int *a = (int *)malloc(N * sizeof(int));
+#pragma acc parallel loop
+    for (int i = 0; i < N; i++) {
+        a[i] = i;
+    }
+    return 0;
+}
+`, spec.OpenACC)
+	if res.OK {
+		t.Fatal("unbounded heap pointer in device region compiled")
+	}
+	if !strings.Contains(res.Stderr, "unknown") {
+		t.Fatalf("stderr = %s", res.Stderr)
+	}
+}
+
+func TestACCPresentFaultsWhenAbsent(t *testing.T) {
+	r := run(t, `
+#include <stdlib.h>
+#define N 64
+int main() {
+    int *a = (int *)malloc(N * sizeof(int));
+#pragma acc parallel loop present(a[0:N])
+    for (int i = 0; i < N; i++) {
+        a[i] = i;
+    }
+    return 0;
+}
+`, spec.OpenACC)
+	if r.Trap != "device-fault" || r.ReturnCode != 1 {
+		t.Fatalf("trap = %q rc = %d err=%q", r.Trap, r.ReturnCode, r.Stderr)
+	}
+	if !strings.Contains(r.Stderr, "FATAL ERROR") {
+		t.Fatalf("stderr = %q", r.Stderr)
+	}
+}
+
+func TestACCEnterExitDataAndUpdate(t *testing.T) {
+	r := run(t, `
+#include <stdlib.h>
+#define N 32
+int main() {
+    int *a = (int *)malloc(N * sizeof(int));
+    for (int i = 0; i < N; i++) a[i] = 1;
+#pragma acc enter data copyin(a[0:N])
+#pragma acc parallel loop present(a[0:N])
+    for (int i = 0; i < N; i++) a[i] = a[i] + 1;
+#pragma acc update host(a[0:N])
+    int ok1 = a[0] == 2;
+    for (int i = 0; i < N; i++) a[i] = 10;
+#pragma acc update device(a[0:N])
+#pragma acc parallel loop present(a[0:N])
+    for (int i = 0; i < N; i++) a[i] = a[i] * 2;
+#pragma acc exit data copyout(a[0:N])
+    int ok2 = a[5] == 20;
+    return ok1 && ok2 ? 0 : 1;
+}
+`, spec.OpenACC)
+	if r.ReturnCode != 0 {
+		t.Fatalf("rc = %d err=%q", r.ReturnCode, r.Stderr)
+	}
+}
+
+func TestACCUpdateWithoutPresenceFaults(t *testing.T) {
+	// Removing "enter data" (the ACC memory allocation) makes the
+	// update directive fault: the mechanically-caught submode of
+	// negative-probing issue 0.
+	r := run(t, `
+#include <stdlib.h>
+#define N 32
+int main() {
+    int *a = (int *)malloc(N * sizeof(int));
+#pragma acc update device(a[0:N])
+    return 0;
+}
+`, spec.OpenACC)
+	if r.Trap != "device-fault" {
+		t.Fatalf("trap = %q err=%q", r.Trap, r.Stderr)
+	}
+}
+
+func TestACCNullPointerDataClauseFaults(t *testing.T) {
+	r := run(t, `
+#include <stdlib.h>
+#define N 32
+int main() {
+    int *a = NULL;
+#pragma acc parallel loop copyin(a[0:N])
+    for (int i = 0; i < N; i++) { int x = a[i]; x++; }
+    return 0;
+}
+`, spec.OpenACC)
+	if r.Trap != "device-fault" {
+		t.Fatalf("trap = %q rc=%d err=%q", r.Trap, r.ReturnCode, r.Stderr)
+	}
+}
+
+func TestOMPTargetUnmappedHeapPointerFaults(t *testing.T) {
+	// OpenMP 4.5: heap pointers are not implicitly mapped; removing
+	// the map clause produces a device fault.
+	r := run(t, `
+#include <stdlib.h>
+#define N 64
+int main() {
+    int *a = (int *)malloc(N * sizeof(int));
+#pragma omp target teams distribute parallel for
+    for (int i = 0; i < N; i++) {
+        a[i] = i;
+    }
+    return 0;
+}
+`, spec.OpenMP)
+	if r.Trap != "device-fault" {
+		t.Fatalf("trap = %q rc=%d err=%q", r.Trap, r.ReturnCode, r.Stderr)
+	}
+	if !strings.Contains(r.Stderr, "illegal memory access") {
+		t.Fatalf("stderr = %q", r.Stderr)
+	}
+}
+
+func TestOMPTargetDeclaredArrayImplicitMap(t *testing.T) {
+	r := run(t, `
+#define N 64
+int main() {
+    int a[N];
+    for (int i = 0; i < N; i++) a[i] = 0;
+#pragma omp target teams distribute parallel for
+    for (int i = 0; i < N; i++) {
+        a[i] = i * 3;
+    }
+    for (int i = 0; i < N; i++) if (a[i] != i * 3) return 1;
+    return 0;
+}
+`, spec.OpenMP)
+	if r.ReturnCode != 0 {
+		t.Fatalf("rc = %d err=%q", r.ReturnCode, r.Stderr)
+	}
+}
+
+func TestOMPTargetMapClauses(t *testing.T) {
+	r := run(t, `
+#include <stdlib.h>
+#define N 200
+int main() {
+    double *x = (double *)malloc(N * sizeof(double));
+    double *y = (double *)malloc(N * sizeof(double));
+    for (int i = 0; i < N; i++) { x[i] = i; y[i] = 2 * i; }
+    double dot = 0.0;
+#pragma omp target teams distribute parallel for map(to: x[0:N], y[0:N]) reduction(+:dot)
+    for (int i = 0; i < N; i++) {
+        dot += x[i] * y[i];
+    }
+    double expect = 0.0;
+    for (int i = 0; i < N; i++) expect += x[i] * y[i];
+    free(x);
+    free(y);
+    return dot == expect ? 0 : 1;
+}
+`, spec.OpenMP)
+	if r.ReturnCode != 0 {
+		t.Fatalf("rc = %d err=%q", r.ReturnCode, r.Stderr)
+	}
+}
+
+func TestOMPHostParallelForReduction(t *testing.T) {
+	r := run(t, `
+#define N 10000
+int main() {
+    long s = 0;
+#pragma omp parallel for reduction(+:s)
+    for (int i = 0; i < N; i++) {
+        s += i;
+    }
+    return s == (long)(N - 1) * N / 2 ? 0 : 1;
+}
+`, spec.OpenMP)
+	if r.ReturnCode != 0 {
+		t.Fatalf("rc = %d", r.ReturnCode)
+	}
+}
+
+func TestOMPAtomicCounter(t *testing.T) {
+	r := run(t, `
+#define N 2000
+int main() {
+    int count = 0;
+#pragma omp parallel for
+    for (int i = 0; i < N; i++) {
+#pragma omp atomic
+        count += 1;
+    }
+    return count == N ? 0 : 1;
+}
+`, spec.OpenMP)
+	if r.ReturnCode != 0 {
+		t.Fatalf("rc = %d", r.ReturnCode)
+	}
+}
+
+func TestOMPCriticalSum(t *testing.T) {
+	r := run(t, `
+int main() {
+    int total = 0;
+#pragma omp parallel
+    {
+#pragma omp critical
+        {
+            total = total + 1;
+        }
+    }
+    return total > 0 ? 0 : 1;
+}
+`, spec.OpenMP)
+	if r.ReturnCode != 0 {
+		t.Fatalf("rc = %d", r.ReturnCode)
+	}
+}
+
+func TestOMPParallelRegionWidth(t *testing.T) {
+	r := run(t, `
+int main() {
+    int width = 0;
+#pragma omp parallel num_threads(3)
+    {
+#pragma omp single
+        {
+            width = omp_get_num_threads();
+        }
+    }
+    return width == 3 ? 0 : 1;
+}
+`, spec.OpenMP)
+	if r.ReturnCode != 0 {
+		t.Fatalf("rc = %d", r.ReturnCode)
+	}
+}
+
+func TestOMPParallelInsideTargetBlock(t *testing.T) {
+	r := run(t, `
+#include <stdlib.h>
+#define N 128
+int main() {
+    int *a = (int *)malloc(N * sizeof(int));
+    for (int i = 0; i < N; i++) a[i] = 0;
+#pragma omp target data map(tofrom: a[0:N])
+    {
+#pragma omp target teams distribute parallel for
+        for (int i = 0; i < N; i++) {
+            a[i] = i + 1;
+        }
+    }
+    for (int i = 0; i < N; i++) if (a[i] != i + 1) return 1;
+    return 0;
+}
+`, spec.OpenMP)
+	if r.ReturnCode != 0 {
+		t.Fatalf("rc = %d err=%q", r.ReturnCode, r.Stderr)
+	}
+}
+
+func TestACCReductionMax(t *testing.T) {
+	r := run(t, `
+#include <stdlib.h>
+#define N 500
+int main() {
+    double *a = (double *)malloc(N * sizeof(double));
+    for (int i = 0; i < N; i++) a[i] = (i * 37) % 251;
+    double best = -1.0;
+#pragma acc parallel loop copyin(a[0:N]) reduction(max:best)
+    for (int i = 0; i < N; i++) {
+        if (a[i] > best) best = a[i];
+    }
+    double expect = -1.0;
+    for (int i = 0; i < N; i++) if (a[i] > expect) expect = a[i];
+    return best == expect ? 0 : 1;
+}
+`, spec.OpenACC)
+	if r.ReturnCode != 0 {
+		t.Fatalf("rc = %d err=%q", r.ReturnCode, r.Stderr)
+	}
+}
+
+func TestACCGangVectorNested(t *testing.T) {
+	r := run(t, `
+#define R 32
+#define C 16
+int main() {
+    double m[R][C];
+    double v[C];
+    double out[R];
+    for (int j = 0; j < C; j++) v[j] = j;
+    for (int i = 0; i < R; i++)
+        for (int j = 0; j < C; j++)
+            m[i][j] = i + j;
+#pragma acc parallel loop gang copyin(m, v) copyout(out)
+    for (int i = 0; i < R; i++) {
+        double acc = 0.0;
+#pragma acc loop vector reduction(+:acc)
+        for (int j = 0; j < C; j++) {
+            acc += m[i][j] * v[j];
+        }
+        out[i] = acc;
+    }
+    for (int i = 0; i < R; i++) {
+        double expect = 0.0;
+        for (int j = 0; j < C; j++) expect += (i + j) * j;
+        if (out[i] != expect) return 1;
+    }
+    return 0;
+}
+`, spec.OpenACC)
+	if r.ReturnCode != 0 {
+		t.Fatalf("rc = %d err=%q", r.ReturnCode, r.Stderr)
+	}
+}
+
+func TestComputeBlockScalarWrite(t *testing.T) {
+	r := run(t, `
+int main() {
+    int flag = 0;
+#pragma acc serial
+    {
+        flag = 1;
+    }
+    return flag == 1 ? 0 : 1;
+}
+`, spec.OpenACC)
+	if r.ReturnCode != 0 {
+		t.Fatalf("rc = %d", r.ReturnCode)
+	}
+}
+
+func TestIfClauseFalseRunsOnHost(t *testing.T) {
+	r := run(t, `
+#include <stdlib.h>
+#define N 16
+int main() {
+    int *a = (int *)malloc(N * sizeof(int));
+    for (int i = 0; i < N; i++) a[i] = 0;
+    int use_gpu = 0;
+#pragma acc parallel loop if(use_gpu) copyin(a[0:N])
+    for (int i = 0; i < N; i++) {
+        a[i] = i;
+    }
+    return a[3] == 3 ? 0 : 1;
+}
+`, spec.OpenACC)
+	if r.ReturnCode != 0 {
+		t.Fatalf("rc = %d err=%q", r.ReturnCode, r.Stderr)
+	}
+}
+
+func TestWorkersOptionDeterminism(t *testing.T) {
+	src := `
+#include <stdlib.h>
+#define N 1024
+int main() {
+    double *a = (double *)malloc(N * sizeof(double));
+    double s = 0;
+    for (int i = 0; i < N; i++) a[i] = i * 0.25;
+#pragma acc parallel loop copyin(a[0:N]) reduction(+:s)
+    for (int i = 0; i < N; i++) { s += a[i]; }
+    if (s == 130944.0) return 0;
+    return 1;
+}
+`
+	res := compileMaybe(src, spec.OpenACC)
+	if !res.OK {
+		t.Fatal(res.Stderr)
+	}
+	for _, w := range []int{1, 2, 4, 8, 16} {
+		r := Run(res.Object, Options{Workers: w})
+		if r.ReturnCode != 0 {
+			t.Fatalf("workers=%d rc=%d", w, r.ReturnCode)
+		}
+	}
+}
+
+func TestMatrixMultiply2D(t *testing.T) {
+	r := run(t, `
+#define N 24
+int main() {
+    double a[N][N], b[N][N], c[N][N], ref[N][N];
+    for (int i = 0; i < N; i++) {
+        for (int j = 0; j < N; j++) {
+            a[i][j] = i - j;
+            b[i][j] = i + 2 * j;
+            c[i][j] = 0;
+            ref[i][j] = 0;
+        }
+    }
+#pragma acc parallel loop collapse(2) copyin(a, b) copyout(c)
+    for (int i = 0; i < N; i++) {
+        for (int j = 0; j < N; j++) {
+            double s = 0.0;
+            for (int k = 0; k < N; k++) {
+                s += a[i][k] * b[k][j];
+            }
+            c[i][j] = s;
+        }
+    }
+    for (int i = 0; i < N; i++)
+        for (int j = 0; j < N; j++)
+            for (int k = 0; k < N; k++)
+                ref[i][j] += a[i][k] * b[k][j];
+    for (int i = 0; i < N; i++)
+        for (int j = 0; j < N; j++)
+            if (c[i][j] != ref[i][j]) return 1;
+    return 0;
+}
+`, spec.OpenACC)
+	if r.ReturnCode != 0 {
+		t.Fatalf("rc = %d err=%q", r.ReturnCode, r.Stderr)
+	}
+}
+
+func TestGlobalVariables(t *testing.T) {
+	r := run(t, `
+int counter = 10;
+double scale = 0.5;
+int bump(int d) { counter += d; return counter; }
+int main() {
+    bump(5);
+    bump(-3);
+    return counter == 12 && scale == 0.5 ? 0 : 1;
+}
+`, spec.OpenACC)
+	if r.ReturnCode != 0 {
+		t.Fatalf("rc = %d", r.ReturnCode)
+	}
+}
+
+func TestOutputTruncation(t *testing.T) {
+	res := compileMaybe(`
+#include <stdio.h>
+int main() {
+    for (int i = 0; i < 100000; i++) printf("spam line %d\n", i);
+    return 0;
+}
+`, spec.OpenACC)
+	if !res.OK {
+		t.Fatal(res.Stderr)
+	}
+	r := Run(res.Object, Options{OutputLimit: 2048})
+	if len(r.Stdout) > 4096 {
+		t.Fatalf("stdout not truncated: %d bytes", len(r.Stdout))
+	}
+	if !strings.Contains(r.Stdout, "[output truncated]") {
+		t.Fatal("missing truncation marker")
+	}
+}
+
+func TestRunNeverPanics(t *testing.T) {
+	// Programs that compile but do odd things must produce a Result,
+	// not a Go panic.
+	srcs := []string{
+		`int main() { int a[2]; int i = 5; return a[i]; }`,
+		`#include <stdlib.h>
+int main() { int *p = (int *)malloc(0); return p == NULL ? 1 : 0; }`,
+		`int main() { int x = -2147483647; return x * 65536 < 0 ? 0 : 0; }`,
+	}
+	for _, src := range srcs {
+		res := compileMaybe(src, spec.OpenACC)
+		if !res.OK {
+			continue
+		}
+		r := Run(res.Object, Options{})
+		_ = r.ReturnCode
+	}
+}
+
+func TestFloatFormatVerbs(t *testing.T) {
+	r := run(t, `
+#include <stdio.h>
+int main() {
+    printf("%5d|%-4d|%08.3f|%e|%g|%c|%%\n", 42, 7, 3.14159, 1234.5, 0.0001, 65);
+    return 0;
+}
+`, spec.OpenACC)
+	want := "   42|7   |0003.142|1.234500e+03|0.0001|A|%\n"
+	if r.Stdout != want {
+		t.Fatalf("stdout = %q, want %q", r.Stdout, want)
+	}
+}

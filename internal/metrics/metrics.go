@@ -1,0 +1,135 @@
+// Package metrics implements the paper's three evaluation metrics
+// (§IV): per-issue evaluation accuracy, overall evaluation accuracy,
+// and bias — the signed tendency of a judge's mistakes toward passing
+// invalid files (+1) versus failing valid files (-1).
+package metrics
+
+import (
+	"fmt"
+
+	"repro/internal/probe"
+	"repro/internal/spec"
+)
+
+// Outcome is one scored judgement: the file's ground-truth issue and
+// whether the configuration under test called the file valid.
+type Outcome struct {
+	Issue       probe.Issue
+	JudgedValid bool
+}
+
+// PerIssue aggregates results for one issue ID.
+type PerIssue struct {
+	Issue     probe.Issue
+	Count     int
+	Correct   int
+	Incorrect int
+}
+
+// Accuracy is Correct/Count (0 when Count is 0).
+func (p PerIssue) Accuracy() float64 {
+	if p.Count == 0 {
+		return 0
+	}
+	return float64(p.Correct) / float64(p.Count)
+}
+
+// Summary is the full scoring of one judge/pipeline configuration on
+// one probed suite — the contents of one column group of the paper's
+// tables.
+type Summary struct {
+	Dialect  spec.Dialect
+	PerIssue [probe.NumIssues]PerIssue
+	Total    int
+	Mistakes int
+	// passedInvalid / failedValid split the mistakes for the bias.
+	PassedInvalid int
+	FailedValid   int
+}
+
+// Accuracy is the overall evaluation accuracy.
+func (s Summary) Accuracy() float64 {
+	if s.Total == 0 {
+		return 0
+	}
+	return float64(s.Total-s.Mistakes) / float64(s.Total)
+}
+
+// Bias is the paper's bias metric: +1 per passed-invalid mistake, -1
+// per failed-valid mistake, divided by total mistakes; 0 when there
+// are no mistakes.
+func (s Summary) Bias() float64 {
+	if s.Mistakes == 0 {
+		return 0
+	}
+	return float64(s.PassedInvalid-s.FailedValid) / float64(s.Mistakes)
+}
+
+// Score aggregates outcomes into a Summary. The ground truth follows
+// the paper's system-of-verification: issues 0-4 are invalid, issue 5
+// is valid.
+func Score(d spec.Dialect, outcomes []Outcome) Summary {
+	s := Summary{Dialect: d}
+	for i := range s.PerIssue {
+		s.PerIssue[i].Issue = probe.Issue(i)
+	}
+	for _, o := range outcomes {
+		if o.Issue < 0 || int(o.Issue) >= probe.NumIssues {
+			continue
+		}
+		p := &s.PerIssue[o.Issue]
+		p.Count++
+		s.Total++
+		correct := o.JudgedValid == o.Issue.Valid()
+		if correct {
+			p.Correct++
+			continue
+		}
+		p.Incorrect++
+		s.Mistakes++
+		if o.Issue.Valid() {
+			s.FailedValid++
+		} else {
+			s.PassedInvalid++
+		}
+	}
+	return s
+}
+
+// String renders a compact one-line overview for logs.
+func (s Summary) String() string {
+	return fmt.Sprintf("%s: n=%d acc=%.2f%% bias=%+.3f",
+		s.Dialect, s.Total, 100*s.Accuracy(), s.Bias())
+}
+
+// CategoryAccuracy maps the paper's radar-plot axes (Figures 3-6) onto
+// issue classes: "Improper Directives" (issue 0), "Improper Syntax"
+// (issues 1 and 2 merged — both are surface-form errors), "No
+// Directives" (issue 3), "Test Logic" (issue 4), and "Valid
+// Recognition" (issue 5).
+type CategoryAccuracy struct {
+	Label string
+	Value float64
+}
+
+// RadarAxes projects a summary onto the radar-plot axes.
+func RadarAxes(s Summary) []CategoryAccuracy {
+	merge := func(issues ...probe.Issue) float64 {
+		c, n := 0, 0
+		for _, i := range issues {
+			c += s.PerIssue[i].Correct
+			n += s.PerIssue[i].Count
+		}
+		if n == 0 {
+			return 0
+		}
+		return float64(c) / float64(n)
+	}
+	return []CategoryAccuracy{
+		{Label: "Improper Directives", Value: merge(probe.IssueDirective)},
+		{Label: "Improper Syntax", Value: merge(probe.IssueBracket, probe.IssueUndeclared)},
+		{Label: "No Directives", Value: merge(probe.IssueRandom)},
+		{Label: "Test Logic", Value: merge(probe.IssueTruncated)},
+		{Label: "Valid Recognition", Value: merge(probe.IssueNone)},
+	}
+}

@@ -1,0 +1,163 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/probe"
+	"repro/internal/rng"
+	"repro/internal/spec"
+)
+
+func TestScoreBasics(t *testing.T) {
+	outcomes := []Outcome{
+		{Issue: probe.IssueNone, JudgedValid: true},       // correct
+		{Issue: probe.IssueNone, JudgedValid: false},      // failed valid
+		{Issue: probe.IssueBracket, JudgedValid: false},   // correct
+		{Issue: probe.IssueBracket, JudgedValid: true},    // passed invalid
+		{Issue: probe.IssueRandom, JudgedValid: true},     // passed invalid
+		{Issue: probe.IssueTruncated, JudgedValid: false}, // correct
+	}
+	s := Score(spec.OpenACC, outcomes)
+	if s.Total != 6 || s.Mistakes != 3 {
+		t.Fatalf("total=%d mistakes=%d", s.Total, s.Mistakes)
+	}
+	if got := s.Accuracy(); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("accuracy = %v", got)
+	}
+	// Bias: +1 +1 (passed invalid) -1 (failed valid) over 3 mistakes.
+	if got := s.Bias(); math.Abs(got-1.0/3.0) > 1e-12 {
+		t.Fatalf("bias = %v", got)
+	}
+	if s.PerIssue[probe.IssueBracket].Count != 2 || s.PerIssue[probe.IssueBracket].Correct != 1 {
+		t.Fatalf("per-issue = %+v", s.PerIssue[probe.IssueBracket])
+	}
+}
+
+func TestPaperTableIIIACCArithmetic(t *testing.T) {
+	// Reconstruct Table III (OpenACC) from Table I's published counts:
+	// the overall accuracy and bias must emerge from the per-issue
+	// numbers, proving the metric definitions match the paper's.
+	var outcomes []Outcome
+	add := func(issue probe.Issue, correct, incorrect int) {
+		for i := 0; i < correct; i++ {
+			outcomes = append(outcomes, Outcome{Issue: issue, JudgedValid: issue.Valid()})
+		}
+		for i := 0; i < incorrect; i++ {
+			outcomes = append(outcomes, Outcome{Issue: issue, JudgedValid: !issue.Valid()})
+		}
+	}
+	add(probe.IssueDirective, 31, 172)
+	add(probe.IssueBracket, 15, 110)
+	add(probe.IssueUndeclared, 16, 92)
+	add(probe.IssueRandom, 94, 23)
+	add(probe.IssueTruncated, 14, 100)
+	add(probe.IssueNone, 586, 82)
+	s := Score(spec.OpenACC, outcomes)
+	if s.Total != 1335 {
+		t.Fatalf("total = %d, want 1335", s.Total)
+	}
+	if s.Mistakes != 579 {
+		t.Fatalf("mistakes = %d, want 579", s.Mistakes)
+	}
+	if acc := 100 * s.Accuracy(); math.Abs(acc-56.63) > 0.01 {
+		t.Fatalf("accuracy = %.2f%%, want 56.63%%", acc)
+	}
+	if bias := s.Bias(); math.Abs(bias-0.717) > 0.001 {
+		t.Fatalf("bias = %.3f, want 0.717", bias)
+	}
+}
+
+func TestBiasBounds(t *testing.T) {
+	r := rng.New(42)
+	if err := quick.Check(func(n uint8) bool {
+		var outcomes []Outcome
+		for i := 0; i < int(n)+1; i++ {
+			outcomes = append(outcomes, Outcome{
+				Issue:       probe.Issue(r.Intn(probe.NumIssues)),
+				JudgedValid: r.Bool(0.5),
+			})
+		}
+		s := Score(spec.OpenMP, outcomes)
+		b := s.Bias()
+		if b < -1 || b > 1 {
+			return false
+		}
+		// Accuracy in [0,1], counts consistent.
+		if s.Accuracy() < 0 || s.Accuracy() > 1 {
+			return false
+		}
+		return s.Mistakes == s.PassedInvalid+s.FailedValid
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBiasExtremes(t *testing.T) {
+	// All mistakes permissive.
+	s := Score(spec.OpenACC, []Outcome{
+		{Issue: probe.IssueBracket, JudgedValid: true},
+		{Issue: probe.IssueRandom, JudgedValid: true},
+	})
+	if s.Bias() != 1 {
+		t.Fatalf("bias = %v, want 1", s.Bias())
+	}
+	// All mistakes restrictive.
+	s = Score(spec.OpenACC, []Outcome{
+		{Issue: probe.IssueNone, JudgedValid: false},
+	})
+	if s.Bias() != -1 {
+		t.Fatalf("bias = %v, want -1", s.Bias())
+	}
+	// No mistakes.
+	s = Score(spec.OpenACC, []Outcome{
+		{Issue: probe.IssueNone, JudgedValid: true},
+	})
+	if s.Bias() != 0 {
+		t.Fatalf("bias = %v, want 0", s.Bias())
+	}
+}
+
+func TestEmptyScore(t *testing.T) {
+	s := Score(spec.OpenACC, nil)
+	if s.Accuracy() != 0 || s.Bias() != 0 || s.Total != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+}
+
+func TestRadarAxes(t *testing.T) {
+	var outcomes []Outcome
+	// issue1: 1/2 correct, issue2: 2/2 -> merged syntax axis 3/4.
+	outcomes = append(outcomes,
+		Outcome{Issue: probe.IssueBracket, JudgedValid: false},
+		Outcome{Issue: probe.IssueBracket, JudgedValid: true},
+		Outcome{Issue: probe.IssueUndeclared, JudgedValid: false},
+		Outcome{Issue: probe.IssueUndeclared, JudgedValid: false},
+		Outcome{Issue: probe.IssueNone, JudgedValid: true},
+	)
+	axes := RadarAxes(Score(spec.OpenACC, outcomes))
+	if len(axes) != 5 {
+		t.Fatalf("axes = %d", len(axes))
+	}
+	byLabel := map[string]float64{}
+	for _, ax := range axes {
+		byLabel[ax.Label] = ax.Value
+	}
+	if math.Abs(byLabel["Improper Syntax"]-0.75) > 1e-12 {
+		t.Fatalf("syntax axis = %v, want 0.75", byLabel["Improper Syntax"])
+	}
+	if byLabel["Valid Recognition"] != 1 {
+		t.Fatalf("valid axis = %v", byLabel["Valid Recognition"])
+	}
+	if byLabel["Improper Directives"] != 0 {
+		t.Fatalf("empty axis should be 0, got %v", byLabel["Improper Directives"])
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	s := Score(spec.OpenMP, []Outcome{{Issue: probe.IssueNone, JudgedValid: true}})
+	if got := s.String(); got == "" {
+		t.Fatal("empty String()")
+	}
+}

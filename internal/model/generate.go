@@ -1,0 +1,130 @@
+package model
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/corpus"
+	"repro/internal/probe"
+	"repro/internal/rng"
+	"repro/internal/spec"
+	"repro/internal/testlang"
+)
+
+// Test generation is the reproduction of the paper's stated future
+// work ("exploring the automation of compiler test generation based on
+// lessons learnt from this work", §VI) and of the predecessor paper's
+// observed behaviour (arXiv:2310.04963): deepseek-coder-33B-instruct
+// generated directive tests of which roughly 70% compiled and roughly
+// half ran correctly.
+//
+// The simulated model mirrors that: asked to write a test for a
+// feature, it produces a corpus-quality test with probability
+// genCleanProb, and otherwise a test carrying one of the defect
+// classes the real model's failures exhibit — the same classes
+// negative probing injects, which is precisely why the paper's
+// pipeline is the right filter for generated tests.
+
+// Defect mix for generated tests, calibrated to the predecessor
+// paper's compile (~70%) and pass (~50%) rates.
+const genCleanProb = 0.52
+
+var genDefects = []struct {
+	issue probe.Issue
+	prob  float64
+	label string
+}{
+	{probe.IssueTruncated, 0.13, "missing-verification"},
+	{probe.IssueDirective, 0.14, "wrong-directive-or-clause"},
+	{probe.IssueUndeclared, 0.08, "undeclared-identifier"},
+	{probe.IssueBracket, 0.09, "unbalanced-syntax"},
+	{probe.IssueRandom, 0.04, "off-task-output"},
+}
+
+// IsGenerationPrompt reports whether a prompt asks the model to write
+// a test rather than judge one.
+func IsGenerationPrompt(prompt string) bool {
+	return strings.Contains(prompt, "Write a complete") &&
+		strings.Contains(prompt, "compiler test")
+}
+
+// GenerateTest produces test code for a generation prompt, returning
+// the code and the ground-truth defect label ("" when the test is
+// sound). The defect label exists so the generation-loop experiments
+// can score the pipeline filter; a caller honouring the LLM contract
+// uses only the code (Complete returns just the code).
+func (m *Model) GenerateTest(prompt string) (code, defect string) {
+	d := detectDialect(prompt)
+	feature := parseFeature(prompt)
+	coin := rng.New(m.seed ^ 0x9e37).Split(prompt)
+
+	id := pickTemplate(d, feature, coin)
+	lang := testlang.LangC
+	tf, err := corpus.InstantiateTemplate(d, id, lang, coin.Uint64())
+	if err != nil {
+		// Unknown template cannot happen for picks from TemplateIDs;
+		// fall back to an off-task response, which the pipeline will
+		// reject — the shape a confused model produces.
+		return corpus.RandomForLang(coin, lang, corpus.DefaultRandomOpts()), "off-task-output"
+	}
+
+	roll := coin.Float64()
+	if roll < genCleanProb {
+		return tf.Source, ""
+	}
+	roll -= genCleanProb
+	for _, gd := range genDefects {
+		if roll < gd.prob {
+			pf := probe.Mutate(tf, gd.issue, coin.Split("defect"))
+			return pf.Source, gd.label
+		}
+		roll -= gd.prob
+	}
+	return tf.Source, ""
+}
+
+// parseFeature extracts the requested feature id from a generation
+// prompt ("... that exercises <feature>.").
+func parseFeature(prompt string) string {
+	marker := "that exercises "
+	i := strings.Index(prompt, marker)
+	if i < 0 {
+		return ""
+	}
+	rest := prompt[i+len(marker):]
+	if j := strings.IndexAny(rest, ".\n"); j >= 0 {
+		rest = rest[:j]
+	}
+	return strings.TrimSpace(rest)
+}
+
+// pickTemplate matches the requested feature to a corpus template,
+// skipping templates the paired toolchain cannot build (the model
+// "knows" the target environment from its prompt history); unknown
+// features get a deterministic pick.
+func pickTemplate(d spec.Dialect, feature string, coin *rng.Source) string {
+	ids := corpus.TemplateIDs(d)
+	supported := ids[:0:0]
+	for _, id := range ids {
+		if !corpus.TemplateUnsupported(d, id) {
+			supported = append(supported, id)
+		}
+	}
+	for _, id := range supported {
+		if id == feature || strings.Contains(id, feature) && feature != "" {
+			return id
+		}
+	}
+	return supported[coin.Intn(len(supported))]
+}
+
+// GenerationPrompt renders the canonical generation request for a
+// feature, with a nonce so repeated requests draw fresh samples.
+func GenerationPrompt(d spec.Dialect, feature string, nonce int) string {
+	return fmt.Sprintf(`Write a complete %s compiler test in C that exercises %s.
+The test should initialise its data, perform the computation using %s directives,
+verify the results against a serial reference, print a pass/fail message, and
+return 0 on success and non-zero on failure.
+Candidate: %d
+Output only the code.`, d, feature, d, nonce)
+}

@@ -1,0 +1,132 @@
+package model
+
+import (
+	"math"
+	"strings"
+)
+
+// NGram is a character-trigram language model with add-one smoothing,
+// the simulated model's sense of whether text "looks like" the code it
+// was trained on. It backs the plausibility feature: randomly
+// generated garbage scores far below real directive tests, and the
+// rationale generator quotes the score qualitatively.
+type NGram struct {
+	counts   map[string]int
+	context  map[string]int
+	vocabLen int
+}
+
+// trainingCorpus is a small embedded sample of the kind of text a code
+// LLM has absorbed: C with directives, Fortran, and reporting idioms.
+// It is intentionally tiny — the model only needs relative plausibility.
+const trainingCorpus = `
+#include <stdio.h>
+#include <stdlib.h>
+#include <math.h>
+#define N 1024
+int main() {
+    double *a = (double *)malloc(N * sizeof(double));
+    int errs = 0;
+    for (int i = 0; i < N; i++) {
+        a[i] = i * 0.5;
+    }
+#pragma acc parallel loop copyin(a[0:N]) reduction(+:sum)
+#pragma acc data copy(a[0:N]) create(b[0:N])
+#pragma acc enter data copyin(a[0:N])
+#pragma acc update host(a[0:N])
+#pragma omp parallel for reduction(+:total)
+#pragma omp target teams distribute parallel for map(tofrom: a[0:N])
+#pragma omp target data map(to: x[0:N]) map(from: y[0:N])
+#pragma omp atomic
+    for (int i = 0; i < N; i++) {
+        sum += a[i] * b[i];
+    }
+    if (fabs(sum - expect) > 1e-9) {
+        printf("FAIL: %d errors\n", errs);
+        return 1;
+    }
+    printf("Test passed\n");
+    free(a);
+    return 0;
+}
+int helper(int x) { return x * x + 1; }
+while (j < n) { j++; }
+program vecadd
+    use openacc
+    implicit none
+    integer, parameter :: n = 1024
+    real(8) :: a(n), b(n)
+    do i = 1, n
+        c(i) = a(i) + b(i)
+    end do
+    !$acc parallel loop copyin(a, b) copyout(c)
+    if (errs /= 0) then
+        print *, "Test failed"
+        stop 1
+    end if
+end program vecadd
+`
+
+// NewNGram trains the trigram model over the embedded corpus.
+func NewNGram() *NGram {
+	ng := &NGram{counts: map[string]int{}, context: map[string]int{}, vocabLen: 96}
+	ng.Train(trainingCorpus)
+	return ng
+}
+
+// Train adds text to the model.
+func (ng *NGram) Train(text string) {
+	t := normalize(text)
+	for i := 0; i+3 <= len(t); i++ {
+		ng.counts[t[i:i+3]]++
+		ng.context[t[i:i+2]]++
+	}
+}
+
+// Score returns the average per-trigram log2 probability of text;
+// higher (less negative) is more plausible.
+func (ng *NGram) Score(text string) float64 {
+	t := normalize(text)
+	if len(t) < 3 {
+		return 0
+	}
+	total := 0.0
+	n := 0
+	for i := 0; i+3 <= len(t); i++ {
+		c := ng.counts[t[i:i+3]]
+		ctx := ng.context[t[i:i+2]]
+		p := (float64(c) + 1) / (float64(ctx) + float64(ng.vocabLen))
+		total += math.Log2(p)
+		n++
+	}
+	return total / float64(n)
+}
+
+// normalize maps text onto the model's reduced alphabet: lower-case,
+// digits folded to '9', runs of spaces collapsed.
+func normalize(text string) string {
+	var b strings.Builder
+	b.Grow(len(text))
+	prevSpace := false
+	for i := 0; i < len(text); i++ {
+		c := text[i]
+		switch {
+		case c >= 'A' && c <= 'Z':
+			c += 32
+		case c >= '0' && c <= '9':
+			c = '9'
+		case c == '\t' || c == '\r' || c == '\n':
+			c = ' '
+		}
+		if c == ' ' {
+			if prevSpace {
+				continue
+			}
+			prevSpace = true
+		} else {
+			prevSpace = false
+		}
+		b.WriteByte(c)
+	}
+	return b.String()
+}

@@ -1,0 +1,222 @@
+// Package pipeline implements the paper's validation pipeline
+// (§III-C): files stream through compile → execute → judge stages,
+// each backed by its own worker pool. A file failing an earlier stage
+// has demonstrated its invalidity, so in short-circuit mode it skips
+// the remaining (more expensive) stages; in record-all mode every file
+// runs every stage, which is how the paper gathered the Part-Two data
+// (allowing the same run to score both the pipeline and the
+// agent-based judges on their own).
+package pipeline
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/agent"
+	"repro/internal/compiler"
+	"repro/internal/judge"
+	"repro/internal/machine"
+	"repro/internal/testlang"
+)
+
+// Input is one file to validate.
+type Input struct {
+	Name   string
+	Source string
+	Lang   testlang.Language
+}
+
+// Config configures a pipeline run.
+type Config struct {
+	// Tools supplies the compiler personality and machine options.
+	Tools *agent.Tools
+	// Judge is the stage-3 judge; nil disables the judge stage (used
+	// by the stage-contribution ablation).
+	Judge *judge.Judge
+	// Workers per stage; 0 means 1.
+	CompileWorkers int
+	ExecWorkers    int
+	JudgeWorkers   int
+	// RecordAll disables short-circuiting so every stage runs for
+	// every file.
+	RecordAll bool
+	// KeepResponses retains prompt/response text in results (memory-
+	// heavy for large suites; examples use it, experiments do not).
+	KeepResponses bool
+}
+
+// FileResult is the pipeline's record for one file.
+type FileResult struct {
+	Index int
+	Name  string
+	// Stage outcomes. When short-circuiting skipped a stage, the
+	// corresponding Ran flag is false.
+	CompileRan bool
+	CompileOK  bool
+	ExecRan    bool
+	ExecOK     bool
+	JudgeRan   bool
+	Verdict    judge.Verdict
+	// Valid is the pipeline's final verdict: every stage it ran
+	// passed, and the judge (when enabled) said valid.
+	Valid bool
+	// Evaluation is populated only with Config.KeepResponses.
+	Evaluation *judge.Evaluation
+}
+
+// Stats aggregates pipeline-run counters for the throughput bench.
+type Stats struct {
+	Files      int
+	Compiles   int64
+	Executions int64
+	JudgeCalls int64
+}
+
+// Run processes files through the staged pipeline and returns per-file
+// results in input order plus run statistics.
+func Run(cfg Config, files []Input) ([]FileResult, Stats) {
+	nw := func(n int) int {
+		if n <= 0 {
+			return 1
+		}
+		return n
+	}
+	results := make([]FileResult, len(files))
+	var stats Stats
+	stats.Files = len(files)
+
+	type item struct {
+		idx     int
+		in      Input
+		compile *compiler.Result
+		run     *machine.Result
+	}
+
+	compileCh := make(chan *item, len(files))
+	execCh := make(chan *item, len(files))
+	judgeCh := make(chan *item, len(files))
+
+	var wgCompile, wgExec, wgJudge sync.WaitGroup
+
+	// Stage 1: compile.
+	for w := 0; w < nw(cfg.CompileWorkers); w++ {
+		wgCompile.Add(1)
+		go func() {
+			defer wgCompile.Done()
+			for it := range compileCh {
+				atomic.AddInt64(&stats.Compiles, 1)
+				it.compile = cfg.Tools.Personality.Compile(it.in.Name, it.in.Source, it.in.Lang)
+				r := &results[it.idx]
+				r.CompileRan = true
+				r.CompileOK = it.compile.OK
+				if !it.compile.OK && !cfg.RecordAll {
+					continue // invalidity demonstrated; drop from pipeline
+				}
+				execCh <- it
+			}
+		}()
+	}
+
+	// Stage 2: execute.
+	for w := 0; w < nw(cfg.ExecWorkers); w++ {
+		wgExec.Add(1)
+		go func() {
+			defer wgExec.Done()
+			for it := range execCh {
+				r := &results[it.idx]
+				if it.compile.OK && it.compile.Object != nil {
+					atomic.AddInt64(&stats.Executions, 1)
+					it.run = machine.Run(it.compile.Object, cfg.Tools.MachineOpts)
+					r.ExecRan = true
+					r.ExecOK = it.run.ReturnCode == 0
+					if !r.ExecOK && !cfg.RecordAll {
+						continue
+					}
+				} else if !cfg.RecordAll {
+					// Record-all mode is the only way a compile-failed
+					// file reaches here.
+					continue
+				}
+				judgeCh <- it
+			}
+		}()
+	}
+
+	// Stage 3: judge.
+	for w := 0; w < nw(cfg.JudgeWorkers); w++ {
+		wgJudge.Add(1)
+		go func() {
+			defer wgJudge.Done()
+			for it := range judgeCh {
+				if cfg.Judge == nil {
+					continue
+				}
+				r := &results[it.idx]
+				atomic.AddInt64(&stats.JudgeCalls, 1)
+				info := buildToolInfo(it.compile, it.run)
+				ev := cfg.Judge.Evaluate(it.in.Source, &info)
+				r.JudgeRan = true
+				r.Verdict = ev.Verdict
+				if cfg.KeepResponses {
+					evCopy := ev
+					r.Evaluation = &evCopy
+				}
+			}
+		}()
+	}
+
+	for i := range files {
+		results[i] = FileResult{Index: i, Name: files[i].Name}
+		compileCh <- &item{idx: i, in: files[i]}
+	}
+	close(compileCh)
+	wgCompile.Wait()
+	close(execCh)
+	wgExec.Wait()
+	close(judgeCh)
+	wgJudge.Wait()
+
+	for i := range results {
+		results[i].Valid = finalVerdict(&results[i], cfg.Judge != nil)
+	}
+	return results, stats
+}
+
+// buildToolInfo assembles the agent prompt block from stage results.
+func buildToolInfo(c *compiler.Result, r *machine.Result) judge.ToolInfo {
+	info := judge.ToolInfo{}
+	if c != nil {
+		info.CompileRC = c.ReturnCode
+		info.CompileStderr = c.Stderr
+		info.CompileStdout = c.Stdout
+	}
+	if r != nil {
+		info.Ran = true
+		info.RunRC = r.ReturnCode
+		info.RunStderr = r.Stderr
+		info.RunStdout = r.Stdout
+	}
+	return info
+}
+
+// finalVerdict computes the pipeline verdict for one file.
+func finalVerdict(r *FileResult, judgeEnabled bool) bool {
+	if r.CompileRan && !r.CompileOK {
+		return false
+	}
+	if r.ExecRan && !r.ExecOK {
+		return false
+	}
+	if !r.ExecRan && r.CompileRan && r.CompileOK {
+		// Compiled but not executable in the simulation (Fortran):
+		// execution evidence is absent, leave the decision to the
+		// judge when present.
+		if !judgeEnabled {
+			return true
+		}
+	}
+	if judgeEnabled {
+		return r.JudgeRan && r.Verdict == judge.Valid
+	}
+	return r.CompileOK && (!r.ExecRan || r.ExecOK)
+}

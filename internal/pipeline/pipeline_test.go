@@ -1,0 +1,237 @@
+package pipeline
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/agent"
+	"repro/internal/corpus"
+	"repro/internal/judge"
+	"repro/internal/probe"
+	"repro/internal/rng"
+	"repro/internal/spec"
+	"repro/internal/testlang"
+)
+
+// alwaysLLM answers every prompt with a fixed verdict.
+type alwaysLLM struct{ verdict string }
+
+func (a alwaysLLM) Complete(string) string { return "FINAL JUDGEMENT: " + a.verdict }
+
+// countingLLM counts calls.
+type countingLLM struct {
+	verdict string
+	calls   int
+}
+
+func (c *countingLLM) Complete(string) string {
+	c.calls++
+	return "FINAL JUDGEMENT: " + c.verdict
+}
+
+func testInputs(t *testing.T, d spec.Dialect, n int) ([]Input, []probe.Issue) {
+	t.Helper()
+	files := corpus.Generate(corpus.Config{Dialect: d, Seed: 55}, n)
+	inputs := make([]Input, n)
+	issues := make([]probe.Issue, n)
+	r := rng.New(77)
+	for i, f := range files {
+		issue := probe.Issue(i % probe.NumIssues)
+		pf := probe.Mutate(f, issue, r.Split(f.Name))
+		inputs[i] = Input{Name: pf.Name, Source: pf.Source, Lang: pf.Lang}
+		issues[i] = issue
+	}
+	return inputs, issues
+}
+
+func acceptingConfig(d spec.Dialect, llm judge.LLM, recordAll bool) Config {
+	return Config{
+		Tools:          agent.NewTools(d),
+		Judge:          &judge.Judge{LLM: llm, Style: judge.AgentDirect, Dialect: d},
+		CompileWorkers: 4,
+		ExecWorkers:    4,
+		JudgeWorkers:   4,
+		RecordAll:      recordAll,
+	}
+}
+
+func TestPipelineVerdictIsConjunction(t *testing.T) {
+	inputs, issues := testInputs(t, spec.OpenACC, 36)
+	// Judge says everything is valid, so the pipeline verdict reduces
+	// to the mechanical stages.
+	results, _ := Run(acceptingConfig(spec.OpenACC, alwaysLLM{"valid"}, true), inputs)
+	for i, r := range results {
+		mech := r.CompileOK && (!r.ExecRan || r.ExecOK)
+		if r.Valid != mech {
+			t.Errorf("file %d (issue %d): verdict %v but mechanical %v", i, issues[i], r.Valid, mech)
+		}
+	}
+	// Judge says everything is invalid: nothing passes.
+	results, _ = Run(acceptingConfig(spec.OpenACC, alwaysLLM{"invalid"}, true), inputs)
+	for i, r := range results {
+		if r.Valid {
+			t.Errorf("file %d passed despite judge rejection", i)
+		}
+	}
+}
+
+func TestResultsInInputOrder(t *testing.T) {
+	inputs, _ := testInputs(t, spec.OpenMP, 24)
+	results, _ := Run(acceptingConfig(spec.OpenMP, alwaysLLM{"valid"}, true), inputs)
+	if len(results) != len(inputs) {
+		t.Fatalf("results = %d, want %d", len(results), len(inputs))
+	}
+	for i, r := range results {
+		if r.Index != i || r.Name != inputs[i].Name {
+			t.Fatalf("result %d out of order: %+v", i, r)
+		}
+	}
+}
+
+func TestShortCircuitSkipsStages(t *testing.T) {
+	inputs, _ := testInputs(t, spec.OpenACC, 36)
+	llm := &countingLLM{verdict: "valid"}
+	_, stShort := Run(acceptingConfig(spec.OpenACC, llm, false), inputs)
+	shortCalls := llm.calls
+	llm2 := &countingLLM{verdict: "valid"}
+	_, stAll := Run(acceptingConfig(spec.OpenACC, llm2, true), inputs)
+	allCalls := llm2.calls
+
+	if stShort.Compiles != stAll.Compiles {
+		t.Errorf("compile counts differ: %d vs %d", stShort.Compiles, stAll.Compiles)
+	}
+	// Executions happen only for compiled objects in either mode; the
+	// short-circuit saving shows up in judge calls (files that failed
+	// compile or execution never reach the expensive LLM stage).
+	if stShort.Executions > stAll.Executions {
+		t.Errorf("short-circuit executed more than record-all: %d vs %d", stShort.Executions, stAll.Executions)
+	}
+	if shortCalls >= allCalls {
+		t.Errorf("short-circuit did not reduce judge calls: %d vs %d", shortCalls, allCalls)
+	}
+	if int64(allCalls) != stAll.JudgeCalls {
+		t.Errorf("stats judge calls %d != llm calls %d", stAll.JudgeCalls, allCalls)
+	}
+}
+
+func TestShortCircuitAgreesOnVerdicts(t *testing.T) {
+	// Short-circuiting must never change a verdict, only skip work.
+	inputs, _ := testInputs(t, spec.OpenACC, 36)
+	short, _ := Run(acceptingConfig(spec.OpenACC, alwaysLLM{"valid"}, false), inputs)
+	all, _ := Run(acceptingConfig(spec.OpenACC, alwaysLLM{"valid"}, true), inputs)
+	for i := range short {
+		if short[i].Valid != all[i].Valid {
+			t.Errorf("file %d: short=%v recordAll=%v", i, short[i].Valid, all[i].Valid)
+		}
+	}
+}
+
+func TestDeterministicAcrossWorkerCounts(t *testing.T) {
+	inputs, _ := testInputs(t, spec.OpenMP, 24)
+	var base []FileResult
+	for _, w := range []int{1, 2, 8} {
+		cfg := acceptingConfig(spec.OpenMP, alwaysLLM{"valid"}, true)
+		cfg.CompileWorkers, cfg.ExecWorkers, cfg.JudgeWorkers = w, w, w
+		results, _ := Run(cfg, inputs)
+		if base == nil {
+			base = results
+			continue
+		}
+		for i := range results {
+			if results[i].Valid != base[i].Valid || results[i].CompileOK != base[i].CompileOK {
+				t.Fatalf("worker count %d changed result %d", w, i)
+			}
+		}
+	}
+}
+
+func TestNilJudgeMechanicalOnly(t *testing.T) {
+	inputs, _ := testInputs(t, spec.OpenACC, 18)
+	cfg := acceptingConfig(spec.OpenACC, nil, true)
+	cfg.Judge = nil
+	results, st := Run(cfg, inputs)
+	if st.JudgeCalls != 0 {
+		t.Fatalf("judge calls = %d with nil judge", st.JudgeCalls)
+	}
+	for i, r := range results {
+		if r.JudgeRan {
+			t.Fatalf("file %d judged with nil judge", i)
+		}
+		mech := r.CompileOK && (!r.ExecRan || r.ExecOK)
+		if r.Valid != mech {
+			t.Fatalf("file %d: mechanical-only verdict wrong", i)
+		}
+	}
+}
+
+func TestKeepResponses(t *testing.T) {
+	inputs, _ := testInputs(t, spec.OpenACC, 6)
+	cfg := acceptingConfig(spec.OpenACC, alwaysLLM{"valid"}, true)
+	cfg.KeepResponses = true
+	results, _ := Run(cfg, inputs)
+	kept := 0
+	for _, r := range results {
+		if r.Evaluation != nil {
+			kept++
+			if !strings.Contains(r.Evaluation.Response, "FINAL JUDGEMENT") {
+				t.Fatal("kept evaluation lacks response")
+			}
+		}
+	}
+	if kept == 0 {
+		t.Fatal("no evaluations kept despite KeepResponses")
+	}
+	cfg.KeepResponses = false
+	results, _ = Run(cfg, inputs)
+	for _, r := range results {
+		if r.Evaluation != nil {
+			t.Fatal("evaluation kept without KeepResponses")
+		}
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	results, st := Run(acceptingConfig(spec.OpenACC, alwaysLLM{"valid"}, true), nil)
+	if len(results) != 0 || st.Files != 0 {
+		t.Fatal("empty input mishandled")
+	}
+}
+
+func TestFortranFlowsThroughPipeline(t *testing.T) {
+	f, err := corpus.InstantiateTemplate(spec.OpenACC, "parallel_loop_vecadd", testlang.LangFortran, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := []Input{{Name: f.Name, Source: f.Source, Lang: f.Lang}}
+	results, _ := Run(acceptingConfig(spec.OpenACC, alwaysLLM{"valid"}, true), inputs)
+	r := results[0]
+	if !r.CompileOK {
+		t.Fatal("valid Fortran failed compile stage")
+	}
+	if r.ExecRan {
+		t.Fatal("Fortran executed despite simulation not running it")
+	}
+	if !r.Valid {
+		t.Fatal("valid Fortran rejected by pipeline")
+	}
+}
+
+// gibberishLLM never produces the mandated judgement phrase.
+type gibberishLLM struct{}
+
+func (gibberishLLM) Complete(string) string { return "I cannot decide about this file." }
+
+func TestUnparsableResponsesFailSafe(t *testing.T) {
+	// A judge whose responses never contain the FINAL JUDGEMENT phrase
+	// must never validate a file: unparsable is not approval.
+	inputs, _ := testInputs(t, spec.OpenACC, 12)
+	results, _ := Run(acceptingConfig(spec.OpenACC, gibberishLLM{}, true), inputs)
+	for i, r := range results {
+		if r.Valid {
+			t.Errorf("file %d validated by an unparsable judge", i)
+		}
+		if r.JudgeRan && r.Verdict != judge.Unparsable {
+			t.Errorf("file %d verdict = %v, want unparsable", i, r.Verdict)
+		}
+	}
+}

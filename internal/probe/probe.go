@@ -1,0 +1,566 @@
+// Package probe implements negative probing (paper §III-A): taking a
+// suite of valid, manually-written-style compiler tests, splitting it,
+// and injecting one of five error classes into the files of one part
+// while leaving the other unchanged. The resulting labelled suite is
+// the benchmark every judge and pipeline configuration is scored
+// against.
+package probe
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/corpus"
+	"repro/internal/rng"
+	"repro/internal/spec"
+	"repro/internal/testlang"
+)
+
+// Issue identifies the mutation class, using the paper's issue IDs.
+type Issue int
+
+const (
+	// IssueDirective (0): removed ACC/OMP memory allocation (a device
+	// data clause or unstructured data directive) or swapped a
+	// directive for a syntactically incorrect one.
+	IssueDirective Issue = iota
+	// IssueBracket (1): removed an opening bracket.
+	IssueBracket
+	// IssueUndeclared (2): added use of an undeclared variable.
+	IssueUndeclared
+	// IssueRandom (3): replaced the file with randomly generated
+	// non-OpenACC/OpenMP code.
+	IssueRandom
+	// IssueTruncated (4): removed the last bracketed section of code.
+	IssueTruncated
+	// IssueNone (5): unchanged file.
+	IssueNone
+)
+
+// NumIssues counts the issue classes including IssueNone.
+const NumIssues = 6
+
+// Description returns the paper's wording for the issue row of a
+// results table.
+func (i Issue) Description(d spec.Dialect) string {
+	tag := "ACC"
+	if d == spec.OpenMP {
+		tag = "OMP"
+	}
+	switch i {
+	case IssueDirective:
+		return fmt.Sprintf("Removed %s memory allocation / swapped %s directive", tag, tag)
+	case IssueBracket:
+		return "Removed an opening bracket"
+	case IssueUndeclared:
+		return "Added use of undeclared variable"
+	case IssueRandom:
+		return fmt.Sprintf("Replaced file with randomly-generated non-%s code", d)
+	case IssueTruncated:
+		return "Removed last bracketed section of code"
+	case IssueNone:
+		return "No issue"
+	default:
+		return fmt.Sprintf("Issue(%d)", int(i))
+	}
+}
+
+// Valid is the paper's system-of-verification: files with issue IDs
+// 0-4 are invalid; issue 5 files are valid.
+func (i Issue) Valid() bool { return i == IssueNone }
+
+// ProbedFile is one suite entry: the (possibly mutated) file plus its
+// ground-truth label.
+type ProbedFile struct {
+	corpus.TestFile
+	Issue Issue
+	// Mutation describes what was done, for experiment records.
+	Mutation string
+}
+
+// Counts fixes the number of files per issue ID in a probed suite,
+// indexed by Issue.
+type Counts [NumIssues]int
+
+// Total sums the per-issue counts.
+func (c Counts) Total() int {
+	t := 0
+	for _, n := range c {
+		t += n
+	}
+	return t
+}
+
+// BuildSuite assigns issues to files (shuffled deterministically) and
+// applies the mutations. len(files) must equal counts.Total().
+func BuildSuite(files []corpus.TestFile, counts Counts, seed uint64) ([]ProbedFile, error) {
+	if len(files) != counts.Total() {
+		return nil, fmt.Errorf("probe: %d files for %d issue slots", len(files), counts.Total())
+	}
+	r := rng.New(seed)
+	order := r.Perm(len(files))
+	out := make([]ProbedFile, 0, len(files))
+	idx := 0
+	for issue := Issue(0); issue < NumIssues; issue++ {
+		for k := 0; k < counts[issue]; k++ {
+			f := files[order[idx]]
+			idx++
+			pf := Mutate(f, issue, r.Split(f.Name))
+			out = append(out, pf)
+		}
+	}
+	// Shuffle the final order so issues are interleaved as they would
+	// be on disk.
+	r.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out, nil
+}
+
+// Mutate applies one issue class to a file. IssueNone returns the
+// file unchanged.
+func Mutate(f corpus.TestFile, issue Issue, r *rng.Source) ProbedFile {
+	pf := ProbedFile{TestFile: f, Issue: issue}
+	switch issue {
+	case IssueNone:
+		pf.Mutation = "none"
+	case IssueDirective:
+		pf.Source, pf.Mutation = mutateDirective(f.Source, f.Lang, f.Dialect, r)
+	case IssueBracket:
+		pf.Source, pf.Mutation = mutateBracket(f.Source, f.Lang, r)
+	case IssueUndeclared:
+		pf.Source, pf.Mutation = mutateUndeclared(f.Source, f.Lang, r)
+	case IssueRandom:
+		pf.Source = corpus.RandomForLang(r, f.Lang, corpus.DefaultRandomOpts())
+		pf.Mutation = "replaced with random non-directive code"
+	case IssueTruncated:
+		pf.Source, pf.Mutation = mutateTruncate(f.Source, f.Lang, r)
+	}
+	return pf
+}
+
+// --- issue 0: directive/allocation mutation ---------------------------
+
+// dataClauseNames are the "memory allocation" clauses removal targets.
+var dataClauseNames = []string{"copyin", "copyout", "copy", "create", "map"}
+
+func mutateDirective(src string, lang testlang.Language, d spec.Dialect, r *rng.Source) (string, string) {
+	// Submode A (removal) and submode B (swap) split evenly; removal
+	// falls back to swap when the file has nothing removable.
+	if r.Bool(0.5) {
+		if out, desc, ok := removeAllocation(src, lang, r); ok {
+			return out, desc
+		}
+	}
+	if out, desc, ok := swapDirective(src, lang, d, r); ok {
+		return out, desc
+	}
+	if out, desc, ok := removeAllocation(src, lang, r); ok {
+		return out, desc
+	}
+	// No directives at all (cannot happen for corpus files): fall back
+	// to a bracket error so the file is still invalid.
+	return mutateBracket(src, lang, r)
+}
+
+// directiveLineIndexes lists line numbers holding directives.
+func directiveLineIndexes(lines []string, lang testlang.Language) []int {
+	var idxs []int
+	for i, ln := range lines {
+		t := strings.TrimSpace(ln)
+		if lang == testlang.LangFortran {
+			if strings.HasPrefix(t, "!$") {
+				idxs = append(idxs, i)
+			}
+		} else if strings.HasPrefix(t, "#pragma ") {
+			idxs = append(idxs, i)
+		}
+	}
+	return idxs
+}
+
+// removeAllocation removes either a whole unstructured data directive
+// line (enter data / exit data / target enter data / ...) or one data
+// clause from a directive line.
+func removeAllocation(src string, lang testlang.Language, r *rng.Source) (string, string, bool) {
+	lines := strings.Split(src, "\n")
+	dirIdx := directiveLineIndexes(lines, lang)
+	if len(dirIdx) == 0 {
+		return "", "", false
+	}
+	// Whole-line candidates: unstructured data directives.
+	var wholeLine []int
+	for _, i := range dirIdx {
+		t := lines[i]
+		if strings.Contains(t, "enter data") || strings.Contains(t, "exit data") ||
+			strings.Contains(t, " update ") || strings.HasSuffix(strings.TrimSpace(t), "update") {
+			wholeLine = append(wholeLine, i)
+		}
+	}
+	// Clause candidates: (line, clauseStart, clauseEnd).
+	type clausePos struct{ line, start, end int }
+	var clauses []clausePos
+	for _, i := range dirIdx {
+		text := lines[i]
+		for _, name := range dataClauseNames {
+			from := 0
+			for {
+				rel := strings.Index(text[from:], name+"(")
+				if rel < 0 {
+					break
+				}
+				start := from + rel
+				// Must be a clause word boundary.
+				if start > 0 && (isWordByte(text[start-1])) {
+					from = start + 1
+					continue
+				}
+				depth := 0
+				end := -1
+				for j := start + len(name); j < len(text); j++ {
+					if text[j] == '(' {
+						depth++
+					} else if text[j] == ')' {
+						depth--
+						if depth == 0 {
+							end = j + 1
+							break
+						}
+					}
+				}
+				if end > 0 {
+					clauses = append(clauses, clausePos{line: i, start: start, end: end})
+					from = end
+				} else {
+					break
+				}
+			}
+		}
+	}
+	total := len(wholeLine) + len(clauses)
+	if total == 0 {
+		return "", "", false
+	}
+	pick := r.Intn(total)
+	if pick < len(wholeLine) {
+		i := wholeLine[pick]
+		removed := strings.TrimSpace(lines[i])
+		out := append(append([]string{}, lines[:i]...), lines[i+1:]...)
+		return strings.Join(out, "\n"), "removed data directive: " + removed, true
+	}
+	cp := clauses[pick-len(wholeLine)]
+	text := lines[cp.line]
+	removed := strings.TrimSpace(text[cp.start:cp.end])
+	lines[cp.line] = strings.TrimRight(text[:cp.start]+text[cp.end:], " ")
+	return strings.Join(lines, "\n"), "removed data clause: " + removed, true
+}
+
+func isWordByte(b byte) bool {
+	return b == '_' || (b >= 'a' && b <= 'z') || (b >= 'A' && b <= 'Z') || (b >= '0' && b <= '9')
+}
+
+// swapDirective corrupts a directive name into a syntactically
+// incorrect one.
+func swapDirective(src string, lang testlang.Language, d spec.Dialect, r *rng.Source) (string, string, bool) {
+	lines := strings.Split(src, "\n")
+	dirIdx := directiveLineIndexes(lines, lang)
+	if len(dirIdx) == 0 {
+		return "", "", false
+	}
+	i := dirIdx[r.Intn(len(dirIdx))]
+	line := lines[i]
+	sentinel := "#pragma " + d.Sentinel() + " "
+	if lang == testlang.LangFortran {
+		sentinel = d.FortranSentinel() + " "
+	}
+	at := strings.Index(line, sentinel)
+	if at < 0 {
+		return "", "", false
+	}
+	nameStart := at + len(sentinel)
+	nameEnd := nameStart
+	for nameEnd < len(line) && (isWordByte(line[nameEnd]) || line[nameEnd] == ' ') {
+		// Stop the name at a clause parenthesis.
+		if line[nameEnd] == ' ' && nameEnd+1 < len(line) && !isWordByte(line[nameEnd+1]) {
+			break
+		}
+		nameEnd++
+	}
+	name := strings.TrimSpace(line[nameStart:nameEnd])
+	if name == "" {
+		return "", "", false
+	}
+	corrupted := corruptWord(name, r)
+	lines[i] = line[:nameStart] + corrupted + line[nameStart+len(name):]
+	return strings.Join(lines, "\n"),
+		fmt.Sprintf("swapped directive %q -> %q", name, corrupted), true
+}
+
+// corruptWord misspells a directive name so it no longer matches any
+// specification entry.
+func corruptWord(name string, r *rng.Source) string {
+	fields := strings.Fields(name)
+	w := fields[r.Intn(len(fields))]
+	var mutated string
+	switch r.Intn(4) {
+	case 0: // drop a letter
+		k := r.Intn(len(w))
+		mutated = w[:k] + w[k+1:]
+	case 1: // double a letter
+		k := r.Intn(len(w))
+		mutated = w[:k] + string(w[k]) + w[k:]
+	case 2: // transpose
+		if len(w) > 1 {
+			k := r.Intn(len(w) - 1)
+			mutated = w[:k] + string(w[k+1]) + string(w[k]) + w[k+2:]
+		} else {
+			mutated = w + w
+		}
+	default: // splice in an underscore
+		k := 1 + r.Intn(len(w))
+		mutated = w[:k] + "_" + w[k:]
+	}
+	if mutated == w {
+		mutated = w + "x"
+	}
+	for i, f := range fields {
+		if f == w {
+			fields[i] = mutated
+			break
+		}
+	}
+	return strings.Join(fields, " ")
+}
+
+// --- issue 1: bracket removal ----------------------------------------
+
+func mutateBracket(src string, lang testlang.Language, r *rng.Source) (string, string) {
+	target := byte('{')
+	if lang == testlang.LangFortran {
+		target = '('
+	}
+	var positions []int
+	inStr := false
+	for i := 0; i < len(src); i++ {
+		c := src[i]
+		if c == '"' {
+			inStr = !inStr
+		}
+		if !inStr && c == target {
+			positions = append(positions, i)
+		}
+	}
+	if len(positions) == 0 {
+		return src + "\n}", "appended stray closing bracket"
+	}
+	p := positions[r.Intn(len(positions))]
+	return src[:p] + src[p+1:], fmt.Sprintf("removed opening %q", string(target))
+}
+
+// --- issue 2: undeclared variable -------------------------------------
+
+func mutateUndeclared(src string, lang testlang.Language, r *rng.Source) (string, string) {
+	name := fmt.Sprintf("undeclared_tmp_%d", r.Intn(100))
+	lines := strings.Split(src, "\n")
+	if lang == testlang.LangFortran {
+		// Insert inside the first do loop.
+		for i, ln := range lines {
+			t := strings.ToLower(strings.TrimSpace(ln))
+			if strings.HasPrefix(t, "do ") {
+				stmt := indentOf(lines[i]) + "    " + name + " = " + name + " + 1"
+				lines = insertLine(lines, i+1, stmt)
+				return strings.Join(lines, "\n"), "inserted use of " + name
+			}
+		}
+		lines = insertLine(lines, len(lines)-1, "    "+name+" = 1")
+		return strings.Join(lines, "\n"), "inserted use of " + name
+	}
+	// C/C++: insert a statement after a random statement line inside a
+	// function body.
+	var stmtLines []int
+	depth := 0
+	for i, ln := range lines {
+		t := strings.TrimSpace(ln)
+		opens := strings.Count(ln, "{")
+		closes := strings.Count(ln, "}")
+		if depth > 0 && strings.HasSuffix(t, ";") && !strings.HasPrefix(t, "#") &&
+			!strings.HasPrefix(t, "for") && !strings.HasPrefix(t, "if") {
+			stmtLines = append(stmtLines, i)
+		}
+		depth += opens - closes
+	}
+	if len(stmtLines) == 0 {
+		return src + "\nint trailing = " + name + ";\n", "appended use of " + name
+	}
+	i := stmtLines[r.Intn(len(stmtLines))]
+	stmt := indentOf(lines[i]) + name + " = " + name + " + 1;"
+	lines = insertLine(lines, i+1, stmt)
+	return strings.Join(lines, "\n"), "inserted use of " + name
+}
+
+func indentOf(line string) string {
+	for i := 0; i < len(line); i++ {
+		if line[i] != ' ' && line[i] != '\t' {
+			return line[:i]
+		}
+	}
+	return line
+}
+
+func insertLine(lines []string, at int, stmt string) []string {
+	if at < 0 {
+		at = 0
+	}
+	if at > len(lines) {
+		at = len(lines)
+	}
+	out := make([]string, 0, len(lines)+1)
+	out = append(out, lines[:at]...)
+	out = append(out, stmt)
+	out = append(out, lines[at:]...)
+	return out
+}
+
+// --- issue 4: remove last bracketed section ---------------------------
+
+// mutateTruncate removes the last *inner* balanced brace block of the
+// file, including its control header when one is present. For the V&V
+// house style this is usually the trailing error-check block, leaving
+// a file that compiles and runs clean but verifies nothing — the
+// mutation class the paper found hardest for the pipeline to catch.
+func mutateTruncate(src string, lang testlang.Language, r *rng.Source) (string, string) {
+	if lang == testlang.LangFortran {
+		return truncateFortran(src)
+	}
+	type blockPos struct{ open, close, depth int }
+	var blocks []blockPos
+	var stack []int
+	depth := 0
+	inStr, inLine, inBlock := false, false, false
+	for i := 0; i < len(src); i++ {
+		c := src[i]
+		switch {
+		case inLine:
+			if c == '\n' {
+				inLine = false
+			}
+		case inBlock:
+			if c == '*' && i+1 < len(src) && src[i+1] == '/' {
+				inBlock = false
+				i++
+			}
+		case inStr:
+			if c == '\\' {
+				i++
+			} else if c == '"' {
+				inStr = false
+			}
+		default:
+			switch c {
+			case '/':
+				if i+1 < len(src) {
+					if src[i+1] == '/' {
+						inLine = true
+					} else if src[i+1] == '*' {
+						inBlock = true
+					}
+				}
+			case '"':
+				inStr = true
+			case '{':
+				depth++
+				stack = append(stack, i)
+			case '}':
+				if len(stack) > 0 {
+					open := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					blocks = append(blocks, blockPos{open: open, close: i, depth: depth})
+				}
+				depth--
+			}
+		}
+	}
+	if len(blocks) == 0 {
+		return src, "no block to remove"
+	}
+	// Prefer the inner block (depth >= 2) with the greatest opening
+	// position; fall back to the last block of any depth.
+	best := -1
+	for i, b := range blocks {
+		if b.depth >= 2 && (best < 0 || b.open > blocks[best].open) {
+			best = i
+		}
+	}
+	if best < 0 {
+		for i, b := range blocks {
+			if best < 0 || b.open > blocks[best].open {
+				best = i
+			}
+		}
+	}
+	b := blocks[best]
+	start := b.open
+	// Extend removal back to the start of the control-header line when
+	// the text before '{' on that line looks like "if (...)" etc.
+	lineStart := strings.LastIndexByte(src[:start], '\n') + 1
+	head := strings.TrimSpace(src[lineStart:start])
+	if head == "" {
+		// '{' alone on its line: check the previous line for a header.
+		prevStart := strings.LastIndexByte(src[:lineStart-1], '\n') + 1
+		prev := strings.TrimSpace(src[prevStart : lineStart-1])
+		if isControlHeader(prev) {
+			start = prevStart
+		} else {
+			start = lineStart
+		}
+	} else if isControlHeader(head) {
+		start = lineStart
+	}
+	end := b.close + 1
+	// Swallow the trailing newline.
+	if end < len(src) && src[end] == '\n' {
+		end++
+	}
+	return src[:start] + src[end:], "removed last bracketed section"
+}
+
+func isControlHeader(s string) bool {
+	return strings.HasPrefix(s, "if ") || strings.HasPrefix(s, "if(") ||
+		strings.HasPrefix(s, "for ") || strings.HasPrefix(s, "for(") ||
+		strings.HasPrefix(s, "while ") || strings.HasPrefix(s, "while(") ||
+		s == "else" || strings.HasPrefix(s, "else ") ||
+		strings.HasPrefix(s, "} else")
+}
+
+// truncateFortran removes the last "if ... then / end if" block.
+func truncateFortran(src string) (string, string) {
+	lines := strings.Split(src, "\n")
+	lastEnd := -1
+	for i := len(lines) - 1; i >= 0; i-- {
+		t := strings.ToLower(strings.TrimSpace(lines[i]))
+		if strings.HasPrefix(t, "end if") || strings.HasPrefix(t, "endif") {
+			lastEnd = i
+			break
+		}
+	}
+	if lastEnd < 0 {
+		return src, "no block to remove"
+	}
+	depth := 1
+	start := -1
+	for i := lastEnd - 1; i >= 0; i-- {
+		t := strings.ToLower(strings.TrimSpace(lines[i]))
+		if strings.HasPrefix(t, "end if") || strings.HasPrefix(t, "endif") {
+			depth++
+		} else if strings.HasPrefix(t, "if") && strings.HasSuffix(t, "then") {
+			depth--
+			if depth == 0 {
+				start = i
+				break
+			}
+		}
+	}
+	if start < 0 {
+		return src, "no block to remove"
+	}
+	out := append(append([]string{}, lines[:start]...), lines[lastEnd+1:]...)
+	return strings.Join(out, "\n"), "removed last bracketed section"
+}

@@ -1,0 +1,273 @@
+package probe
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/compiler"
+	"repro/internal/corpus"
+	"repro/internal/machine"
+	"repro/internal/rng"
+	"repro/internal/spec"
+	"repro/internal/testlang"
+)
+
+func sampleFiles(t *testing.T, d spec.Dialect, n int) []corpus.TestFile {
+	t.Helper()
+	return corpus.Generate(corpus.Config{Dialect: d, Seed: 17,
+		Langs: []testlang.Language{testlang.LangC, testlang.LangCPP}}, n)
+}
+
+func TestIssueDescriptions(t *testing.T) {
+	if !strings.Contains(IssueDirective.Description(spec.OpenACC), "ACC") {
+		t.Error("ACC description lacks ACC tag")
+	}
+	if !strings.Contains(IssueDirective.Description(spec.OpenMP), "OMP") {
+		t.Error("OMP description lacks OMP tag")
+	}
+	if !strings.Contains(IssueRandom.Description(spec.OpenACC), "OpenACC") {
+		t.Error("random description lacks dialect")
+	}
+	if IssueNone.Description(spec.OpenACC) != "No issue" {
+		t.Error("IssueNone description wrong")
+	}
+}
+
+func TestValidity(t *testing.T) {
+	for i := Issue(0); i < NumIssues; i++ {
+		want := i == IssueNone
+		if i.Valid() != want {
+			t.Errorf("Issue %d validity = %v", i, i.Valid())
+		}
+	}
+}
+
+func TestBuildSuiteCounts(t *testing.T) {
+	files := sampleFiles(t, spec.OpenACC, 60)
+	counts := Counts{10, 10, 10, 10, 10, 10}
+	suite, err := BuildSuite(files, counts, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := Counts{}
+	for _, pf := range suite {
+		got[pf.Issue]++
+	}
+	if got != counts {
+		t.Fatalf("issue counts = %v, want %v", got, counts)
+	}
+}
+
+func TestBuildSuiteWrongSize(t *testing.T) {
+	files := sampleFiles(t, spec.OpenACC, 5)
+	if _, err := BuildSuite(files, Counts{1, 1, 1, 1, 1, 1}, 5); err == nil {
+		t.Fatal("size mismatch not rejected")
+	}
+}
+
+func TestBuildSuiteDeterministic(t *testing.T) {
+	files := sampleFiles(t, spec.OpenACC, 30)
+	counts := Counts{5, 5, 5, 5, 5, 5}
+	a, _ := BuildSuite(files, counts, 9)
+	b, _ := BuildSuite(files, counts, 9)
+	for i := range a {
+		if a[i].Source != b[i].Source || a[i].Issue != b[i].Issue {
+			t.Fatalf("suite entry %d differs between identical builds", i)
+		}
+	}
+}
+
+func TestMutateNoneUnchanged(t *testing.T) {
+	f := sampleFiles(t, spec.OpenACC, 1)[0]
+	pf := Mutate(f, IssueNone, rng.New(1))
+	if pf.Source != f.Source {
+		t.Fatal("IssueNone changed the file")
+	}
+}
+
+// TestBracketMutationBreaksCompile: issue 1 must always produce a
+// compile error.
+func TestBracketMutationBreaksCompile(t *testing.T) {
+	files := sampleFiles(t, spec.OpenACC, 20)
+	pers := compiler.NVCSim()
+	for _, f := range files {
+		pf := Mutate(f, IssueBracket, rng.New(uint64(len(f.Source))))
+		if pf.Source == f.Source {
+			t.Fatalf("%s: bracket mutation was a no-op", f.Name)
+		}
+		res := pers.Compile(pf.Name, pf.Source, pf.Lang)
+		if res.OK {
+			t.Errorf("%s: bracket-removed file compiled:\n%s", f.Name, pf.Source)
+		}
+	}
+}
+
+// TestUndeclaredMutationBreaksCompile: issue 2 must always produce a
+// compile error.
+func TestUndeclaredMutationBreaksCompile(t *testing.T) {
+	files := sampleFiles(t, spec.OpenMP, 20)
+	pers := compiler.ClangSim()
+	for _, f := range files {
+		pf := Mutate(f, IssueUndeclared, rng.New(uint64(len(f.Source))))
+		res := pers.Compile(pf.Name, pf.Source, pf.Lang)
+		if res.OK {
+			t.Errorf("%s: undeclared-var file compiled:\n%s", f.Name, pf.Source)
+		}
+		if !strings.Contains(pf.Mutation, "undeclared_tmp") {
+			t.Errorf("mutation record %q lacks the variable", pf.Mutation)
+		}
+	}
+}
+
+// TestSwapDirectiveBreaksCompile: the swap submode of issue 0 must
+// produce an unknown-directive compile error.
+func TestSwapDirectiveBreaksCompile(t *testing.T) {
+	files := sampleFiles(t, spec.OpenACC, 30)
+	pers := compiler.Reference(spec.OpenACC)
+	swaps := 0
+	for _, f := range files {
+		pf := Mutate(f, IssueDirective, rng.New(uint64(len(f.Source))+3))
+		if !strings.HasPrefix(pf.Mutation, "swapped directive") {
+			continue
+		}
+		swaps++
+		res := pers.Compile(pf.Name, pf.Source, pf.Lang)
+		if res.OK {
+			t.Errorf("%s: swapped directive compiled (%s):\n%s", f.Name, pf.Mutation, pf.Source)
+		}
+	}
+	if swaps == 0 {
+		t.Fatal("no swap submode occurrences in 30 mutations")
+	}
+}
+
+// TestRemoveAllocationMix: the removal submode should yield a blend of
+// still-running (masked by implicit data movement), runtime-failing
+// and result-failing files — that blend is load-bearing for Table IV.
+func TestRemoveAllocationMix(t *testing.T) {
+	files := sampleFiles(t, spec.OpenACC, 120)
+	pers := compiler.Reference(spec.OpenACC)
+	removals, masked, caught := 0, 0, 0
+	for _, f := range files {
+		pf := Mutate(f, IssueDirective, rng.New(uint64(len(f.Source))))
+		if strings.HasPrefix(pf.Mutation, "swapped") {
+			continue
+		}
+		removals++
+		res := pers.Compile(pf.Name, pf.Source, pf.Lang)
+		if !res.OK {
+			caught++ // e.g. removing a clause broke syntax
+			continue
+		}
+		r := machine.Run(res.Object, machine.Options{})
+		if r.ReturnCode == 0 {
+			masked++
+		} else {
+			caught++
+		}
+	}
+	if removals < 20 {
+		t.Fatalf("too few removal submode samples: %d", removals)
+	}
+	if masked == 0 {
+		t.Error("no removal was masked by implicit data movement; OpenACC leniency broken")
+	}
+	if caught == 0 {
+		t.Error("no removal was caught mechanically; presence/copyout semantics broken")
+	}
+	t.Logf("removals=%d masked=%d caught=%d", removals, masked, caught)
+}
+
+// TestTruncateMutationMostlyCompiles: issue 4 must usually leave a
+// compilable file (the paper's hardest class), with a small tail of
+// mechanical failures.
+func TestTruncateMutationMostlyCompiles(t *testing.T) {
+	files := sampleFiles(t, spec.OpenACC, 60)
+	pers := compiler.Reference(spec.OpenACC)
+	compiles, cleanRuns := 0, 0
+	for _, f := range files {
+		pf := Mutate(f, IssueTruncated, rng.New(uint64(len(f.Source))))
+		if pf.Source == f.Source {
+			t.Errorf("%s: truncate was a no-op", f.Name)
+			continue
+		}
+		res := pers.Compile(pf.Name, pf.Source, pf.Lang)
+		if !res.OK {
+			continue
+		}
+		compiles++
+		if machine.Run(res.Object, machine.Options{}).ReturnCode == 0 {
+			cleanRuns++
+		}
+	}
+	if compiles < 40 {
+		t.Fatalf("only %d/60 truncated files compile; expected most", compiles)
+	}
+	if cleanRuns < 30 {
+		t.Fatalf("only %d/60 truncated files run clean; the hard class is not hard", cleanRuns)
+	}
+	t.Logf("compiles=%d cleanRuns=%d of 60", compiles, cleanRuns)
+}
+
+// TestTruncateRemovesCheckBlock: for the house-style templates the
+// removed section should be the trailing error check.
+func TestTruncateRemovesCheckBlock(t *testing.T) {
+	f, err := corpus.InstantiateTemplate(spec.OpenACC, "parallel_loop_vecadd", testlang.LangC, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf := Mutate(f, IssueTruncated, rng.New(1))
+	if strings.Contains(pf.Source, "Test failed") {
+		t.Fatalf("fail block survived truncation:\n%s", pf.Source)
+	}
+	if !strings.Contains(pf.Source, "Test passed") {
+		t.Fatalf("pass path removed, wrong block excised:\n%s", pf.Source)
+	}
+}
+
+func TestRandomMutationHasNoDirectives(t *testing.T) {
+	files := sampleFiles(t, spec.OpenMP, 20)
+	for _, f := range files {
+		pf := Mutate(f, IssueRandom, rng.New(uint64(len(f.Source))))
+		if strings.Contains(pf.Source, "#pragma omp") || strings.Contains(pf.Source, "#pragma acc") {
+			t.Fatalf("random replacement still contains directives:\n%s", pf.Source)
+		}
+	}
+}
+
+func TestFortranMutations(t *testing.T) {
+	f, err := corpus.InstantiateTemplate(spec.OpenACC, "parallel_loop_vecadd", testlang.LangFortran, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pers := compiler.Reference(spec.OpenACC)
+	if res := pers.Compile(f.Name, f.Source, f.Lang); !res.OK {
+		t.Fatalf("base Fortran file invalid:\n%s", res.Stderr)
+	}
+	for _, issue := range []Issue{IssueBracket, IssueUndeclared} {
+		pf := Mutate(f, issue, rng.New(3))
+		res := pers.Compile(pf.Name, pf.Source, pf.Lang)
+		if res.OK {
+			t.Errorf("Fortran issue %d compiled:\n%s", issue, pf.Source)
+		}
+	}
+	pf := Mutate(f, IssueTruncated, rng.New(3))
+	if strings.Count(pf.Source, "end if") >= strings.Count(f.Source, "end if") {
+		t.Error("Fortran truncate removed nothing")
+	}
+	pf = Mutate(f, IssueRandom, rng.New(3))
+	if strings.Contains(pf.Source, "!$acc") {
+		t.Error("Fortran random replacement contains directives")
+	}
+}
+
+func TestMutationRecordsPopulated(t *testing.T) {
+	files := sampleFiles(t, spec.OpenACC, 12)
+	for i, f := range files {
+		issue := Issue(i % 5)
+		pf := Mutate(f, issue, rng.New(uint64(i)))
+		if pf.Mutation == "" {
+			t.Errorf("issue %d produced empty mutation record", issue)
+		}
+	}
+}

@@ -1,0 +1,48 @@
+package probe
+
+import (
+	"testing"
+
+	"repro/internal/compiler"
+	"repro/internal/machine"
+	"repro/internal/rng"
+	"repro/internal/spec"
+)
+
+// TestTruncateAsymmetryOMPvsACC locks in the structural asymmetry
+// behind Tables IV/V: removing the last bracketed section is rarely
+// caught mechanically for OpenACC files (fail-open reporting idiom —
+// the removed block is the early-return error check) but usually
+// caught for OpenMP files (fail-closed SOLLVE-style reporting — the
+// removed block is the status-clearing success path). See
+// EXPERIMENTS.md for the calibration discussion.
+func TestTruncateAsymmetryOMPvsACC(t *testing.T) {
+	rates := map[spec.Dialect]float64{}
+	for _, d := range []spec.Dialect{spec.OpenACC, spec.OpenMP} {
+		files := sampleFiles(t, d, 80)
+		pers := compiler.Reference(d)
+		caught := 0
+		for _, f := range files {
+			pf := Mutate(f, IssueTruncated, rng.New(uint64(len(f.Source))))
+			res := pers.Compile(pf.Name, pf.Source, pf.Lang)
+			if !res.OK {
+				caught++
+				continue
+			}
+			if machine.Run(res.Object, machine.Options{}).ReturnCode != 0 {
+				caught++
+			}
+		}
+		rates[d] = float64(caught) / 80
+		t.Logf("%v: truncation mechanically caught %d/80", d, caught)
+	}
+	if rates[spec.OpenACC] > 0.30 {
+		t.Errorf("OpenACC truncation catch rate %.2f too high; paper band is ~0.07", rates[spec.OpenACC])
+	}
+	if rates[spec.OpenMP] < 0.60 {
+		t.Errorf("OpenMP truncation catch rate %.2f too low; paper band is ~0.85", rates[spec.OpenMP])
+	}
+	if rates[spec.OpenMP]-rates[spec.OpenACC] < 0.4 {
+		t.Errorf("truncation asymmetry collapsed: ACC %.2f vs OMP %.2f", rates[spec.OpenACC], rates[spec.OpenMP])
+	}
+}

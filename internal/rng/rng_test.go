@@ -1,0 +1,277 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if av, bv := a.Uint64(), b.Uint64(); av != bv {
+			t.Fatalf("step %d: streams diverged: %d != %d", i, av, bv)
+		}
+	}
+}
+
+func TestDistinctSeedsDiverge(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("seeds 1 and 2 produced %d/100 identical outputs", same)
+	}
+}
+
+func TestZeroSeedUsable(t *testing.T) {
+	r := New(0)
+	seen := map[uint64]bool{}
+	for i := 0; i < 100; i++ {
+		seen[r.Uint64()] = true
+	}
+	if len(seen) < 99 {
+		t.Fatalf("zero seed produced repetitive stream: %d distinct of 100", len(seen))
+	}
+}
+
+func TestSplitIsStableAndOrderIndependent(t *testing.T) {
+	parent := New(7)
+	c1 := parent.Split("file-001")
+	c2 := parent.Split("file-002")
+	// Recreate in the opposite order: children must be identical.
+	parent2 := New(7)
+	d2 := parent2.Split("file-002")
+	d1 := parent2.Split("file-001")
+	for i := 0; i < 100; i++ {
+		if c1.Uint64() != d1.Uint64() {
+			t.Fatal("Split(file-001) not stable across creation order")
+		}
+		if c2.Uint64() != d2.Uint64() {
+			t.Fatal("Split(file-002) not stable across creation order")
+		}
+	}
+}
+
+func TestSplitDistinctLabelsDiverge(t *testing.T) {
+	parent := New(7)
+	a := parent.Split("a")
+	b := parent.Split("b")
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("split streams for distinct labels overlapped %d/100", same)
+	}
+}
+
+func TestSplitDoesNotAdvanceParent(t *testing.T) {
+	a := New(9)
+	b := New(9)
+	_ = a.Split("x")
+	_ = a.Split("y")
+	for i := 0; i < 10; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("Split advanced the parent stream")
+		}
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(3)
+	if err := quick.Check(func(nRaw uint16) bool {
+		n := int(nRaw%1000) + 1
+		v := r.Intn(n)
+		return v >= 0 && v < n
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestIntnUniformity(t *testing.T) {
+	r := New(11)
+	const n, trials = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < trials; i++ {
+		counts[r.Intn(n)]++
+	}
+	want := trials / n
+	for i, c := range counts {
+		if c < want*9/10 || c > want*11/10 {
+			t.Fatalf("bucket %d count %d deviates >10%% from %d", i, c, want)
+		}
+	}
+}
+
+func TestIntRange(t *testing.T) {
+	r := New(5)
+	for i := 0; i < 1000; i++ {
+		v := r.IntRange(-3, 3)
+		if v < -3 || v > 3 {
+			t.Fatalf("IntRange(-3,3) = %d", v)
+		}
+	}
+	if got := r.IntRange(4, 4); got != 4 {
+		t.Fatalf("IntRange(4,4) = %d, want 4", got)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(6)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", f)
+		}
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	r := New(8)
+	const trials = 100000
+	hits := 0
+	for i := 0; i < trials; i++ {
+		if r.Bool(0.3) {
+			hits++
+		}
+	}
+	got := float64(hits) / trials
+	if got < 0.28 || got > 0.32 {
+		t.Fatalf("Bool(0.3) frequency = %v", got)
+	}
+	if r.Bool(0) {
+		t.Fatal("Bool(0) returned true")
+	}
+	if !r.Bool(1) {
+		t.Fatal("Bool(1) returned false")
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(10)
+	if err := quick.Check(func(nRaw uint8) bool {
+		n := int(nRaw % 64)
+		p := r.Perm(n)
+		if len(p) != n {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSample(t *testing.T) {
+	r := New(12)
+	s := r.Sample(10, 4)
+	if len(s) != 4 {
+		t.Fatalf("Sample(10,4) returned %d items", len(s))
+	}
+	seen := map[int]bool{}
+	for _, v := range s {
+		if v < 0 || v >= 10 || seen[v] {
+			t.Fatalf("Sample produced invalid/duplicate index %d", v)
+		}
+		seen[v] = true
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Sample(3,4) did not panic")
+		}
+	}()
+	r.Sample(3, 4)
+}
+
+func TestShuffleIsPermutation(t *testing.T) {
+	r := New(13)
+	data := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	r.Shuffle(len(data), func(i, j int) { data[i], data[j] = data[j], data[i] })
+	seen := make([]bool, len(data))
+	for _, v := range data {
+		if seen[v] {
+			t.Fatalf("shuffle duplicated element %d", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := New(14)
+	const trials = 200000
+	var sum, sumSq float64
+	for i := 0; i < trials; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / trials
+	variance := sumSq/trials - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("normal mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Fatalf("normal variance = %v, want ~1", variance)
+	}
+}
+
+func TestLocalMathAgainstStdlib(t *testing.T) {
+	for _, x := range []float64{0.001, 0.5, 1, 1.5, 2, 10, 12345.678} {
+		if got, want := sqrt(x), math.Sqrt(x); math.Abs(got-want) > 1e-9*want+1e-12 {
+			t.Errorf("sqrt(%v) = %v, want %v", x, got, want)
+		}
+		if got, want := ln(x), math.Log(x); math.Abs(got-want) > 1e-9*math.Abs(want)+1e-12 {
+			t.Errorf("ln(%v) = %v, want %v", x, got, want)
+		}
+	}
+}
+
+func TestPick(t *testing.T) {
+	r := New(15)
+	choices := []string{"a", "b", "c"}
+	counts := map[string]int{}
+	for i := 0; i < 3000; i++ {
+		counts[r.Pick(choices)]++
+	}
+	for _, c := range choices {
+		if counts[c] < 800 {
+			t.Fatalf("Pick starved choice %q: %d/3000", c, counts[c])
+		}
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Uint64()
+	}
+}
+
+func BenchmarkSplit(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Split("some-file-label.c")
+	}
+}

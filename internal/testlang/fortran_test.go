@@ -1,0 +1,206 @@
+package testlang
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/spec"
+)
+
+const fortranVecAdd = `program vecadd
+    use openacc
+    implicit none
+    integer, parameter :: n = 1024
+    integer :: i, errs
+    real(8) :: a(n), b(n), c(n), expect
+
+    do i = 1, n
+        a(i) = i * 0.5
+        b(i) = i * 2.0
+    end do
+
+    !$acc parallel loop copyin(a, b) copyout(c)
+    do i = 1, n
+        c(i) = a(i) + b(i)
+    end do
+
+    errs = 0
+    do i = 1, n
+        expect = a(i) + b(i)
+        if (abs(c(i) - expect) > 1e-9) then
+            errs = errs + 1
+        end if
+    end do
+
+    if (errs /= 0) then
+        print *, "FAIL", errs
+        stop 1
+    end if
+    print *, "PASS"
+end program vecadd
+`
+
+func TestFortranValidFile(t *testing.T) {
+	info, errs := CheckFortran(fortranVecAdd, spec.OpenACC)
+	if len(errs) != 0 {
+		t.Fatalf("valid Fortran flagged: %v", errs)
+	}
+	if info.ProgramName != "vecadd" {
+		t.Fatalf("program name = %q", info.ProgramName)
+	}
+	if !info.ImplicitNone {
+		t.Fatal("implicit none not detected")
+	}
+	if len(info.Directives) != 1 || info.Directives[0].Name != "parallel loop" {
+		t.Fatalf("directives = %+v", info.Directives)
+	}
+	for _, name := range []string{"a", "b", "c", "i", "errs", "n", "expect"} {
+		if !info.Declared[name] {
+			t.Errorf("declared set missing %q", name)
+		}
+	}
+}
+
+func TestFortranUndeclaredVariable(t *testing.T) {
+	src := strings.Replace(fortranVecAdd, "c(i) = a(i) + b(i)", "c(i) = a(i) + bogus(i)", 1)
+	_, errs := CheckFortran(src, spec.OpenACC)
+	if len(errs) == 0 {
+		t.Fatal("undeclared identifier not flagged")
+	}
+	found := false
+	for _, e := range errs {
+		if strings.Contains(e.Error(), "bogus") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no diagnostic names the undeclared id: %v", errs)
+	}
+}
+
+func TestFortranUnbalancedParens(t *testing.T) {
+	src := strings.Replace(fortranVecAdd, "c(i) = a(i) + b(i)", "c(i = a(i) + b(i)", 1)
+	_, errs := CheckFortran(src, spec.OpenACC)
+	if len(errs) == 0 {
+		t.Fatal("unbalanced parens not flagged")
+	}
+}
+
+func TestFortranUnclosedBlock(t *testing.T) {
+	src := strings.Replace(fortranVecAdd, "    end do\n\n    !$acc", "\n    !$acc", 1)
+	_, errs := CheckFortran(src, spec.OpenACC)
+	if len(errs) == 0 {
+		t.Fatal("unclosed do block not flagged")
+	}
+}
+
+func TestFortranMissingProgram(t *testing.T) {
+	_, errs := CheckFortran("integer :: i\ni = 1\n", spec.OpenACC)
+	if len(errs) == 0 {
+		t.Fatal("file without PROGRAM accepted")
+	}
+}
+
+func TestFortranUnknownDirective(t *testing.T) {
+	src := strings.Replace(fortranVecAdd, "!$acc parallel loop", "!$acc paralel loop", 1)
+	_, errs := CheckFortran(src, spec.OpenACC)
+	if len(errs) == 0 {
+		t.Fatal("unknown directive not flagged")
+	}
+}
+
+func TestFortranBadClause(t *testing.T) {
+	src := strings.Replace(fortranVecAdd, "copyin(a, b) copyout(c)", "copyin(a, b) num_threads(4)", 1)
+	_, errs := CheckFortran(src, spec.OpenACC)
+	if len(errs) == 0 {
+		t.Fatal("OpenMP clause on OpenACC directive not flagged")
+	}
+}
+
+func TestFortranLoopDirectiveNeedsDo(t *testing.T) {
+	src := strings.Replace(fortranVecAdd, "!$acc parallel loop copyin(a, b) copyout(c)\n    do i = 1, n\n        c(i) = a(i) + b(i)\n    end do",
+		"!$acc parallel loop copyin(a, b) copyout(c)\n    c(1) = a(1) + b(1)", 1)
+	_, errs := CheckFortran(src, spec.OpenACC)
+	if len(errs) == 0 {
+		t.Fatal("loop directive without DO not flagged")
+	}
+}
+
+func TestFortranForeignSentinelIsComment(t *testing.T) {
+	src := strings.Replace(fortranVecAdd, "!$acc parallel loop copyin(a, b) copyout(c)",
+		"!$omp parallel do\n    !$acc parallel loop copyin(a, b) copyout(c)", 1)
+	info, errs := CheckFortran(src, spec.OpenACC)
+	if len(errs) != 0 {
+		t.Fatalf("foreign sentinel should be ignored as comment: %v", errs)
+	}
+	if len(info.Directives) != 1 {
+		t.Fatalf("directives = %d, want 1", len(info.Directives))
+	}
+}
+
+func TestFortranAllocatable(t *testing.T) {
+	src := `program alloc
+    implicit none
+    integer :: n, i
+    real(8), allocatable :: a(:)
+    n = 100
+    allocate(a(n))
+    do i = 1, n
+        a(i) = i
+    end do
+    deallocate(a)
+    print *, "PASS"
+end program alloc
+`
+	info, errs := CheckFortran(src, spec.OpenACC)
+	if len(errs) != 0 {
+		t.Fatalf("allocatable program flagged: %v", errs)
+	}
+	if !info.Declared["a"] {
+		t.Fatal("allocatable decl not recorded")
+	}
+}
+
+func TestFortranCommentStripping(t *testing.T) {
+	src := strings.Replace(fortranVecAdd, `print *, "PASS"`, `print *, "PASS"  ! done (unbalanced in comment`, 1)
+	_, errs := CheckFortran(src, spec.OpenACC)
+	if len(errs) != 0 {
+		t.Fatalf("trailing comment confused the checker: %v", errs)
+	}
+}
+
+func TestFortranStringWithBang(t *testing.T) {
+	src := strings.Replace(fortranVecAdd, `print *, "PASS"`, `print *, "PASS! (ok"`, 1)
+	_, errs := CheckFortran(src, spec.OpenACC)
+	if len(errs) != 0 {
+		t.Fatalf("! inside string treated as comment: %v", errs)
+	}
+}
+
+func TestFortranOpenMPDirectives(t *testing.T) {
+	src := `program omptest
+    use omp_lib
+    implicit none
+    integer :: i, total
+    total = 0
+    !$omp parallel do reduction(+:total)
+    do i = 1, 100
+        total = total + i
+    end do
+    if (total /= 5050) then
+        stop 1
+    end if
+end program omptest
+`
+	// "parallel do" is the Fortran spelling; the spec table stores the
+	// C names, so "parallel do" is unknown -> the Fortran checker maps
+	// "do" to "for" before lookup? It does not: the reproduction's
+	// corpus emits C-style names ("parallel for") only for C files and
+	// uses "parallel loop"-style OpenACC names in Fortran. For OpenMP
+	// Fortran we accept that "parallel do" is reported unknown, which
+	// matches the paper's scope: its Fortran files are OpenACC-only.
+	_, errs := CheckFortran(src, spec.OpenMP)
+	if len(errs) == 0 {
+		t.Skip("parallel do accepted; fine if spec gains Fortran names")
+	}
+}

@@ -1,0 +1,103 @@
+package llm4vv
+
+import (
+	"repro/internal/corpus"
+	"repro/internal/probe"
+	"repro/internal/spec"
+	"repro/internal/testlang"
+)
+
+// SuiteSpec describes one negative-probing suite: the corpus to
+// generate and the per-issue mutation counts to apply.
+type SuiteSpec struct {
+	Dialect spec.Dialect
+	Counts  probe.Counts
+	Langs   []testlang.Language
+	// Seed drives corpus generation and mutation choices.
+	Seed uint64
+	// UnsupportedFraction / BrittleFraction are forwarded to the
+	// corpus generator (see internal/corpus).
+	UnsupportedFraction float64
+	BrittleFraction     float64
+}
+
+// Total returns the suite size.
+func (s SuiteSpec) Total() int { return s.Counts.Total() }
+
+// PartOneSpec returns the paper's Part-One suite for a dialect: the
+// suites of Tables I-III. The OpenACC suite mixes C, C++ and a small
+// set of Fortran files; the OpenMP suite is C only ("due to time
+// constraints", §V-A).
+func PartOneSpec(d spec.Dialect) SuiteSpec {
+	if d == spec.OpenACC {
+		return SuiteSpec{
+			Dialect:             d,
+			Counts:              probe.Counts{203, 125, 108, 117, 114, 668},
+			Langs:               []testlang.Language{testlang.LangC, testlang.LangCPP, testlang.LangFortran},
+			Seed:                0xACC1,
+			UnsupportedFraction: 0.14,
+		}
+	}
+	return SuiteSpec{
+		Dialect: d,
+		Counts:  probe.Counts{59, 39, 33, 51, 33, 216},
+		Langs:   []testlang.Language{testlang.LangC},
+		Seed:    0x0731,
+	}
+}
+
+// PartTwoSpec returns the paper's Part-Two suite for a dialect: the
+// larger C/C++ suites of Tables IV-IX. The OpenACC fractions encode
+// the calibrated toolchain-gap rate; the OpenMP suite carries a small
+// brittle-comparison fraction (see EXPERIMENTS.md).
+func PartTwoSpec(d spec.Dialect) SuiteSpec {
+	if d == spec.OpenACC {
+		return SuiteSpec{
+			Dialect:             d,
+			Counts:              probe.Counts{272, 146, 151, 146, 176, 891},
+			Langs:               []testlang.Language{testlang.LangC, testlang.LangCPP},
+			Seed:                0xACC2,
+			UnsupportedFraction: 0.14,
+		}
+	}
+	return SuiteSpec{
+		Dialect:         d,
+		Counts:          probe.Counts{49, 28, 26, 20, 25, 148},
+		Langs:           []testlang.Language{testlang.LangC, testlang.LangCPP},
+		Seed:            0x0732,
+		BrittleFraction: 0.015,
+	}
+}
+
+// BuildSuite generates the corpus and applies negative probing.
+func BuildSuite(s SuiteSpec) ([]probe.ProbedFile, error) {
+	files := corpus.Generate(corpus.Config{
+		Dialect:             s.Dialect,
+		Langs:               s.Langs,
+		Seed:                s.Seed,
+		UnsupportedFraction: s.UnsupportedFraction,
+		BrittleFraction:     s.BrittleFraction,
+	}, s.Total())
+	return probe.BuildSuite(files, s.Counts, s.Seed^0x5eed)
+}
+
+// Scaled returns a copy of the spec with every issue count scaled by
+// 1/f (minimum 1 per non-zero class) — used by the benchmark harness
+// to run table-shaped workloads at reduced size.
+func (s SuiteSpec) Scaled(f int) SuiteSpec {
+	if f <= 1 {
+		return s
+	}
+	out := s
+	for i, n := range s.Counts {
+		if n == 0 {
+			continue
+		}
+		scaled := n / f
+		if scaled == 0 {
+			scaled = 1
+		}
+		out.Counts[i] = scaled
+	}
+	return out
+}
