@@ -1,0 +1,75 @@
+package llm4vv
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/judge"
+	"repro/internal/model"
+)
+
+// DefaultBackend names the registered endpoint every published
+// experiment number was measured with: the simulated
+// deepseek-coder-33B-instruct model.
+const DefaultBackend = "deepseek-sim"
+
+// BackendFactory constructs an LLM endpoint for a sampling seed. Equal
+// seeds must give equal behaviour for experiments to stay reproducible.
+type BackendFactory func(seed uint64) judge.LLM
+
+var backendRegistry = struct {
+	sync.RWMutex
+	factories map[string]BackendFactory
+}{factories: map[string]BackendFactory{}}
+
+// RegisterBackend makes an endpoint constructable by name through
+// NewBackend and WithBackend, so alternate or simulated endpoints plug
+// into every experiment without touching harness code. It panics on an
+// empty name or a duplicate registration — both are programmer errors,
+// caught at init time like http.Handle.
+func RegisterBackend(name string, factory BackendFactory) {
+	if name == "" || factory == nil {
+		panic("llm4vv: RegisterBackend with empty name or nil factory")
+	}
+	backendRegistry.Lock()
+	defer backendRegistry.Unlock()
+	if _, dup := backendRegistry.factories[name]; dup {
+		panic(fmt.Sprintf("llm4vv: backend %q registered twice", name))
+	}
+	backendRegistry.factories[name] = factory
+}
+
+// NewBackend constructs the named endpoint with the given seed,
+// erroring on unknown names (the error lists what is registered).
+func NewBackend(name string, seed uint64) (judge.LLM, error) {
+	backendRegistry.RLock()
+	factory, ok := backendRegistry.factories[name]
+	backendRegistry.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("llm4vv: unknown backend %q (registered: %v)", name, Backends())
+	}
+	return factory(seed), nil
+}
+
+// Backends lists the registered backend names, sorted.
+func Backends() []string {
+	backendRegistry.RLock()
+	defer backendRegistry.RUnlock()
+	names := make([]string, 0, len(backendRegistry.factories))
+	for name := range backendRegistry.factories {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func init() {
+	RegisterBackend(DefaultBackend, func(seed uint64) judge.LLM { return model.New(seed) })
+}
+
+// NewModel returns the simulated deepseek-coder-33B-instruct endpoint.
+//
+// Deprecated: construct endpoints through the backend registry
+// (NewBackend / WithBackend) instead.
+func NewModel(seed uint64) judge.LLM { return model.New(seed) }

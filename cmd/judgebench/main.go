@@ -5,15 +5,22 @@
 // Usage:
 //
 //	judgebench -dialect acc|omp -mode direct|agent|indirect|pipeline1|pipeline2 \
-//	           [-scale K] [-seed N] [-show N]
+//	           [-scale K] [-seed N] [-backend NAME] [-show N] [-record-all=false]
+//	judgebench -experiment NAME [-scale K] [-seed N] [-backend NAME]
+//	judgebench -list
 //
-// -show N prints N sample prompt/response transcripts.
+// -show N prints N sample prompt/response transcripts. -experiment
+// dispatches any registered experiment through the same generic path
+// cmd/llm4vv uses; -list enumerates registered experiments and
+// backends.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 
 	llm4vv "repro"
@@ -30,8 +37,41 @@ func main() {
 	mode := flag.String("mode", "pipeline1", "direct|agent|indirect|pipeline1|pipeline2")
 	scale := flag.Int("scale", 4, "divide suite sizes by this factor")
 	seed := flag.Uint64("seed", llm4vv.DefaultModelSeed, "model seed")
+	backend := flag.String("backend", llm4vv.DefaultBackend, "registered LLM backend")
 	show := flag.Int("show", 0, "print this many sample transcripts")
+	recordAll := flag.Bool("record-all", true, "run every stage for every file (false = short-circuit)")
+	experiment := flag.String("experiment", "", "dispatch a registered experiment instead of a mode")
+	list := flag.Bool("list", false, "list registered experiments and backends, then exit")
 	flag.Parse()
+
+	if *list {
+		fmt.Println("registered experiments:")
+		for _, e := range llm4vv.Experiments() {
+			fmt.Printf("  %-10s %s\n", e.Name(), e.Description())
+		}
+		fmt.Println("registered backends:")
+		for _, name := range llm4vv.Backends() {
+			fmt.Printf("  %s\n", name)
+		}
+		return
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	runner, err := llm4vv.NewRunner(
+		llm4vv.WithBackend(*backend),
+		llm4vv.WithSeed(*seed),
+		llm4vv.WithRecordAll(*recordAll),
+	)
+	fail(err)
+
+	if *experiment != "" {
+		res, err := llm4vv.RunExperiment(ctx, runner, *experiment, llm4vv.ExperimentParams{Scale: *scale})
+		fail(err)
+		fmt.Println(res.Report())
+		return
+	}
 
 	var d spec.Dialect
 	switch *dialectFlag {
@@ -45,10 +85,7 @@ func main() {
 	}
 	suiteSpec := llm4vv.PartTwoSpec(d).Scaled(*scale)
 	suite, err := llm4vv.BuildSuite(suiteSpec)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "judgebench:", err)
-		os.Exit(1)
-	}
+	fail(err)
 
 	style := judge.AgentDirect
 	pipelineVerdict := false
@@ -68,32 +105,16 @@ func main() {
 		os.Exit(2)
 	}
 
-	inputs := make([]pipeline.Input, len(suite))
-	for i, pf := range suite {
-		inputs[i] = pipeline.Input{Name: pf.Name, Source: pf.Source, Lang: pf.Lang}
-	}
-	workers := runtime.GOMAXPROCS(0)
-	var jd *judge.Judge
-	if style == judge.Direct && !pipelineVerdict {
-		jd = &judge.Judge{LLM: llm4vv.NewModel(*seed), Style: judge.Direct, Dialect: d}
-	} else {
-		jd = &judge.Judge{LLM: llm4vv.NewModel(*seed), Style: style, Dialect: d}
-	}
-	cfg := pipeline.Config{
-		Tools:          agent.NewTools(d),
-		Judge:          jd,
-		CompileWorkers: workers,
-		ExecWorkers:    workers,
-		JudgeWorkers:   workers,
-		RecordAll:      true,
-		KeepResponses:  *show > 0,
-	}
+	llm, err := llm4vv.NewBackend(*backend, *seed)
+	fail(err)
+	jd := &judge.Judge{LLM: llm, Style: style, Dialect: d}
 	if style == judge.Direct {
 		// The direct judge receives no tool info; evaluate outside the
 		// pipeline for fidelity to Part One.
 		outcomes := make([]metrics.Outcome, len(suite))
 		for i, pf := range suite {
-			ev := jd.Evaluate(pf.Source, nil)
+			ev, err := jd.Evaluate(ctx, pf.Source, nil)
+			fail(err)
 			outcomes[i] = metrics.Outcome{Issue: pf.Issue, JudgedValid: ev.Verdict == judge.Valid}
 			if i < *show {
 				fmt.Printf("--- %s (issue %d) ---\n%s\n", pf.Name, pf.Issue, ev.Response)
@@ -104,7 +125,29 @@ func main() {
 		return
 	}
 
-	results, stats := pipeline.Run(cfg, inputs)
+	inputs := make([]pipeline.Input, len(suite))
+	for i, pf := range suite {
+		inputs[i] = pipeline.Input{Name: pf.Name, Source: pf.Source, Lang: pf.Lang}
+	}
+	// Judge-only scorecards (agent/indirect) need every file judged;
+	// short-circuiting would score dropped files as judge-invalid and
+	// measure the pipeline instead of the judge.
+	runRecordAll := *recordAll
+	if !pipelineVerdict && !runRecordAll {
+		fmt.Fprintln(os.Stderr, "judgebench: -mode", *mode, "scores the judge alone; forcing -record-all=true")
+		runRecordAll = true
+	}
+	workers := runtime.GOMAXPROCS(0)
+	results, stats, err := pipeline.Run(ctx, pipeline.Config{
+		Tools:          agent.NewTools(d),
+		Judge:          jd,
+		CompileWorkers: workers,
+		ExecWorkers:    workers,
+		JudgeWorkers:   workers,
+		RecordAll:      runRecordAll,
+		KeepResponses:  *show > 0,
+	}, inputs)
+	fail(err)
 	outcomes := make([]metrics.Outcome, len(results))
 	shown := 0
 	for i, r := range results {
@@ -123,4 +166,11 @@ func main() {
 	fmt.Println(report.PerIssueTable(title, metrics.Score(d, outcomes)))
 	fmt.Printf("stage executions: compiles=%d runs=%d judge-calls=%d\n",
 		stats.Compiles, stats.Executions, stats.JudgeCalls)
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "judgebench:", err)
+		os.Exit(1)
+	}
 }

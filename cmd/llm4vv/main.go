@@ -1,51 +1,86 @@
 // Command llm4vv reproduces every table and figure of the paper's
-// evaluation section. Running it with no flags regenerates Tables I-IX
-// and the data series behind Figures 3-6, plus the three ablations
-// called out in DESIGN.md.
+// evaluation section by dispatching the registered experiments
+// generically: running it with no flags regenerates Tables I-IX, the
+// data series behind Figures 3-6, and the ablations and generation
+// loop called out in DESIGN.md.
 //
 // Usage:
 //
-//	llm4vv [-seed N] [-scale K] [-experiment all|part1|part2|ablations|genloop]
+//	llm4vv [-seed N] [-scale K] [-backend NAME] [-workers N] \
+//	       [-experiment all|list|NAME] [-progress]
 //
-// -scale K divides every suite's per-issue counts by K for quick runs.
+// -experiment list enumerates the registered experiments (and the
+// registered backends); any registered name — including scenarios
+// added by third-party packages via llm4vv.RegisterExperiment — runs
+// through the same generic path. -scale K divides every suite's
+// per-issue counts by K for quick runs. Interrupting the process
+// (SIGINT) cancels the run's context and exits promptly.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"time"
 
 	llm4vv "repro"
-	"repro/internal/metrics"
-	"repro/internal/report"
-	"repro/internal/spec"
 )
 
 func main() {
 	seed := flag.Uint64("seed", llm4vv.DefaultModelSeed, "model sampling seed")
 	scale := flag.Int("scale", 1, "divide suite sizes by this factor")
-	experiment := flag.String("experiment", "all", "all|part1|part2|ablations|genloop")
+	backend := flag.String("backend", llm4vv.DefaultBackend, "registered LLM backend")
+	workers := flag.Int("workers", 0, "per-stage workers (0 = GOMAXPROCS)")
+	experiment := flag.String("experiment", "all", "all|list|<registered name>")
+	progress := flag.Bool("progress", false, "stream per-file progress to stderr")
 	flag.Parse()
 
+	if *experiment == "list" {
+		fmt.Println("registered experiments:")
+		for _, e := range llm4vv.Experiments() {
+			fmt.Printf("  %-10s %s\n", e.Name(), e.Description())
+		}
+		fmt.Println("registered backends:")
+		for _, name := range llm4vv.Backends() {
+			fmt.Printf("  %s\n", name)
+		}
+		return
+	}
+
+	opts := []llm4vv.Option{llm4vv.WithBackend(*backend), llm4vv.WithSeed(*seed)}
+	if *workers > 0 {
+		opts = append(opts, llm4vv.WithWorkers(*workers))
+	}
+	if *progress {
+		opts = append(opts, llm4vv.WithProgress(func(p llm4vv.Progress) {
+			fmt.Fprintf(os.Stderr, "\r%-28s %d/%d", p.Phase, p.Done, p.Total)
+			if p.Done == p.Total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}))
+	}
+	runner, err := llm4vv.NewRunner(opts...)
+	check(err)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	params := llm4vv.ExperimentParams{Scale: *scale}
+	names := []string{*experiment}
+	if *experiment == "all" {
+		names = names[:0]
+		for _, e := range llm4vv.Experiments() {
+			names = append(names, e.Name())
+		}
+	}
+
 	start := time.Now()
-	switch *experiment {
-	case "all":
-		part1(*seed, *scale)
-		part2(*seed, *scale)
-		ablations(*seed, *scale)
-		generation(*seed)
-	case "part1":
-		part1(*seed, *scale)
-	case "part2":
-		part2(*seed, *scale)
-	case "ablations":
-		ablations(*seed, *scale)
-	case "genloop":
-		generation(*seed)
-	default:
-		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *experiment)
-		os.Exit(2)
+	for _, name := range names {
+		res, err := llm4vv.RunExperiment(ctx, runner, name, params)
+		check(err)
+		fmt.Println(res.Report())
 	}
 	fmt.Printf("\ntotal wall time: %v\n", time.Since(start).Round(time.Millisecond))
 }
@@ -54,111 +89,5 @@ func check(err error) {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "llm4vv:", err)
 		os.Exit(1)
-	}
-}
-
-func part1(seed uint64, scale int) {
-	fmt.Println("================ PART ONE: direct LLM-as-a-judge (negative probing) ================")
-	summaries := map[string][]metrics.Summary{}
-	for _, d := range []spec.Dialect{spec.OpenACC, spec.OpenMP} {
-		s, err := llm4vv.RunDirectProbing(llm4vv.PartOneSpec(d).Scaled(scale), seed)
-		check(err)
-		summaries[d.String()] = []metrics.Summary{s}
-		title := "Table I: LLMJ Negative Probing Results for OpenACC"
-		if d == spec.OpenMP {
-			title = "Table II: LLMJ Negative Probing Results for OpenMP"
-		}
-		fmt.Println(report.PerIssueTable(title, s))
-	}
-	fmt.Println(report.OverallTable("Table III: LLMJ Overall Negative Probing Results",
-		[]string{""}, summaries))
-}
-
-func part2(seed uint64, scale int) {
-	fmt.Println("================ PART TWO: agent-based judges and validation pipeline ================")
-	pipeCols := map[string][]metrics.Summary{}
-	judgeCols := map[string][]metrics.Summary{}
-	results := map[spec.Dialect]llm4vv.PartTwoResult{}
-	for _, d := range []spec.Dialect{spec.OpenACC, spec.OpenMP} {
-		r, err := llm4vv.RunPartTwo(llm4vv.PartTwoSpec(d).Scaled(scale), seed)
-		check(err)
-		results[d] = r
-		pipeCols[d.String()] = []metrics.Summary{r.Pipeline1, r.Pipeline2}
-		judgeCols[d.String()] = []metrics.Summary{r.LLMJ1, r.LLMJ2}
-	}
-
-	fmt.Println(report.PairedPerIssueTable(
-		"Table IV: Validation Pipeline Results for OpenACC",
-		"Pipeline 1", "Pipeline 2",
-		results[spec.OpenACC].Pipeline1, results[spec.OpenACC].Pipeline2))
-	fmt.Println(report.PairedPerIssueTable(
-		"Table V: Validation Pipeline Results for OpenMP",
-		"Pipeline 1", "Pipeline 2",
-		results[spec.OpenMP].Pipeline1, results[spec.OpenMP].Pipeline2))
-	fmt.Println(report.OverallTable("Table VI: Overall Validation Pipeline Results",
-		[]string{"Pipeline 1", "Pipeline 2"}, pipeCols))
-
-	fmt.Println(report.PairedPerIssueTable(
-		"Table VII: Agent-Based LLMJ Results for OpenACC",
-		"LLMJ 1", "LLMJ 2",
-		results[spec.OpenACC].LLMJ1, results[spec.OpenACC].LLMJ2))
-	fmt.Println(report.PairedPerIssueTable(
-		"Table VIII: Agent-Based LLMJ Results for OpenMP",
-		"LLMJ 1", "LLMJ 2",
-		results[spec.OpenMP].LLMJ1, results[spec.OpenMP].LLMJ2))
-	fmt.Println(report.OverallTable("Table IX: Overall Agent-Based LLMJ Results",
-		[]string{"LLMJ 1", "LLMJ 2"}, judgeCols))
-
-	fmt.Println(report.RadarSeries("Figure 3: Validation Pipeline Results for OpenACC (radar series)",
-		[]string{"Pipeline 1", "Pipeline 2"},
-		[]metrics.Summary{results[spec.OpenACC].Pipeline1, results[spec.OpenACC].Pipeline2}))
-	fmt.Println(report.RadarSeries("Figure 4: Validation Pipeline Results for OpenMP (radar series)",
-		[]string{"Pipeline 1", "Pipeline 2"},
-		[]metrics.Summary{results[spec.OpenMP].Pipeline1, results[spec.OpenMP].Pipeline2}))
-	fmt.Println(report.RadarSeries("Figure 5: LLMJ Results for OpenACC (radar series)",
-		[]string{"Non-agent LLMJ", "LLMJ 1", "LLMJ 2"},
-		[]metrics.Summary{results[spec.OpenACC].Direct, results[spec.OpenACC].LLMJ1, results[spec.OpenACC].LLMJ2}))
-	fmt.Println(report.RadarSeries("Figure 6: LLMJ Results for OpenMP (radar series)",
-		[]string{"Non-agent LLMJ", "LLMJ 1", "LLMJ 2"},
-		[]metrics.Summary{results[spec.OpenMP].Direct, results[spec.OpenMP].LLMJ1, results[spec.OpenMP].LLMJ2}))
-}
-
-func generation(seed uint64) {
-	fmt.Println("================ EXTENSION E1: automated test generation (paper §VI) ================")
-	for _, d := range []spec.Dialect{spec.OpenACC, spec.OpenMP} {
-		r := llm4vv.RunGenerationLoop(d, 2, seed)
-		fmt.Printf("%v: %d candidates, %d accepted\n", d, len(r.Candidates), len(r.Accepted))
-		fmt.Printf("  raw sound rate      %5.1f%%\n", 100*r.RawSoundRate())
-		fmt.Printf("  accepted precision  %5.1f%%\n", 100*r.AcceptancePrecision())
-		fmt.Printf("  defect catch rate   %5.1f%%\n", 100*r.DefectCatchRate())
-		fmt.Printf("  sound-test yield    %5.1f%%\n\n", 100*r.SoundYield())
-	}
-}
-
-func ablations(seed uint64, scale int) {
-	fmt.Println("================ ABLATIONS (DESIGN.md A1-A3) ================")
-	for _, d := range []spec.Dialect{spec.OpenACC, spec.OpenMP} {
-		spec2 := llm4vv.PartTwoSpec(d).Scaled(scale)
-
-		ai, err := llm4vv.RunAblationAgentInfo(spec2, seed)
-		check(err)
-		fmt.Printf("A2 (%v): tool information in the prompt\n", d)
-		fmt.Printf("  without tools: acc=%.2f%% bias=%+.3f\n", 100*ai.WithoutTools.Accuracy(), ai.WithoutTools.Bias())
-		fmt.Printf("  with tools:    acc=%.2f%% bias=%+.3f\n\n", 100*ai.WithTools.Accuracy(), ai.WithTools.Bias())
-
-		st, err := llm4vv.RunAblationStages(spec2, seed)
-		check(err)
-		fmt.Printf("A3 (%v): stage contribution\n", d)
-		fmt.Printf("  compile only:        acc=%.2f%%\n", 100*st.CompileOnly.Accuracy())
-		fmt.Printf("  compile + execute:   acc=%.2f%%\n", 100*st.CompileAndRun.Accuracy())
-		fmt.Printf("  full pipeline:       acc=%.2f%%\n\n", 100*st.FullPipeline.Accuracy())
-
-		tp, err := llm4vv.RunPipelineThroughput(spec2, seed, 8)
-		check(err)
-		fmt.Printf("A1 (%v): short-circuiting\n", d)
-		fmt.Printf("  short-circuit: compiles=%d executions=%d judge calls=%d\n",
-			tp.ShortCircuit.Compiles, tp.ShortCircuit.Executions, tp.ShortCircuit.JudgeCalls)
-		fmt.Printf("  record-all:    compiles=%d executions=%d judge calls=%d\n\n",
-			tp.RecordAll.Compiles, tp.RecordAll.Executions, tp.RecordAll.JudgeCalls)
 	}
 }

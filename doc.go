@@ -16,7 +16,26 @@
 //     compile → execute → judge validation pipeline (Tables IV-IX,
 //     Figures 3-6).
 //
+// The API is organised around three pluggable concepts:
+//
+//   - Runner: constructed with functional options (WithBackend,
+//     WithWorkers, WithRecordAll, WithEvalCache, WithProgress), its
+//     context-aware methods run every experiment cancellably and can
+//     stream per-file progress.
+//   - Backend registry: RegisterBackend plugs alternate LLM endpoints
+//     in by name; the simulated deepseek model ships as
+//     DefaultBackend.
+//   - Experiment registry: RegisterExperiment makes a scenario
+//     dispatchable by name through RunExperiment; Part One, Part Two,
+//     the ablations, and the generation loop ship registered, and
+//     cmd/llm4vv and cmd/judgebench enumerate and run any registered
+//     scenario generically.
+//
+// The pre-redesign free functions (RunDirectProbing, RunPartTwo,
+// RunGenerationLoop, ...) remain as deprecated wrappers over a
+// default-configured Runner.
+//
 // Every experiment is deterministic given its seeds. See DESIGN.md for
-// the system inventory and EXPERIMENTS.md for paper-vs-measured
-// results.
+// the system inventory, the Runner/Backend/Experiment architecture,
+// and the reproduced result shapes.
 package llm4vv

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -43,7 +44,10 @@ func main() {
 	}
 	for _, c := range configs {
 		j := &judge.Judge{LLM: llm, Style: c.style, Dialect: spec.OpenMP}
-		ev := j.Evaluate(mutated.Source, c.info)
+		ev, err := j.Evaluate(context.Background(), mutated.Source, c.info)
+		if err != nil {
+			panic(err)
+		}
 		rule := strings.Repeat("=", 70)
 		fmt.Println(rule)
 		fmt.Println(c.label)

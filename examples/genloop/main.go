@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 
 	llm4vv "repro"
@@ -12,9 +13,22 @@ import (
 )
 
 func main() {
+	// The modern entry point: one Runner, configured once, dispatching
+	// cancellable experiments (the deprecated free function
+	// llm4vv.RunGenerationLoop wraps exactly this).
+	runner, err := llm4vv.NewRunner(
+		llm4vv.WithBackend(llm4vv.DefaultBackend),
+		llm4vv.WithSeed(llm4vv.DefaultModelSeed),
+	)
+	if err != nil {
+		panic(err)
+	}
 	for _, d := range []spec.Dialect{spec.OpenACC, spec.OpenMP} {
 		fmt.Printf("==== %v test-generation campaign ====\n", d)
-		r := llm4vv.RunGenerationLoop(d, 2, llm4vv.DefaultModelSeed)
+		r, err := runner.GenerationLoop(context.Background(), d, 2)
+		if err != nil {
+			panic(err)
+		}
 
 		fmt.Printf("candidates generated: %d (sound %d, defective %d)\n",
 			len(r.Candidates), r.SoundGenerated, r.DefectiveGenerated)

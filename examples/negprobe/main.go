@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 
 	llm4vv "repro"
@@ -45,7 +46,10 @@ func main() {
 	}
 	outcomes := make([]metrics.Outcome, len(suite))
 	for i, pf := range suite {
-		ev := j.Evaluate(pf.Source, nil)
+		ev, err := j.Evaluate(context.Background(), pf.Source, nil)
+		if err != nil {
+			panic(err)
+		}
 		outcomes[i] = metrics.Outcome{Issue: pf.Issue, JudgedValid: ev.Verdict == judge.Valid}
 	}
 	s := metrics.Score(spec.OpenACC, outcomes)

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -48,7 +49,10 @@ func main() {
 		cfg.CompileWorkers, cfg.ExecWorkers, cfg.JudgeWorkers = workers, workers, workers
 		cfg.RecordAll = recordAll
 		start := time.Now()
-		results, stats := pipeline.Run(cfg, inputs)
+		results, stats, err := pipeline.Run(context.Background(), cfg, inputs)
+		if err != nil {
+			panic(err)
+		}
 		fmt.Printf("%-28s workers=%d  wall=%8v  compiles=%d runs=%d judge-calls=%d\n",
 			label, workers, time.Since(start).Round(time.Microsecond),
 			stats.Compiles, stats.Executions, stats.JudgeCalls)

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 
 	llm4vv "repro"
@@ -37,7 +38,10 @@ func main() {
 		Style:   judge.AgentDirect,
 		Dialect: spec.OpenACC,
 	}
-	ev := j.Evaluate(file.Source, &outcome.Info)
+	ev, err := j.Evaluate(context.Background(), file.Source, &outcome.Info)
+	if err != nil {
+		panic(err)
+	}
 	fmt.Println("=== judge verdict on the valid test ===")
 	fmt.Println(ev.Response)
 
@@ -51,7 +55,10 @@ func main() {
 		fmt.Printf(", run rc=%d", outcome2.Info.RunRC)
 	}
 	fmt.Println()
-	ev2 := j.Evaluate(mutated.Source, &outcome2.Info)
+	ev2, err := j.Evaluate(context.Background(), mutated.Source, &outcome2.Info)
+	if err != nil {
+		panic(err)
+	}
 	fmt.Println("=== judge verdict on the mutated test ===")
 	fmt.Println(ev2.Response)
 	fmt.Printf("summary: valid file judged %v, mutated file judged %v\n", ev.Verdict, ev2.Verdict)

@@ -1,13 +1,16 @@
 package llm4vv
 
-import (
-	"runtime"
-	"sync"
+// The paper's fixed experiments, kept as free functions for
+// compatibility. Each is now a thin wrapper constructing a default
+// Runner and delegating to its context-aware method; new code should
+// build a Runner once (choosing backend, workers, caching, progress)
+// and call the methods — or dispatch registered experiments through
+// RunExperiment — directly.
 
-	"repro/internal/agent"
-	"repro/internal/judge"
+import (
+	"context"
+
 	"repro/internal/metrics"
-	"repro/internal/model"
 	"repro/internal/pipeline"
 	"repro/internal/probe"
 )
@@ -16,28 +19,26 @@ import (
 // experiment numbers.
 const DefaultModelSeed = 33
 
-// NewModel returns the simulated deepseek-coder-33B-instruct endpoint.
-func NewModel(seed uint64) judge.LLM { return model.New(seed) }
+// seededRunner builds the default-backend Runner the deprecated
+// wrappers run on. The only construction failure is an unknown backend
+// name, impossible here, so errors reduce to a panic guard.
+func seededRunner(modelSeed uint64, opts ...Option) *Runner {
+	r, err := NewRunner(append([]Option{WithSeed(modelSeed)}, opts...)...)
+	if err != nil {
+		panic("llm4vv: default runner construction failed: " + err.Error())
+	}
+	return r
+}
 
 // RunDirectProbing is the Part-One experiment: judge every file of the
 // suite with the direct analysis prompt (no tools, no pipeline) and
 // score the verdicts. It reproduces Tables I and II, and its summaries
 // aggregate into Table III.
+//
+// Deprecated: use NewRunner and Runner.DirectProbing for cancellation,
+// backend selection, and progress streaming.
 func RunDirectProbing(spec SuiteSpec, modelSeed uint64) (metrics.Summary, error) {
-	suite, err := BuildSuite(spec)
-	if err != nil {
-		return metrics.Summary{}, err
-	}
-	j := &judge.Judge{LLM: NewModel(modelSeed), Style: judge.Direct, Dialect: spec.Dialect}
-	outcomes := make([]metrics.Outcome, len(suite))
-	parallelFor(len(suite), func(i int) {
-		ev := j.Evaluate(suite[i].Source, nil)
-		outcomes[i] = metrics.Outcome{
-			Issue:       suite[i].Issue,
-			JudgedValid: ev.Verdict == judge.Valid,
-		}
-	})
-	return metrics.Score(spec.Dialect, outcomes), nil
+	return seededRunner(modelSeed).DirectProbing(context.Background(), spec)
 }
 
 // PartTwoResult carries every Part-Two measurement for one dialect:
@@ -61,55 +62,16 @@ type PartTwoResult struct {
 }
 
 // RunPartTwo executes the Part-Two experiment for one dialect.
+//
+// Deprecated: use NewRunner and Runner.PartTwo.
 func RunPartTwo(spec SuiteSpec, modelSeed uint64) (PartTwoResult, error) {
-	suite, err := BuildSuite(spec)
-	if err != nil {
-		return PartTwoResult{}, err
-	}
-	inputs := make([]pipeline.Input, len(suite))
-	for i, pf := range suite {
-		inputs[i] = pipeline.Input{Name: pf.Name, Source: pf.Source, Lang: pf.Lang}
-	}
-	llm := NewModel(modelSeed)
-	tools := agent.NewTools(spec.Dialect)
-	workers := runtime.GOMAXPROCS(0)
-
-	var res PartTwoResult
-	run := func(style judge.Style) (judgeSum, pipeSum metrics.Summary, stats pipeline.Stats) {
-		results, st := pipeline.Run(pipeline.Config{
-			Tools:          tools,
-			Judge:          &judge.Judge{LLM: llm, Style: style, Dialect: spec.Dialect},
-			CompileWorkers: workers,
-			ExecWorkers:    workers,
-			JudgeWorkers:   workers,
-			RecordAll:      true,
-		}, inputs)
-		judgeOut := make([]metrics.Outcome, len(results))
-		pipeOut := make([]metrics.Outcome, len(results))
-		for i, r := range results {
-			judgeOut[i] = metrics.Outcome{Issue: suite[i].Issue, JudgedValid: r.Verdict == judge.Valid}
-			pipeOut[i] = metrics.Outcome{Issue: suite[i].Issue, JudgedValid: r.Valid}
-		}
-		return metrics.Score(spec.Dialect, judgeOut), metrics.Score(spec.Dialect, pipeOut), st
-	}
-	res.LLMJ1, res.Pipeline1, res.Stats = run(judge.AgentDirect)
-	res.LLMJ2, res.Pipeline2, _ = run(judge.AgentIndirect)
-
-	// The non-agent judge on the same suite (Figures 5/6 baseline).
-	direct := &judge.Judge{LLM: llm, Style: judge.Direct, Dialect: spec.Dialect}
-	outcomes := make([]metrics.Outcome, len(suite))
-	parallelFor(len(suite), func(i int) {
-		ev := direct.Evaluate(suite[i].Source, nil)
-		outcomes[i] = metrics.Outcome{Issue: suite[i].Issue, JudgedValid: ev.Verdict == judge.Valid}
-	})
-	res.Direct = metrics.Score(spec.Dialect, outcomes)
-	return res, nil
+	return seededRunner(modelSeed).PartTwo(context.Background(), spec)
 }
 
-// AblationStages scores the pipeline with progressively more stages
-// enabled: compile only, compile+execute, and the full pipeline with
-// the agent-direct judge. It quantifies DESIGN.md ablation A3 (how
-// much accuracy each stage contributes).
+// AblationStagesResult scores the pipeline with progressively more
+// stages enabled: compile only, compile+execute, and the full pipeline
+// with the agent-direct judge. It quantifies DESIGN.md ablation A3
+// (how much accuracy each stage contributes).
 type AblationStagesResult struct {
 	CompileOnly   metrics.Summary
 	CompileAndRun metrics.Summary
@@ -117,53 +79,14 @@ type AblationStagesResult struct {
 }
 
 // RunAblationStages runs ablation A3 on the Part-Two suite.
+//
+// Deprecated: use NewRunner and Runner.AblationStages.
 func RunAblationStages(spec SuiteSpec, modelSeed uint64) (AblationStagesResult, error) {
-	suite, err := BuildSuite(spec)
-	if err != nil {
-		return AblationStagesResult{}, err
-	}
-	tools := agent.NewTools(spec.Dialect)
-	workers := runtime.GOMAXPROCS(0)
-
-	score := func(judgeOn bool, execOn bool) metrics.Summary {
-		var jd *judge.Judge
-		if judgeOn {
-			jd = &judge.Judge{LLM: NewModel(modelSeed), Style: judge.AgentDirect, Dialect: spec.Dialect}
-		}
-		inputs := make([]pipeline.Input, len(suite))
-		for i, pf := range suite {
-			inputs[i] = pipeline.Input{Name: pf.Name, Source: pf.Source, Lang: pf.Lang}
-		}
-		results, _ := pipeline.Run(pipeline.Config{
-			Tools:          tools,
-			Judge:          jd,
-			CompileWorkers: workers,
-			ExecWorkers:    workers,
-			JudgeWorkers:   workers,
-			RecordAll:      true,
-		}, inputs)
-		out := make([]metrics.Outcome, len(results))
-		for i, r := range results {
-			valid := r.CompileOK
-			if execOn && r.ExecRan {
-				valid = valid && r.ExecOK
-			}
-			if judgeOn {
-				valid = valid && r.Verdict == judge.Valid
-			}
-			out[i] = metrics.Outcome{Issue: suite[i].Issue, JudgedValid: valid}
-		}
-		return metrics.Score(spec.Dialect, out)
-	}
-	return AblationStagesResult{
-		CompileOnly:   score(false, false),
-		CompileAndRun: score(false, true),
-		FullPipeline:  score(true, true),
-	}, nil
+	return seededRunner(modelSeed).AblationStages(context.Background(), spec)
 }
 
-// AblationAgentInfo compares the same model judging the same suite
-// with and without tool information (DESIGN.md ablation A2): the
+// AblationAgentInfoResult compares the same model judging the same
+// suite with and without tool information (DESIGN.md ablation A2): the
 // direct prompt versus the agent-direct prompt, holding everything
 // else fixed.
 type AblationAgentInfoResult struct {
@@ -172,97 +95,26 @@ type AblationAgentInfoResult struct {
 }
 
 // RunAblationAgentInfo runs ablation A2.
+//
+// Deprecated: use NewRunner and Runner.AblationAgentInfo.
 func RunAblationAgentInfo(spec SuiteSpec, modelSeed uint64) (AblationAgentInfoResult, error) {
-	suite, err := BuildSuite(spec)
-	if err != nil {
-		return AblationAgentInfoResult{}, err
-	}
-	llm := NewModel(modelSeed)
-	tools := agent.NewTools(spec.Dialect)
-	direct := &judge.Judge{LLM: llm, Style: judge.Direct, Dialect: spec.Dialect}
-	agentJudge := &judge.Judge{LLM: llm, Style: judge.AgentDirect, Dialect: spec.Dialect}
-
-	without := make([]metrics.Outcome, len(suite))
-	with := make([]metrics.Outcome, len(suite))
-	parallelFor(len(suite), func(i int) {
-		pf := suite[i]
-		evD := direct.Evaluate(pf.Source, nil)
-		without[i] = metrics.Outcome{Issue: pf.Issue, JudgedValid: evD.Verdict == judge.Valid}
-		outcome := tools.Gather(pf.Name, pf.Source, pf.Lang)
-		evA := agentJudge.Evaluate(pf.Source, &outcome.Info)
-		with[i] = metrics.Outcome{Issue: pf.Issue, JudgedValid: evA.Verdict == judge.Valid}
-	})
-	return AblationAgentInfoResult{
-		WithoutTools: metrics.Score(spec.Dialect, without),
-		WithTools:    metrics.Score(spec.Dialect, with),
-	}, nil
+	return seededRunner(modelSeed).AblationAgentInfo(context.Background(), spec)
 }
 
-// PipelineThroughput measures the short-circuiting win (DESIGN.md
-// ablation A1): stage executions with and without early exit.
+// PipelineThroughputResult measures the short-circuiting win
+// (DESIGN.md ablation A1): stage executions with and without early
+// exit.
 type PipelineThroughputResult struct {
 	ShortCircuit pipeline.Stats
 	RecordAll    pipeline.Stats
 }
 
 // RunPipelineThroughput runs ablation A1 on the given suite.
+//
+// Deprecated: use NewRunner (WithWorkers) and
+// Runner.PipelineThroughput.
 func RunPipelineThroughput(spec SuiteSpec, modelSeed uint64, workers int) (PipelineThroughputResult, error) {
-	suite, err := BuildSuite(spec)
-	if err != nil {
-		return PipelineThroughputResult{}, err
-	}
-	inputs := make([]pipeline.Input, len(suite))
-	for i, pf := range suite {
-		inputs[i] = pipeline.Input{Name: pf.Name, Source: pf.Source, Lang: pf.Lang}
-	}
-	tools := agent.NewTools(spec.Dialect)
-	var out PipelineThroughputResult
-	for _, recordAll := range []bool{false, true} {
-		_, st := pipeline.Run(pipeline.Config{
-			Tools:          tools,
-			Judge:          &judge.Judge{LLM: NewModel(modelSeed), Style: judge.AgentDirect, Dialect: spec.Dialect},
-			CompileWorkers: workers,
-			ExecWorkers:    workers,
-			JudgeWorkers:   workers,
-			RecordAll:      recordAll,
-		}, inputs)
-		if recordAll {
-			out.RecordAll = st
-		} else {
-			out.ShortCircuit = st
-		}
-	}
-	return out, nil
-}
-
-// parallelFor runs fn(i) for i in [0,n) across GOMAXPROCS workers.
-func parallelFor(n int, fn func(int)) {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			fn(i)
-		}
-		return
-	}
-	var wg sync.WaitGroup
-	next := make(chan int, n)
-	for i := 0; i < n; i++ {
-		next <- i
-	}
-	close(next)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				fn(i)
-			}
-		}()
-	}
-	wg.Wait()
+	return seededRunner(modelSeed, WithWorkers(workers)).PipelineThroughput(context.Background(), spec)
 }
 
 // Issues re-exports the probe issue ids for example programs.

@@ -1,8 +1,9 @@
 package llm4vv
 
 import (
+	"context"
+
 	"repro/internal/genloop"
-	"repro/internal/judge"
 	"repro/internal/spec"
 )
 
@@ -13,12 +14,12 @@ type GenerationResult = genloop.Result
 // (DESIGN.md E1): the LLM authors candidate tests per feature and the
 // validation pipeline filters them, measuring how much trust the
 // filter adds over raw generation.
+//
+// Deprecated: use NewRunner and Runner.GenerationLoop for
+// cancellation and backend selection.
 func RunGenerationLoop(d spec.Dialect, perFeature int, modelSeed uint64) *GenerationResult {
-	return genloop.Run(genloop.Config{
-		Dialect:     d,
-		PerFeature:  perFeature,
-		MaxAttempts: 4,
-		ModelSeed:   modelSeed,
-		JudgeStyle:  judge.AgentDirect,
-	})
+	// The background context never cancels and the default backend is
+	// always registered, so the only error paths are unreachable.
+	res, _ := seededRunner(modelSeed).GenerationLoop(context.Background(), d, perFeature)
+	return res
 }

@@ -14,6 +14,7 @@
 package genloop
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/agent"
@@ -23,6 +24,16 @@ import (
 	"repro/internal/spec"
 	"repro/internal/testlang"
 )
+
+// Author is the generation-capable endpoint contract: it both answers
+// judging prompts (the judge.LLM side) and authors candidate tests,
+// disclosing the ground-truth defect label the filter-quality counters
+// need. internal/model satisfies it; registered backends that do are
+// plugged in through Config.Author.
+type Author interface {
+	judge.LLM
+	GenerateTest(prompt string) (code, defect string)
+}
 
 // Config controls one generation campaign.
 type Config struct {
@@ -39,6 +50,9 @@ type Config struct {
 	// JudgeStyle selects the pipeline's judge prompt (default
 	// AgentDirect, the paper's stronger overall configuration).
 	JudgeStyle judge.Style
+	// Author overrides the endpoint that writes candidates and backs
+	// the judge; nil uses the simulated model seeded with ModelSeed.
+	Author Author
 }
 
 // Candidate records one generated test and its journey through the
@@ -109,8 +123,13 @@ func (r *Result) RawSoundRate() float64 {
 	return float64(r.SoundGenerated) / float64(len(r.Candidates))
 }
 
-// Run executes a generation campaign.
-func Run(cfg Config) *Result {
+// Run executes a generation campaign. Cancelling ctx stops the
+// campaign between candidates; the partial Result gathered so far is
+// returned alongside the context's error.
+func Run(ctx context.Context, cfg Config) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if cfg.PerFeature <= 0 {
 		cfg.PerFeature = 1
 	}
@@ -121,7 +140,10 @@ func Run(cfg Config) *Result {
 	if len(features) == 0 {
 		features = SupportedFeatures(cfg.Dialect)
 	}
-	author := model.New(cfg.ModelSeed)
+	author := cfg.Author
+	if author == nil {
+		author = model.New(cfg.ModelSeed)
+	}
 	tools := agent.NewTools(cfg.Dialect)
 	jd := &judge.Judge{LLM: author, Style: cfg.JudgeStyle, Dialect: cfg.Dialect}
 
@@ -130,6 +152,9 @@ func Run(cfg Config) *Result {
 	for _, feature := range features {
 		for k := 0; k < cfg.PerFeature; k++ {
 			for attempt := 0; attempt < cfg.MaxAttempts; attempt++ {
+				if err := ctx.Err(); err != nil {
+					return res, err
+				}
 				nonce++
 				prompt := model.GenerationPrompt(cfg.Dialect, feature, nonce)
 				code, defect := author.GenerateTest(prompt)
@@ -139,11 +164,6 @@ func Run(cfg Config) *Result {
 					Source:  code,
 					Defect:  defect,
 				}
-				if defect == "" {
-					res.SoundGenerated++
-				} else {
-					res.DefectiveGenerated++
-				}
 
 				// Validation pipeline with short-circuiting: the filter
 				// a production generation loop would run.
@@ -152,12 +172,23 @@ func Run(cfg Config) *Result {
 				if cand.CompileOK {
 					cand.RunOK = outcome.RunPassed()
 					if cand.RunOK {
-						ev := jd.Evaluate(cand.Source, &outcome.Info)
+						ev, err := jd.Evaluate(ctx, cand.Source, &outcome.Info)
+						if err != nil {
+							return res, err
+						}
 						cand.Verdict = ev.Verdict
 						cand.Accepted = ev.Verdict == judge.Valid
 					}
 				}
+				// Counters update together with the candidate list so a
+				// partial Result (error return above) keeps the invariant
+				// SoundGenerated+DefectiveGenerated == len(Candidates).
 				res.Candidates = append(res.Candidates, cand)
+				if defect == "" {
+					res.SoundGenerated++
+				} else {
+					res.DefectiveGenerated++
+				}
 
 				if cand.Accepted {
 					if defect == "" {
@@ -176,7 +207,7 @@ func Run(cfg Config) *Result {
 			}
 		}
 	}
-	return res
+	return res, nil
 }
 
 // SupportedFeatures lists the features the campaign can target: every

@@ -1,6 +1,8 @@
 package genloop
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
 
@@ -11,13 +13,17 @@ import (
 
 func runCampaign(t *testing.T, d spec.Dialect) *Result {
 	t.Helper()
-	return Run(Config{
+	r, err := Run(context.Background(), Config{
 		Dialect:     d,
 		PerFeature:  2,
 		MaxAttempts: 3,
 		ModelSeed:   33,
 		JudgeStyle:  judge.AgentDirect,
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
 }
 
 func TestCampaignProducesAcceptedTests(t *testing.T) {
@@ -76,7 +82,7 @@ func TestCampaignDeterministic(t *testing.T) {
 }
 
 func TestFeatureTargeting(t *testing.T) {
-	r := Run(Config{
+	r, err := Run(context.Background(), Config{
 		Dialect:     spec.OpenACC,
 		Features:    []string{"reduction_sum"},
 		PerFeature:  3,
@@ -84,6 +90,9 @@ func TestFeatureTargeting(t *testing.T) {
 		ModelSeed:   33,
 		JudgeStyle:  judge.AgentDirect,
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, c := range r.Accepted {
 		if !strings.Contains(c.Source, "reduction(") {
 			t.Errorf("accepted test for reduction_sum lacks a reduction clause:\n%s", c.Source)
@@ -121,6 +130,48 @@ func TestCountersConsistent(t *testing.T) {
 	}
 	if len(r.Accepted) != r.SoundAccepted+r.DefectiveAccepted {
 		t.Error("accepted list inconsistent with counters")
+	}
+}
+
+func TestCancelledCampaignReturnsPartial(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r, err := Run(ctx, Config{
+		Dialect:    spec.OpenACC,
+		PerFeature: 2,
+		ModelSeed:  33,
+		JudgeStyle: judge.AgentDirect,
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if r == nil || len(r.Candidates) != 0 {
+		t.Fatal("pre-cancelled campaign still generated candidates")
+	}
+}
+
+func TestPluggableAuthor(t *testing.T) {
+	// The default author and an explicitly supplied equivalent one must
+	// produce identical campaigns (determinism flows through Config.Author).
+	base := runCampaign(t, spec.OpenMP)
+	r, err := Run(context.Background(), Config{
+		Dialect:     spec.OpenMP,
+		PerFeature:  2,
+		MaxAttempts: 3,
+		ModelSeed:   33,
+		JudgeStyle:  judge.AgentDirect,
+		Author:      model.New(33),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Candidates) != len(base.Candidates) {
+		t.Fatalf("candidate counts differ: %d vs %d", len(r.Candidates), len(base.Candidates))
+	}
+	for i := range r.Candidates {
+		if r.Candidates[i].Source != base.Candidates[i].Source {
+			t.Fatalf("candidate %d differs with explicit author", i)
+		}
 	}
 }
 

@@ -1,0 +1,100 @@
+package judge
+
+import (
+	"context"
+	"sync"
+)
+
+// Cached wraps an LLM with a concurrency-safe memoisation layer keyed
+// on the full prompt text. It is sound for deterministic endpoints
+// (the simulated model's response is a pure function of seed and
+// prompt) and saves the repeated completions a record-all experiment
+// issues when several configurations judge the same file.
+//
+// The wrapper preserves the inner endpoint's optional capabilities:
+// it always implements ContextLLM (delegating to the inner context
+// path when available, so cancellation and endpoint errors still
+// propagate), and when the endpoint can also author tests (it has a
+// GenerateTest method, like internal/model) the returned value keeps
+// that too. Generation calls are never cached because the generation
+// loop relies on per-nonce prompts already being unique; failed
+// completions are never cached either.
+func Cached(llm LLM) LLM {
+	c := &cachedLLM{inner: llm, memo: map[string]string{}}
+	if g, ok := llm.(generator); ok {
+		return &cachedAuthor{cachedLLM: c, gen: g}
+	}
+	return c
+}
+
+// generator mirrors the authoring side of internal/model without
+// importing it (judge must stay model-agnostic).
+type generator interface {
+	GenerateTest(prompt string) (code, defect string)
+}
+
+type cachedLLM struct {
+	inner LLM
+	mu    sync.Mutex
+	memo  map[string]string
+}
+
+func (c *cachedLLM) lookup(prompt string) (string, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	resp, ok := c.memo[prompt]
+	return resp, ok
+}
+
+func (c *cachedLLM) store(prompt, resp string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.memo[prompt] = resp
+}
+
+func (c *cachedLLM) Complete(prompt string) string {
+	if resp, ok := c.lookup(prompt); ok {
+		return resp
+	}
+	// The endpoint call runs outside the lock so concurrent misses on
+	// different prompts do not serialise; duplicate concurrent misses
+	// on the same prompt do duplicate work but stay correct because
+	// deterministic endpoints answer identically.
+	resp := c.inner.Complete(prompt)
+	c.store(prompt, resp)
+	return resp
+}
+
+// CompleteContext keeps the wrapped endpoint's cancellation and error
+// propagation usable through the cache: Evaluate type-asserts
+// ContextLLM and would otherwise fall back to the blocking, no-error
+// Complete path whenever the cache is on.
+func (c *cachedLLM) CompleteContext(ctx context.Context, prompt string) (string, error) {
+	if resp, ok := c.lookup(prompt); ok {
+		return resp, nil
+	}
+	var resp string
+	if cl, ok := c.inner.(ContextLLM); ok {
+		r, err := cl.CompleteContext(ctx, prompt)
+		if err != nil {
+			return "", err
+		}
+		resp = r
+	} else {
+		if err := ctx.Err(); err != nil {
+			return "", err
+		}
+		resp = c.inner.Complete(prompt)
+	}
+	c.store(prompt, resp)
+	return resp, nil
+}
+
+type cachedAuthor struct {
+	*cachedLLM
+	gen generator
+}
+
+func (c *cachedAuthor) GenerateTest(prompt string) (code, defect string) {
+	return c.gen.GenerateTest(prompt)
+}

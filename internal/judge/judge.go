@@ -5,6 +5,7 @@
 package judge
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -16,6 +17,15 @@ import (
 // real model client would satisfy the same interface.
 type LLM interface {
 	Complete(prompt string) string
+}
+
+// ContextLLM is the optional cancellation-aware endpoint contract.
+// Endpoints with real latency (HTTP clients, remote inference servers)
+// should implement it so an in-flight completion can be abandoned when
+// the caller's context ends; Evaluate uses it when available and falls
+// back to Complete otherwise.
+type ContextLLM interface {
+	CompleteContext(ctx context.Context, prompt string) (string, error)
 }
 
 // Style selects the prompt template.
@@ -96,15 +106,30 @@ type Evaluation struct {
 }
 
 // Evaluate builds the prompt for code (with tool info for agent
-// styles), queries the LLM, and parses the verdict.
-func (j *Judge) Evaluate(code string, info *ToolInfo) Evaluation {
+// styles), queries the LLM, and parses the verdict. The context is
+// checked before the endpoint call and passed through to endpoints
+// implementing ContextLLM; on cancellation the zero Evaluation and the
+// context's error are returned.
+func (j *Judge) Evaluate(ctx context.Context, code string, info *ToolInfo) (Evaluation, error) {
 	prompt := j.BuildPrompt(code, info)
-	resp := j.LLM.Complete(prompt)
+	if err := ctx.Err(); err != nil {
+		return Evaluation{}, err
+	}
+	var resp string
+	if cl, ok := j.LLM.(ContextLLM); ok {
+		r, err := cl.CompleteContext(ctx, prompt)
+		if err != nil {
+			return Evaluation{}, err
+		}
+		resp = r
+	} else {
+		resp = j.LLM.Complete(prompt)
+	}
 	return Evaluation{
 		Prompt:   prompt,
 		Response: resp,
 		Verdict:  ParseVerdict(resp),
-	}
+	}, nil
 }
 
 // criteria renders the Listing-1 evaluation criteria for a dialect.

@@ -1,6 +1,8 @@
 package judge
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
 
@@ -22,7 +24,10 @@ const sampleCode = "#pragma acc parallel loop\nfor (int i = 0; i < 4; i++) { }\n
 
 func TestDirectPromptShape(t *testing.T) {
 	j := &Judge{LLM: &scriptedLLM{response: "FINAL JUDGEMENT: correct"}, Style: Direct, Dialect: spec.OpenACC}
-	ev := j.Evaluate(sampleCode, nil)
+	ev, err := j.Evaluate(context.Background(), sampleCode, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
 	p := ev.Prompt
 	for _, want := range []string{
 		"Review the following OpenACC code",
@@ -57,7 +62,10 @@ func TestAgentDirectPromptShape(t *testing.T) {
 		Ran:           false,
 	}
 	j := &Judge{LLM: &scriptedLLM{response: "FINAL JUDGEMENT: invalid"}, Style: AgentDirect, Dialect: spec.OpenACC}
-	ev := j.Evaluate(sampleCode, info)
+	ev, err := j.Evaluate(context.Background(), sampleCode, info)
+	if err != nil {
+		t.Fatal(err)
+	}
 	p := ev.Prompt
 	for _, want := range []string{
 		"Think step by step.",
@@ -139,6 +147,114 @@ func TestVerdictStrings(t *testing.T) {
 	}
 	if Direct.String() != "direct" || AgentDirect.String() != "agent-direct" || AgentIndirect.String() != "agent-indirect" {
 		t.Fatal("style strings wrong")
+	}
+}
+
+func TestEvaluateCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	llm := &scriptedLLM{response: "FINAL JUDGEMENT: valid"}
+	j := &Judge{LLM: llm, Style: Direct, Dialect: spec.OpenACC}
+	_, err := j.Evaluate(ctx, sampleCode, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(llm.prompts) != 0 {
+		t.Fatal("endpoint called despite cancelled context")
+	}
+}
+
+// ctxLLM implements ContextLLM and records which path was used.
+type ctxLLM struct {
+	ctxCalls int
+}
+
+func (c *ctxLLM) Complete(string) string { return "FINAL JUDGEMENT: valid" }
+
+func (c *ctxLLM) CompleteContext(ctx context.Context, prompt string) (string, error) {
+	if err := ctx.Err(); err != nil {
+		return "", err
+	}
+	c.ctxCalls++
+	return "FINAL JUDGEMENT: valid", nil
+}
+
+func TestEvaluatePrefersContextPath(t *testing.T) {
+	llm := &ctxLLM{}
+	j := &Judge{LLM: llm, Style: Direct, Dialect: spec.OpenACC}
+	ev, err := j.Evaluate(context.Background(), sampleCode, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if llm.ctxCalls != 1 {
+		t.Fatalf("ctx path used %d times, want 1", llm.ctxCalls)
+	}
+	if ev.Verdict != Valid {
+		t.Fatalf("verdict = %v", ev.Verdict)
+	}
+}
+
+func TestCachedPreservesContextPath(t *testing.T) {
+	inner := &ctxLLM{}
+	llm := Cached(inner)
+	cl, ok := llm.(ContextLLM)
+	if !ok {
+		t.Fatal("cached wrapper lost ContextLLM")
+	}
+	if _, err := cl.CompleteContext(context.Background(), "p"); err != nil {
+		t.Fatal(err)
+	}
+	if inner.ctxCalls != 1 {
+		t.Fatalf("inner ctx path called %d times, want 1", inner.ctxCalls)
+	}
+	// Second identical prompt is served from the memo.
+	if _, err := cl.CompleteContext(context.Background(), "p"); err != nil {
+		t.Fatal(err)
+	}
+	if inner.ctxCalls != 1 {
+		t.Fatalf("cache missed: inner called %d times", inner.ctxCalls)
+	}
+	// Cancellation still propagates through the wrapper on a miss.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := cl.CompleteContext(ctx, "uncached"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestCachedDeduplicatesPrompts(t *testing.T) {
+	inner := &scriptedLLM{response: "FINAL JUDGEMENT: valid"}
+	llm := Cached(inner)
+	for i := 0; i < 5; i++ {
+		llm.Complete("same prompt")
+	}
+	llm.Complete("different prompt")
+	if len(inner.prompts) != 2 {
+		t.Fatalf("inner endpoint saw %d prompts, want 2", len(inner.prompts))
+	}
+	if llm.Complete("same prompt") != "FINAL JUDGEMENT: valid" {
+		t.Fatal("cached response corrupted")
+	}
+}
+
+// generatingLLM exercises the author-capability passthrough.
+type generatingLLM struct{ scriptedLLM }
+
+func (g *generatingLLM) GenerateTest(prompt string) (string, string) {
+	return "int main() { return 0; }", "planted-defect"
+}
+
+func TestCachedPreservesAuthorCapability(t *testing.T) {
+	llm := Cached(&generatingLLM{scriptedLLM{response: "FINAL JUDGEMENT: valid"}})
+	g, ok := llm.(interface {
+		GenerateTest(string) (string, string)
+	})
+	if !ok {
+		t.Fatal("cached author lost GenerateTest")
+	}
+	code, defect := g.GenerateTest("generate something")
+	if code == "" || defect != "planted-defect" {
+		t.Fatalf("GenerateTest passthrough broken: %q %q", code, defect)
 	}
 }
 

@@ -1,0 +1,12 @@
+//go:build race
+
+package machine
+
+// raceEnabled reports whether this binary was built with the Go race
+// detector. The simulated machine executes racy test programs (shared
+// writes the corpus's mutations introduce on purpose) on real
+// goroutines, which the detector would rightly flag inside the
+// simulator; under -race builds region workers run serially instead,
+// preserving per-worker semantics while keeping the detector usable
+// for the rest of the codebase.
+const raceEnabled = true

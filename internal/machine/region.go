@@ -456,35 +456,55 @@ func (ex *exec) execHostParallel(ds *testlang.DirectiveStmt, plan *compiler.DirP
 	w := ex.workerCount(plan)
 	use := collectUses(ds.Body)
 	reds := newReductionSet(ex, plan, use)
-	var wg sync.WaitGroup
+	runWorkers(w, func(id int) {
+		wEnv := newEnv(ex.env)
+		wEx := ex.child(wEnv)
+		wEx.workerID = id
+		wEx.regionWidth = w
+		wEx.redundant = true
+		wEx.bindPrivates(plan, wEnv)
+		ex.privatizeScalars(use, wEnv)
+		reds.bindWorker(wEnv, id)
+		wEx.execStmt(ds.Body)
+	})
+	reds.fold(ex)
+}
+
+// runWorkers executes body(id) for id in [0,w), one goroutine per
+// worker, re-raising the first worker panic after all finish. Under
+// race-detector builds the workers run serially: the corpus contains
+// deliberately racy test programs whose shared writes the detector
+// would flag inside the simulator (see race_on.go).
+func runWorkers(w int, body func(id int)) {
 	panics := make(chan any, w)
-	for id := 0; id < w; id++ {
-		wg.Add(1)
-		go func(id int) {
-			defer wg.Done()
-			defer func() {
-				if r := recover(); r != nil {
-					panics <- r
-				}
-			}()
-			wEnv := newEnv(ex.env)
-			wEx := ex.child(wEnv)
-			wEx.workerID = id
-			wEx.regionWidth = w
-			wEx.redundant = true
-			wEx.bindPrivates(plan, wEnv)
-			ex.privatizeScalars(use, wEnv)
-			reds.bindWorker(wEnv, id)
-			wEx.execStmt(ds.Body)
-		}(id)
+	guarded := func(id int) {
+		defer func() {
+			if r := recover(); r != nil {
+				panics <- r
+			}
+		}()
+		body(id)
 	}
-	wg.Wait()
+	if raceEnabled || w == 1 {
+		for id := 0; id < w; id++ {
+			guarded(id)
+		}
+	} else {
+		var wg sync.WaitGroup
+		for id := 0; id < w; id++ {
+			wg.Add(1)
+			go func(id int) {
+				defer wg.Done()
+				guarded(id)
+			}(id)
+		}
+		wg.Wait()
+	}
 	select {
 	case p := <-panics:
 		panic(p)
 	default:
 	}
-	reds.fold(ex)
 }
 
 // workerCount resolves the region width.
@@ -717,35 +737,18 @@ func (ex *exec) runDistributed(loop *testlang.ForStmt, spec loopSpec, plan *comp
 	}
 	use := collectUses(loop.Body)
 	reds := newReductionSet(ex, plan, use)
-	var wg sync.WaitGroup
-	panics := make(chan any, w)
-	for id := 0; id < w; id++ {
-		wg.Add(1)
-		go func(id int) {
-			defer wg.Done()
-			defer func() {
-				if r := recover(); r != nil {
-					panics <- r
-				}
-			}()
-			lo, hi := chunk(spec.count, w, id)
-			wEnv := newEnv(ex.env)
-			wEx := ex.child(wEnv)
-			wEx.workerID = id
-			wEx.regionWidth = w
-			wEx.redundant = false
-			wEx.bindPrivates(plan, wEnv)
-			ex.privatizeScalars(use, wEnv)
-			reds.bindWorker(wEnv, id)
-			wEx.runChunk(loop, spec, plan, lo, hi, false)
-		}(id)
-	}
-	wg.Wait()
-	select {
-	case p := <-panics:
-		panic(p)
-	default:
-	}
+	runWorkers(w, func(id int) {
+		lo, hi := chunk(spec.count, w, id)
+		wEnv := newEnv(ex.env)
+		wEx := ex.child(wEnv)
+		wEx.workerID = id
+		wEx.regionWidth = w
+		wEx.redundant = false
+		wEx.bindPrivates(plan, wEnv)
+		ex.privatizeScalars(use, wEnv)
+		reds.bindWorker(wEnv, id)
+		wEx.runChunk(loop, spec, plan, lo, hi, false)
+	})
 	reds.fold(ex)
 }
 

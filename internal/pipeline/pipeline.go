@@ -6,9 +6,16 @@
 // runs every stage, which is how the paper gathered the Part-Two data
 // (allowing the same run to score both the pipeline and the
 // agent-based judges on their own).
+//
+// Run is context-aware: cancelling the context stops the stages
+// promptly and returns the results completed so far alongside the
+// context's error. Callers that want results as they happen instead of
+// an all-or-nothing slice set Config.OnResult, which receives each
+// file's finished FileResult the moment its fate is sealed.
 package pipeline
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 
@@ -43,6 +50,11 @@ type Config struct {
 	// KeepResponses retains prompt/response text in results (memory-
 	// heavy for large suites; examples use it, experiments do not).
 	KeepResponses bool
+	// OnResult, when set, streams each file's completed FileResult as
+	// its final verdict is determined — before the run finishes and in
+	// completion order, not input order. It is called from stage
+	// worker goroutines and must be safe for concurrent use.
+	OnResult func(FileResult)
 }
 
 // FileResult is the pipeline's record for one file.
@@ -73,8 +85,15 @@ type Stats struct {
 }
 
 // Run processes files through the staged pipeline and returns per-file
-// results in input order plus run statistics.
-func Run(cfg Config, files []Input) ([]FileResult, Stats) {
+// results in input order plus run statistics. When ctx is cancelled
+// mid-run — or a context-aware judge endpoint fails — the stages drain
+// without doing further work and Run returns the partial results with
+// the first error; files whose processing never finished keep their
+// zero-valued stage flags.
+func Run(ctx context.Context, cfg Config, files []Input) ([]FileResult, Stats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	nw := func(n int) int {
 		if n <= 0 {
 			return 1
@@ -85,11 +104,37 @@ func Run(cfg Config, files []Input) ([]FileResult, Stats) {
 	var stats Stats
 	stats.Files = len(files)
 
+	// The first stage error (a failing context-aware backend, or the
+	// context itself) aborts the run: workers drain without working
+	// once it is set, and Run reports it even when ctx stays live.
+	// runErr is only read after the worker pools are joined.
+	var runErr error
+	var errOnce sync.Once
+	var failed atomic.Bool
+	fail := func(err error) {
+		errOnce.Do(func() {
+			runErr = err
+			failed.Store(true)
+		})
+	}
+	aborted := func() bool { return failed.Load() || ctx.Err() != nil }
+
 	type item struct {
 		idx     int
 		in      Input
 		compile *compiler.Result
 		run     *machine.Result
+	}
+
+	// finish seals a file's fate: its final verdict is computable from
+	// the stages that ran, so it can be streamed to the caller without
+	// waiting for the rest of the suite.
+	finish := func(it *item) {
+		r := &results[it.idx]
+		r.Valid = finalVerdict(r, cfg.Judge != nil)
+		if cfg.OnResult != nil {
+			cfg.OnResult(*r)
+		}
 	}
 
 	compileCh := make(chan *item, len(files))
@@ -104,13 +149,17 @@ func Run(cfg Config, files []Input) ([]FileResult, Stats) {
 		go func() {
 			defer wgCompile.Done()
 			for it := range compileCh {
+				if aborted() {
+					continue // drain without working
+				}
 				atomic.AddInt64(&stats.Compiles, 1)
 				it.compile = cfg.Tools.Personality.Compile(it.in.Name, it.in.Source, it.in.Lang)
 				r := &results[it.idx]
 				r.CompileRan = true
 				r.CompileOK = it.compile.OK
 				if !it.compile.OK && !cfg.RecordAll {
-					continue // invalidity demonstrated; drop from pipeline
+					finish(it) // invalidity demonstrated; drop from pipeline
+					continue
 				}
 				execCh <- it
 			}
@@ -123,6 +172,9 @@ func Run(cfg Config, files []Input) ([]FileResult, Stats) {
 		go func() {
 			defer wgExec.Done()
 			for it := range execCh {
+				if aborted() {
+					continue
+				}
 				r := &results[it.idx]
 				if it.compile.OK && it.compile.Object != nil {
 					atomic.AddInt64(&stats.Executions, 1)
@@ -130,13 +182,16 @@ func Run(cfg Config, files []Input) ([]FileResult, Stats) {
 					r.ExecRan = true
 					r.ExecOK = it.run.ReturnCode == 0
 					if !r.ExecOK && !cfg.RecordAll {
+						finish(it)
 						continue
 					}
-				} else if !cfg.RecordAll {
-					// Record-all mode is the only way a compile-failed
-					// file reaches here.
-					continue
 				}
+				// Files that compiled to no executable object (Fortran in
+				// this simulation) carry no execution evidence either way,
+				// so they proceed to the judge in BOTH modes — the final
+				// verdict defers to the judge exactly as finalVerdict
+				// documents. Compile-failed files only get here in
+				// record-all mode (stage 1 drops them otherwise).
 				judgeCh <- it
 			}
 		}()
@@ -148,19 +203,28 @@ func Run(cfg Config, files []Input) ([]FileResult, Stats) {
 		go func() {
 			defer wgJudge.Done()
 			for it := range judgeCh {
+				if aborted() {
+					continue
+				}
 				if cfg.Judge == nil {
+					finish(it)
 					continue
 				}
 				r := &results[it.idx]
 				atomic.AddInt64(&stats.JudgeCalls, 1)
 				info := buildToolInfo(it.compile, it.run)
-				ev := cfg.Judge.Evaluate(it.in.Source, &info)
+				ev, err := cfg.Judge.Evaluate(ctx, it.in.Source, &info)
+				if err != nil {
+					fail(err) // backend or context failure; abort the run
+					continue
+				}
 				r.JudgeRan = true
 				r.Verdict = ev.Verdict
 				if cfg.KeepResponses {
 					evCopy := ev
 					r.Evaluation = &evCopy
 				}
+				finish(it)
 			}
 		}()
 	}
@@ -176,10 +240,10 @@ func Run(cfg Config, files []Input) ([]FileResult, Stats) {
 	close(judgeCh)
 	wgJudge.Wait()
 
-	for i := range results {
-		results[i].Valid = finalVerdict(&results[i], cfg.Judge != nil)
+	if err := ctx.Err(); err != nil {
+		fail(err)
 	}
-	return results, stats
+	return results, stats, runErr
 }
 
 // buildToolInfo assembles the agent prompt block from stage results.

@@ -1,0 +1,72 @@
+package llm4vv
+
+// Option configures a Runner at construction time.
+type Option func(*Runner)
+
+// WithBackend selects the registered LLM endpoint the Runner judges
+// and generates with. The name is resolved against the backend
+// registry when NewRunner runs, so an unknown name fails fast there
+// rather than mid-experiment. Default: DefaultBackend.
+func WithBackend(name string) Option {
+	return func(r *Runner) { r.backend = name }
+}
+
+// WithSeed sets the endpoint sampling seed. Default: DefaultModelSeed,
+// the seed behind every published experiment number.
+func WithSeed(seed uint64) Option {
+	return func(r *Runner) { r.seed = seed }
+}
+
+// WithWorkers sets the per-stage worker count for pipeline stages and
+// the fan-out of direct judging loops. Values below 1 are treated as
+// 1. Default: GOMAXPROCS.
+func WithWorkers(n int) Option {
+	return func(r *Runner) {
+		if n < 1 {
+			n = 1
+		}
+		r.workers = n
+	}
+}
+
+// WithRecordAll controls short-circuiting in ValidateSuite: true runs
+// every stage for every file (how the paper gathered Part-Two data),
+// false lets files that fail an early stage skip the expensive later
+// ones. Experiments whose measurements require a specific mode
+// (PartTwo needs record-all, PipelineThroughput measures both) ignore
+// this setting. Default: false (short-circuit, the production mode).
+func WithRecordAll(on bool) Option {
+	return func(r *Runner) { r.recordAll = on }
+}
+
+// WithEvalCache memoises endpoint completions keyed on the full prompt
+// text for the lifetime of one experiment call. Sound for
+// deterministic backends (the simulated model answers a prompt
+// identically every time); it saves repeated completions when several
+// configurations judge the same file. Default: off.
+func WithEvalCache(on bool) Option {
+	return func(r *Runner) { r.evalCache = on }
+}
+
+// WithProgress installs a streaming progress callback. Experiments
+// invoke it once per completed file, from worker goroutines, as stages
+// finish — it must be safe for concurrent use and should return
+// quickly. Default: no callback.
+func WithProgress(fn ProgressFunc) Option {
+	return func(r *Runner) { r.progress = fn }
+}
+
+// ProgressFunc receives streaming progress events.
+type ProgressFunc func(Progress)
+
+// Progress is one streaming event from a running experiment.
+type Progress struct {
+	// Phase names the experiment phase emitting the event (for
+	// example "direct-probing" or "pipeline/agent-direct").
+	Phase string
+	// File is the file whose processing just completed.
+	File string
+	// Done files out of Total have completed in this phase.
+	Done  int
+	Total int
+}

@@ -1,0 +1,134 @@
+package llm4vv
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/spec"
+)
+
+// ExperimentParams parameterises a registered experiment generically:
+// every scenario receives the same knobs, so front-ends can dispatch
+// any experiment without knowing its shape.
+type ExperimentParams struct {
+	// Dialects to run; empty means both OpenACC and OpenMP.
+	Dialects []spec.Dialect
+	// Scale divides suite sizes (1 = full size, the published tables).
+	Scale int
+	// PerFeature is the accepted-tests-per-feature target for
+	// generation scenarios; 0 means the scenario's default.
+	PerFeature int
+}
+
+// EffectiveDialects resolves the empty-slice default.
+func (p ExperimentParams) EffectiveDialects() []spec.Dialect {
+	if len(p.Dialects) == 0 {
+		return []spec.Dialect{spec.OpenACC, spec.OpenMP}
+	}
+	return p.Dialects
+}
+
+// EffectiveScale resolves the zero-value default.
+func (p ExperimentParams) EffectiveScale() int {
+	if p.Scale < 1 {
+		return 1
+	}
+	return p.Scale
+}
+
+// ExperimentResult is what a registered experiment returns: structured
+// data the caller may type-assert, plus a human-readable report any
+// front-end can print without knowing the experiment.
+type ExperimentResult interface {
+	Report() string
+}
+
+// Experiment is one named, registered workload: Part One, Part Two,
+// the ablations, and the generation loop ship registered, and new
+// scenarios join them with a single RegisterExperiment (or
+// RegisterExperimentFunc) call.
+type Experiment interface {
+	// Name is the registry key front-ends dispatch on.
+	Name() string
+	// Description is a one-line summary for experiment listings.
+	Description() string
+	// Run executes the experiment on the Runner's configuration.
+	Run(ctx context.Context, r *Runner, p ExperimentParams) (ExperimentResult, error)
+}
+
+var experimentRegistry = struct {
+	sync.RWMutex
+	byName map[string]Experiment
+	order  []string
+}{byName: map[string]Experiment{}}
+
+// RegisterExperiment adds an experiment to the registry. Like
+// RegisterBackend it panics on an empty name or duplicate
+// registration: both are init-time programmer errors.
+func RegisterExperiment(e Experiment) {
+	name := e.Name()
+	if name == "" {
+		panic("llm4vv: RegisterExperiment with empty name")
+	}
+	experimentRegistry.Lock()
+	defer experimentRegistry.Unlock()
+	if _, dup := experimentRegistry.byName[name]; dup {
+		panic(fmt.Sprintf("llm4vv: experiment %q registered twice", name))
+	}
+	experimentRegistry.byName[name] = e
+	experimentRegistry.order = append(experimentRegistry.order, name)
+}
+
+// RegisterExperimentFunc registers a function-backed experiment — the
+// one-call path for adding a scenario.
+func RegisterExperimentFunc(name, description string, run func(ctx context.Context, r *Runner, p ExperimentParams) (ExperimentResult, error)) {
+	RegisterExperiment(&funcExperiment{name: name, description: description, run: run})
+}
+
+type funcExperiment struct {
+	name        string
+	description string
+	run         func(ctx context.Context, r *Runner, p ExperimentParams) (ExperimentResult, error)
+}
+
+func (f *funcExperiment) Name() string        { return f.name }
+func (f *funcExperiment) Description() string { return f.description }
+func (f *funcExperiment) Run(ctx context.Context, r *Runner, p ExperimentParams) (ExperimentResult, error) {
+	return f.run(ctx, r, p)
+}
+
+// Experiments lists the registered experiments in registration order
+// (built-ins first, in the order the paper presents them).
+func Experiments() []Experiment {
+	experimentRegistry.RLock()
+	defer experimentRegistry.RUnlock()
+	out := make([]Experiment, 0, len(experimentRegistry.order))
+	for _, name := range experimentRegistry.order {
+		out = append(out, experimentRegistry.byName[name])
+	}
+	return out
+}
+
+// LookupExperiment resolves a name, erroring with the registered names
+// on a miss.
+func LookupExperiment(name string) (Experiment, error) {
+	experimentRegistry.RLock()
+	e, ok := experimentRegistry.byName[name]
+	order := append([]string(nil), experimentRegistry.order...)
+	experimentRegistry.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("llm4vv: unknown experiment %q (registered: %v)", name, order)
+	}
+	return e, nil
+}
+
+// RunExperiment dispatches a registered experiment by name — the
+// generic path front-ends use.
+func RunExperiment(ctx context.Context, r *Runner, name string, p ExperimentParams) (ExperimentResult, error) {
+	e, err := LookupExperiment(name)
+	if err != nil {
+		return nil, err
+	}
+	return e.Run(ctx, r, p)
+}

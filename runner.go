@@ -1,0 +1,410 @@
+package llm4vv
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/agent"
+	"repro/internal/genloop"
+	"repro/internal/judge"
+	"repro/internal/metrics"
+	"repro/internal/pipeline"
+	"repro/internal/spec"
+)
+
+// Runner is the configured entry point to every experiment: a backend
+// selection, a sampling seed, worker counts, and streaming hooks,
+// shared by concurrent experiment calls. Construct one with NewRunner
+// and functional options; the zero value is not usable.
+//
+// A Runner is immutable after construction and safe for concurrent use
+// — a service can hold one Runner and dispatch many experiments over
+// it, each governed by its own context.
+type Runner struct {
+	backend   string
+	seed      uint64
+	workers   int
+	recordAll bool
+	evalCache bool
+	progress  ProgressFunc
+}
+
+// NewRunner builds a Runner from options, validating the backend name
+// against the registry so misconfiguration fails here rather than
+// mid-experiment.
+func NewRunner(opts ...Option) (*Runner, error) {
+	r := &Runner{
+		backend: DefaultBackend,
+		seed:    DefaultModelSeed,
+		workers: runtime.GOMAXPROCS(0),
+	}
+	for _, opt := range opts {
+		opt(r)
+	}
+	if _, err := NewBackend(r.backend, r.seed); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// newLLM constructs a fresh endpoint for one experiment call. The
+// backend name was validated at construction, so the registry lookup
+// cannot fail unless the backend was registered with a nil-producing
+// factory — a programmer error surfaced by the ensuing nil deref.
+func (r *Runner) newLLM() judge.LLM {
+	llm, _ := NewBackend(r.backend, r.seed)
+	if r.evalCache {
+		llm = judge.Cached(llm)
+	}
+	return llm
+}
+
+// tracker counts completed files for one experiment phase and relays
+// them to the Runner's progress callback.
+type tracker struct {
+	fn    ProgressFunc
+	phase string
+	total int
+	done  atomic.Int64
+}
+
+func (r *Runner) track(phase string, total int) *tracker {
+	return &tracker{fn: r.progress, phase: phase, total: total}
+}
+
+func (t *tracker) file(name string) {
+	if t.fn == nil {
+		return
+	}
+	t.fn(Progress{Phase: t.phase, File: name, Done: int(t.done.Add(1)), Total: t.total})
+}
+
+// onResult adapts a tracker to the pipeline's streaming hook.
+func (t *tracker) onResult(fr pipeline.FileResult) { t.file(fr.Name) }
+
+// parallelFor runs fn(i) for i in [0,n) across the Runner's workers,
+// stopping early when ctx is cancelled or any fn errors; the first
+// error is returned.
+func (r *Runner) parallelFor(ctx context.Context, n int, fn func(i int) error) error {
+	workers := r.workers
+	if workers > n {
+		workers = n
+	}
+	var firstErr error
+	var errOnce sync.Once
+	fail := func(err error) { errOnce.Do(func() { firstErr = err }) }
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var stop atomic.Bool
+	next := make(chan int, n)
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				if stop.Load() || ctx.Err() != nil {
+					continue
+				}
+				if err := fn(i); err != nil {
+					fail(err)
+					stop.Store(true)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	return ctx.Err()
+}
+
+// DirectProbing is the Part-One experiment: judge every file of the
+// suite with the direct analysis prompt (no tools, no pipeline) and
+// score the verdicts. It reproduces Tables I and II, and its summaries
+// aggregate into Table III.
+func (r *Runner) DirectProbing(ctx context.Context, s SuiteSpec) (metrics.Summary, error) {
+	suite, err := BuildSuite(s)
+	if err != nil {
+		return metrics.Summary{}, err
+	}
+	j := &judge.Judge{LLM: r.newLLM(), Style: judge.Direct, Dialect: s.Dialect}
+	tr := r.track("direct-probing", len(suite))
+	outcomes := make([]metrics.Outcome, len(suite))
+	err = r.parallelFor(ctx, len(suite), func(i int) error {
+		ev, err := j.Evaluate(ctx, suite[i].Source, nil)
+		if err != nil {
+			return err
+		}
+		outcomes[i] = metrics.Outcome{
+			Issue:       suite[i].Issue,
+			JudgedValid: ev.Verdict == judge.Valid,
+		}
+		tr.file(suite[i].Name)
+		return nil
+	})
+	if err != nil {
+		return metrics.Summary{}, err
+	}
+	return metrics.Score(s.Dialect, outcomes), nil
+}
+
+// ValidateSuite streams a probed suite through the compile → execute →
+// judge pipeline with the given judge style, honouring the Runner's
+// worker, record-all, and progress settings. It is the generic
+// workload behind the fixed experiments and the natural entry point
+// for new scenarios.
+func (r *Runner) ValidateSuite(ctx context.Context, s SuiteSpec, style judge.Style) ([]pipeline.FileResult, pipeline.Stats, error) {
+	suite, err := BuildSuite(s)
+	if err != nil {
+		return nil, pipeline.Stats{}, err
+	}
+	inputs := make([]pipeline.Input, len(suite))
+	for i, pf := range suite {
+		inputs[i] = pipeline.Input{Name: pf.Name, Source: pf.Source, Lang: pf.Lang}
+	}
+	tr := r.track("pipeline/"+style.String(), len(inputs))
+	return pipeline.Run(ctx, pipeline.Config{
+		Tools:          agent.NewTools(s.Dialect),
+		Judge:          &judge.Judge{LLM: r.newLLM(), Style: style, Dialect: s.Dialect},
+		CompileWorkers: r.workers,
+		ExecWorkers:    r.workers,
+		JudgeWorkers:   r.workers,
+		RecordAll:      r.recordAll,
+		OnResult:       tr.onResult,
+	}, inputs)
+}
+
+// PartTwo executes the Part-Two experiment for one dialect: both
+// agent-based judges and both pipelines scored from the same
+// record-all pipeline runs, exactly as the paper gathered them (the
+// record-all requirement is inherent to the measurement, so the
+// Runner's record-all option does not apply here).
+func (r *Runner) PartTwo(ctx context.Context, s SuiteSpec) (PartTwoResult, error) {
+	suite, err := BuildSuite(s)
+	if err != nil {
+		return PartTwoResult{}, err
+	}
+	inputs := make([]pipeline.Input, len(suite))
+	for i, pf := range suite {
+		inputs[i] = pipeline.Input{Name: pf.Name, Source: pf.Source, Lang: pf.Lang}
+	}
+	llm := r.newLLM()
+	tools := agent.NewTools(s.Dialect)
+
+	var res PartTwoResult
+	run := func(style judge.Style) (judgeSum, pipeSum metrics.Summary, stats pipeline.Stats, err error) {
+		tr := r.track("part2/"+style.String(), len(inputs))
+		results, st, err := pipeline.Run(ctx, pipeline.Config{
+			Tools:          tools,
+			Judge:          &judge.Judge{LLM: llm, Style: style, Dialect: s.Dialect},
+			CompileWorkers: r.workers,
+			ExecWorkers:    r.workers,
+			JudgeWorkers:   r.workers,
+			RecordAll:      true,
+			OnResult:       tr.onResult,
+		}, inputs)
+		if err != nil {
+			return metrics.Summary{}, metrics.Summary{}, st, err
+		}
+		judgeOut := make([]metrics.Outcome, len(results))
+		pipeOut := make([]metrics.Outcome, len(results))
+		for i, fr := range results {
+			judgeOut[i] = metrics.Outcome{Issue: suite[i].Issue, JudgedValid: fr.Verdict == judge.Valid}
+			pipeOut[i] = metrics.Outcome{Issue: suite[i].Issue, JudgedValid: fr.Valid}
+		}
+		return metrics.Score(s.Dialect, judgeOut), metrics.Score(s.Dialect, pipeOut), st, nil
+	}
+	if res.LLMJ1, res.Pipeline1, res.Stats, err = run(judge.AgentDirect); err != nil {
+		return res, err
+	}
+	if res.LLMJ2, res.Pipeline2, _, err = run(judge.AgentIndirect); err != nil {
+		return res, err
+	}
+
+	// The non-agent judge on the same suite (Figures 5/6 baseline).
+	direct := &judge.Judge{LLM: llm, Style: judge.Direct, Dialect: s.Dialect}
+	tr := r.track("part2/direct", len(suite))
+	outcomes := make([]metrics.Outcome, len(suite))
+	err = r.parallelFor(ctx, len(suite), func(i int) error {
+		ev, err := direct.Evaluate(ctx, suite[i].Source, nil)
+		if err != nil {
+			return err
+		}
+		outcomes[i] = metrics.Outcome{Issue: suite[i].Issue, JudgedValid: ev.Verdict == judge.Valid}
+		tr.file(suite[i].Name)
+		return nil
+	})
+	if err != nil {
+		return res, err
+	}
+	res.Direct = metrics.Score(s.Dialect, outcomes)
+	return res, nil
+}
+
+// AblationStages runs ablation A3 (stage contribution) on the suite.
+func (r *Runner) AblationStages(ctx context.Context, s SuiteSpec) (AblationStagesResult, error) {
+	suite, err := BuildSuite(s)
+	if err != nil {
+		return AblationStagesResult{}, err
+	}
+	tools := agent.NewTools(s.Dialect)
+	inputs := make([]pipeline.Input, len(suite))
+	for i, pf := range suite {
+		inputs[i] = pipeline.Input{Name: pf.Name, Source: pf.Source, Lang: pf.Lang}
+	}
+
+	score := func(judgeOn, execOn bool) (metrics.Summary, error) {
+		var jd *judge.Judge
+		if judgeOn {
+			jd = &judge.Judge{LLM: r.newLLM(), Style: judge.AgentDirect, Dialect: s.Dialect}
+		}
+		tr := r.track("ablation-stages", len(inputs))
+		results, _, err := pipeline.Run(ctx, pipeline.Config{
+			Tools:          tools,
+			Judge:          jd,
+			CompileWorkers: r.workers,
+			ExecWorkers:    r.workers,
+			JudgeWorkers:   r.workers,
+			RecordAll:      true,
+			OnResult:       tr.onResult,
+		}, inputs)
+		if err != nil {
+			return metrics.Summary{}, err
+		}
+		out := make([]metrics.Outcome, len(results))
+		for i, fr := range results {
+			valid := fr.CompileOK
+			if execOn && fr.ExecRan {
+				valid = valid && fr.ExecOK
+			}
+			if judgeOn {
+				valid = valid && fr.Verdict == judge.Valid
+			}
+			out[i] = metrics.Outcome{Issue: suite[i].Issue, JudgedValid: valid}
+		}
+		return metrics.Score(s.Dialect, out), nil
+	}
+	var res AblationStagesResult
+	if res.CompileOnly, err = score(false, false); err != nil {
+		return res, err
+	}
+	if res.CompileAndRun, err = score(false, true); err != nil {
+		return res, err
+	}
+	if res.FullPipeline, err = score(true, true); err != nil {
+		return res, err
+	}
+	return res, nil
+}
+
+// AblationAgentInfo runs ablation A2 (tool information in the prompt).
+func (r *Runner) AblationAgentInfo(ctx context.Context, s SuiteSpec) (AblationAgentInfoResult, error) {
+	suite, err := BuildSuite(s)
+	if err != nil {
+		return AblationAgentInfoResult{}, err
+	}
+	llm := r.newLLM()
+	tools := agent.NewTools(s.Dialect)
+	direct := &judge.Judge{LLM: llm, Style: judge.Direct, Dialect: s.Dialect}
+	agentJudge := &judge.Judge{LLM: llm, Style: judge.AgentDirect, Dialect: s.Dialect}
+
+	tr := r.track("ablation-agent-info", len(suite))
+	without := make([]metrics.Outcome, len(suite))
+	with := make([]metrics.Outcome, len(suite))
+	err = r.parallelFor(ctx, len(suite), func(i int) error {
+		pf := suite[i]
+		evD, err := direct.Evaluate(ctx, pf.Source, nil)
+		if err != nil {
+			return err
+		}
+		without[i] = metrics.Outcome{Issue: pf.Issue, JudgedValid: evD.Verdict == judge.Valid}
+		outcome := tools.Gather(pf.Name, pf.Source, pf.Lang)
+		evA, err := agentJudge.Evaluate(ctx, pf.Source, &outcome.Info)
+		if err != nil {
+			return err
+		}
+		with[i] = metrics.Outcome{Issue: pf.Issue, JudgedValid: evA.Verdict == judge.Valid}
+		tr.file(pf.Name)
+		return nil
+	})
+	if err != nil {
+		return AblationAgentInfoResult{}, err
+	}
+	return AblationAgentInfoResult{
+		WithoutTools: metrics.Score(s.Dialect, without),
+		WithTools:    metrics.Score(s.Dialect, with),
+	}, nil
+}
+
+// PipelineThroughput runs ablation A1 (short-circuiting) on the suite,
+// measuring stage executions with and without early exit.
+func (r *Runner) PipelineThroughput(ctx context.Context, s SuiteSpec) (PipelineThroughputResult, error) {
+	suite, err := BuildSuite(s)
+	if err != nil {
+		return PipelineThroughputResult{}, err
+	}
+	inputs := make([]pipeline.Input, len(suite))
+	for i, pf := range suite {
+		inputs[i] = pipeline.Input{Name: pf.Name, Source: pf.Source, Lang: pf.Lang}
+	}
+	tools := agent.NewTools(s.Dialect)
+	var out PipelineThroughputResult
+	for _, recordAll := range []bool{false, true} {
+		tr := r.track("throughput", len(inputs))
+		_, st, err := pipeline.Run(ctx, pipeline.Config{
+			Tools:          tools,
+			Judge:          &judge.Judge{LLM: r.newLLM(), Style: judge.AgentDirect, Dialect: s.Dialect},
+			CompileWorkers: r.workers,
+			ExecWorkers:    r.workers,
+			JudgeWorkers:   r.workers,
+			RecordAll:      recordAll,
+			OnResult:       tr.onResult,
+		}, inputs)
+		if err != nil {
+			return out, err
+		}
+		if recordAll {
+			out.RecordAll = st
+		} else {
+			out.ShortCircuit = st
+		}
+	}
+	return out, nil
+}
+
+// GenerationLoop executes the paper's future-work experiment
+// (DESIGN.md E1): the backend authors candidate tests per feature and
+// the validation pipeline filters them. Backends that cannot author
+// tests (no GenerateTest method) fall back to the default simulated
+// author, which alone discloses the ground-truth defect labels the
+// filter-quality counters require.
+func (r *Runner) GenerationLoop(ctx context.Context, d spec.Dialect, perFeature int) (*GenerationResult, error) {
+	cfg := genloop.Config{
+		Dialect:     d,
+		PerFeature:  perFeature,
+		MaxAttempts: 4,
+		ModelSeed:   r.seed,
+		JudgeStyle:  judge.AgentDirect,
+	}
+	if author, ok := r.newLLM().(genloop.Author); ok {
+		cfg.Author = author
+	}
+	return genloop.Run(ctx, cfg)
+}

@@ -1,0 +1,322 @@
+package llm4vv
+
+// Tests for the Runner / Backend / Experiment API: registry error
+// paths, context cancellation with partial progress, short-circuit vs
+// record-all verdict parity, evaluation caching, progress streaming,
+// and the one-Register-call scenario extension path.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/judge"
+	"repro/internal/probe"
+	"repro/internal/spec"
+	"repro/internal/testlang"
+)
+
+// smallSpec is a fast mixed suite for API tests.
+func smallSpec(langs ...testlang.Language) SuiteSpec {
+	if len(langs) == 0 {
+		langs = []testlang.Language{testlang.LangC, testlang.LangCPP}
+	}
+	return SuiteSpec{
+		Dialect: spec.OpenACC,
+		Counts:  probe.Counts{4, 3, 3, 3, 3, 12},
+		Langs:   langs,
+		Seed:    2026,
+	}
+}
+
+func TestBackendRegistryUnknownName(t *testing.T) {
+	if _, err := NewBackend("no-such-backend", 1); err == nil {
+		t.Fatal("NewBackend accepted an unknown name")
+	} else if !strings.Contains(err.Error(), DefaultBackend) {
+		t.Errorf("error %q does not list registered backends", err)
+	}
+	if _, err := NewRunner(WithBackend("no-such-backend")); err == nil {
+		t.Fatal("NewRunner accepted an unknown backend name")
+	}
+}
+
+func TestDefaultBackendRegistered(t *testing.T) {
+	llm, err := NewBackend(DefaultBackend, DefaultModelSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if llm == nil {
+		t.Fatal("default backend constructed nil endpoint")
+	}
+	found := false
+	for _, name := range Backends() {
+		if name == DefaultBackend {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("Backends() = %v lacks %q", Backends(), DefaultBackend)
+	}
+}
+
+// acceptAllLLM is a registrable toy endpoint.
+type acceptAllLLM struct{}
+
+func (acceptAllLLM) Complete(prompt string) string {
+	if strings.Contains(prompt, "correct") {
+		return "FINAL JUDGEMENT: correct"
+	}
+	return "FINAL JUDGEMENT: valid"
+}
+
+func TestRegisteredBackendPlugsIntoExperiments(t *testing.T) {
+	RegisterBackend("test-accept-all", func(seed uint64) judge.LLM { return acceptAllLLM{} })
+	r, err := NewRunner(WithBackend("test-accept-all"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := smallSpec()
+	sum, err := r.DirectProbing(context.Background(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An accept-everything judge is exactly right on valid files and
+	// exactly wrong on every mutated one.
+	if got := sum.PerIssue[probe.IssueNone].Accuracy(); got != 1 {
+		t.Errorf("accept-all backend scored %.2f on valid files, want 1.0", got)
+	}
+	if got := sum.PerIssue[probe.IssueDirective].Accuracy(); got != 0 {
+		t.Errorf("accept-all backend scored %.2f on directive mutations, want 0.0", got)
+	}
+}
+
+func TestExperimentRegistryErrorPath(t *testing.T) {
+	if _, err := LookupExperiment("no-such-experiment"); err == nil {
+		t.Fatal("LookupExperiment accepted an unknown name")
+	} else if !strings.Contains(err.Error(), "part1") {
+		t.Errorf("error %q does not list registered experiments", err)
+	}
+	r, err := NewRunner()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunExperiment(context.Background(), r, "no-such-experiment", ExperimentParams{}); err == nil {
+		t.Fatal("RunExperiment dispatched an unknown name")
+	}
+}
+
+func TestBuiltinExperimentsRegistered(t *testing.T) {
+	want := []string{"part1", "part2", "ablations", "genloop"}
+	var got []string
+	for _, e := range Experiments() {
+		got = append(got, e.Name())
+	}
+	for i, name := range want {
+		if i >= len(got) || got[i] != name {
+			t.Fatalf("Experiments() order = %v, want prefix %v", got, want)
+		}
+	}
+}
+
+// toyCountResult demonstrates the single-Register-call extension path.
+type toyCountResult struct {
+	Files int
+	Valid int
+}
+
+func (r *toyCountResult) Report() string {
+	return fmt.Sprintf("toy-count: %d/%d files validated", r.Valid, r.Files)
+}
+
+func TestToyExperimentThroughGenericDispatch(t *testing.T) {
+	// Adding a scenario is one Register call...
+	RegisterExperimentFunc("test-toy-count", "count pipeline-validated files on a tiny suite",
+		func(ctx context.Context, r *Runner, p ExperimentParams) (ExperimentResult, error) {
+			results, _, err := r.ValidateSuite(ctx, smallSpec(), judge.AgentDirect)
+			if err != nil {
+				return nil, err
+			}
+			res := &toyCountResult{Files: len(results)}
+			for _, fr := range results {
+				if fr.Valid {
+					res.Valid++
+				}
+			}
+			return res, nil
+		})
+	// ...after which the generic front-end path runs it like a built-in.
+	r, err := NewRunner()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunExperiment(context.Background(), r, "test-toy-count", ExperimentParams{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	toy, ok := res.(*toyCountResult)
+	if !ok {
+		t.Fatalf("generic dispatch returned %T", res)
+	}
+	if toy.Files != smallSpec().Total() {
+		t.Errorf("toy experiment saw %d files, want %d", toy.Files, smallSpec().Total())
+	}
+	if !strings.Contains(res.Report(), "toy-count:") {
+		t.Errorf("Report() = %q lacks experiment output", res.Report())
+	}
+	// And it shows up in the enumeration front-ends print.
+	found := false
+	for _, e := range Experiments() {
+		if e.Name() == "test-toy-count" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("registered toy experiment missing from Experiments()")
+	}
+}
+
+func TestDirectProbingCancellation(t *testing.T) {
+	r, err := NewRunner()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := r.DirectProbing(ctx, smallSpec()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if _, err := r.PartTwo(ctx, smallSpec()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("PartTwo err = %v, want context.Canceled", err)
+	}
+	if _, err := r.GenerationLoop(ctx, spec.OpenACC, 1); !errors.Is(err, context.Canceled) {
+		t.Fatalf("GenerationLoop err = %v, want context.Canceled", err)
+	}
+}
+
+// TestShortCircuitRecordAllParity: the Runner's two pipeline modes
+// must agree on every per-file verdict — including Fortran files that
+// compile to no executable object (the fixed short-circuit drop).
+func TestShortCircuitRecordAllParity(t *testing.T) {
+	s := smallSpec(testlang.LangC, testlang.LangCPP, testlang.LangFortran)
+	shortR, err := NewRunner(WithRecordAll(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	allR, err := NewRunner(WithRecordAll(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	shortRes, shortStats, err := shortR.ValidateSuite(context.Background(), s, judge.AgentDirect)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allRes, allStats, err := allR.ValidateSuite(context.Background(), s, judge.AgentDirect)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shortRes) != len(allRes) {
+		t.Fatalf("result lengths differ: %d vs %d", len(shortRes), len(allRes))
+	}
+	for i := range shortRes {
+		if shortRes[i].Valid != allRes[i].Valid {
+			t.Errorf("file %d (%s): short-circuit=%v record-all=%v",
+				i, shortRes[i].Name, shortRes[i].Valid, allRes[i].Valid)
+		}
+	}
+	if shortStats.JudgeCalls >= allStats.JudgeCalls {
+		t.Errorf("short-circuit did not save judge calls: %d vs %d",
+			shortStats.JudgeCalls, allStats.JudgeCalls)
+	}
+}
+
+func TestEvalCachePreservesResults(t *testing.T) {
+	s := smallSpec()
+	plain, err := NewRunner()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached, err := NewRunner(WithEvalCache(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := plain.DirectProbing(context.Background(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := cached.DirectProbing(context.Background(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Accuracy() != b.Accuracy() || a.Bias() != b.Bias() || a.Total != b.Total {
+		t.Errorf("eval cache changed the summary: acc %.4f vs %.4f, bias %.4f vs %.4f",
+			a.Accuracy(), b.Accuracy(), a.Bias(), b.Bias())
+	}
+}
+
+func TestProgressStreaming(t *testing.T) {
+	var mu sync.Mutex
+	var events []Progress
+	r, err := NewRunner(WithProgress(func(p Progress) {
+		mu.Lock()
+		events = append(events, p)
+		mu.Unlock()
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := smallSpec()
+	if _, _, err := r.ValidateSuite(context.Background(), s, judge.AgentDirect); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != s.Total() {
+		t.Fatalf("got %d progress events, want %d", len(events), s.Total())
+	}
+	maxDone := 0
+	for _, e := range events {
+		if e.Total != s.Total() {
+			t.Errorf("event Total = %d, want %d", e.Total, s.Total())
+		}
+		if !strings.HasPrefix(e.Phase, "pipeline/") {
+			t.Errorf("event phase %q lacks pipeline prefix", e.Phase)
+		}
+		if e.Done > maxDone {
+			maxDone = e.Done
+		}
+	}
+	if maxDone != s.Total() {
+		t.Errorf("progress never reached %d/%d", maxDone, s.Total())
+	}
+}
+
+// TestDeprecatedWrappersMatchRunner pins the compatibility contract:
+// the old free functions are exactly the Runner under default options.
+func TestDeprecatedWrappersMatchRunner(t *testing.T) {
+	s := smallSpec()
+	old, err := RunDirectProbing(s, DefaultModelSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRunner(WithSeed(DefaultModelSeed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	neu, err := r.DirectProbing(context.Background(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if old.Accuracy() != neu.Accuracy() || old.Bias() != neu.Bias() {
+		t.Errorf("wrapper diverged from Runner: acc %.4f vs %.4f", old.Accuracy(), neu.Accuracy())
+	}
+	gOld := RunGenerationLoop(spec.OpenMP, 1, DefaultModelSeed)
+	gNew, err := r.GenerationLoop(context.Background(), spec.OpenMP, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gOld.Candidates) != len(gNew.Candidates) {
+		t.Errorf("generation wrapper diverged: %d vs %d candidates",
+			len(gOld.Candidates), len(gNew.Candidates))
+	}
+}

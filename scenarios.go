@@ -1,0 +1,269 @@
+package llm4vv
+
+// The paper's experiments as registered scenarios. Each Run gathers
+// structured results and its Report method renders the corresponding
+// tables and figures, so any front-end (cmd/llm4vv, cmd/judgebench, a
+// service) can dispatch and print them without experiment-specific
+// code.
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"repro/internal/metrics"
+	"repro/internal/report"
+	"repro/internal/spec"
+)
+
+func init() {
+	RegisterExperimentFunc("part1",
+		"direct LLM-as-a-judge scored by negative probing (Tables I-III)",
+		runPart1Scenario)
+	RegisterExperimentFunc("part2",
+		"agent-based judges and validation pipeline (Tables IV-IX, Figures 3-6)",
+		runPart2Scenario)
+	RegisterExperimentFunc("ablations",
+		"stage-contribution, tool-information, and short-circuit ablations (A1-A3)",
+		runAblationsScenario)
+	RegisterExperimentFunc("genloop",
+		"automated test generation filtered by the validation pipeline (§VI)",
+		runGenloopScenario)
+}
+
+// Part1ScenarioResult carries the Part-One summaries per dialect.
+type Part1ScenarioResult struct {
+	Dialects  []spec.Dialect
+	Summaries map[spec.Dialect]metrics.Summary
+}
+
+func runPart1Scenario(ctx context.Context, r *Runner, p ExperimentParams) (ExperimentResult, error) {
+	res := &Part1ScenarioResult{Summaries: map[spec.Dialect]metrics.Summary{}}
+	for _, d := range p.EffectiveDialects() {
+		s, err := r.DirectProbing(ctx, PartOneSpec(d).Scaled(p.EffectiveScale()))
+		if err != nil {
+			return nil, err
+		}
+		res.Dialects = append(res.Dialects, d)
+		res.Summaries[d] = s
+	}
+	return res, nil
+}
+
+func (r *Part1ScenarioResult) Report() string {
+	var b strings.Builder
+	b.WriteString("================ PART ONE: direct LLM-as-a-judge (negative probing) ================\n")
+	overall := map[string][]metrics.Summary{}
+	for _, d := range r.Dialects {
+		s := r.Summaries[d]
+		overall[d.String()] = []metrics.Summary{s}
+		title := "Table I: LLMJ Negative Probing Results for OpenACC"
+		if d == spec.OpenMP {
+			title = "Table II: LLMJ Negative Probing Results for OpenMP"
+		}
+		b.WriteString(report.PerIssueTable(title, s))
+		b.WriteByte('\n')
+	}
+	b.WriteString(report.OverallTable("Table III: LLMJ Overall Negative Probing Results",
+		[]string{""}, overall))
+	return b.String()
+}
+
+// Part2ScenarioResult carries the full Part-Two measurements per
+// dialect.
+type Part2ScenarioResult struct {
+	Dialects []spec.Dialect
+	Results  map[spec.Dialect]PartTwoResult
+}
+
+func runPart2Scenario(ctx context.Context, r *Runner, p ExperimentParams) (ExperimentResult, error) {
+	res := &Part2ScenarioResult{Results: map[spec.Dialect]PartTwoResult{}}
+	for _, d := range p.EffectiveDialects() {
+		pr, err := r.PartTwo(ctx, PartTwoSpec(d).Scaled(p.EffectiveScale()))
+		if err != nil {
+			return nil, err
+		}
+		res.Dialects = append(res.Dialects, d)
+		res.Results[d] = pr
+	}
+	return res, nil
+}
+
+func (r *Part2ScenarioResult) Report() string {
+	var b strings.Builder
+	b.WriteString("================ PART TWO: agent-based judges and validation pipeline ================\n")
+	pipeCols := map[string][]metrics.Summary{}
+	judgeCols := map[string][]metrics.Summary{}
+	for _, d := range r.Dialects {
+		pr := r.Results[d]
+		pipeCols[d.String()] = []metrics.Summary{pr.Pipeline1, pr.Pipeline2}
+		judgeCols[d.String()] = []metrics.Summary{pr.LLMJ1, pr.LLMJ2}
+	}
+	tables := []struct {
+		d     spec.Dialect
+		title string
+		a, b  func(PartTwoResult) metrics.Summary
+		nameA string
+		nameB string
+	}{
+		{spec.OpenACC, "Table IV: Validation Pipeline Results for OpenACC",
+			func(p PartTwoResult) metrics.Summary { return p.Pipeline1 },
+			func(p PartTwoResult) metrics.Summary { return p.Pipeline2 }, "Pipeline 1", "Pipeline 2"},
+		{spec.OpenMP, "Table V: Validation Pipeline Results for OpenMP",
+			func(p PartTwoResult) metrics.Summary { return p.Pipeline1 },
+			func(p PartTwoResult) metrics.Summary { return p.Pipeline2 }, "Pipeline 1", "Pipeline 2"},
+	}
+	for _, t := range tables {
+		if pr, ok := r.Results[t.d]; ok {
+			b.WriteString(report.PairedPerIssueTable(t.title, t.nameA, t.nameB, t.a(pr), t.b(pr)))
+			b.WriteByte('\n')
+		}
+	}
+	b.WriteString(report.OverallTable("Table VI: Overall Validation Pipeline Results",
+		[]string{"Pipeline 1", "Pipeline 2"}, pipeCols))
+	b.WriteByte('\n')
+
+	judgeTables := []struct {
+		d     spec.Dialect
+		title string
+	}{
+		{spec.OpenACC, "Table VII: Agent-Based LLMJ Results for OpenACC"},
+		{spec.OpenMP, "Table VIII: Agent-Based LLMJ Results for OpenMP"},
+	}
+	for _, t := range judgeTables {
+		if pr, ok := r.Results[t.d]; ok {
+			b.WriteString(report.PairedPerIssueTable(t.title, "LLMJ 1", "LLMJ 2", pr.LLMJ1, pr.LLMJ2))
+			b.WriteByte('\n')
+		}
+	}
+	b.WriteString(report.OverallTable("Table IX: Overall Agent-Based LLMJ Results",
+		[]string{"LLMJ 1", "LLMJ 2"}, judgeCols))
+	b.WriteByte('\n')
+
+	figures := []struct {
+		d     spec.Dialect
+		title string
+		judge bool
+	}{
+		{spec.OpenACC, "Figure 3: Validation Pipeline Results for OpenACC (radar series)", false},
+		{spec.OpenMP, "Figure 4: Validation Pipeline Results for OpenMP (radar series)", false},
+		{spec.OpenACC, "Figure 5: LLMJ Results for OpenACC (radar series)", true},
+		{spec.OpenMP, "Figure 6: LLMJ Results for OpenMP (radar series)", true},
+	}
+	for _, f := range figures {
+		pr, ok := r.Results[f.d]
+		if !ok {
+			continue
+		}
+		if f.judge {
+			b.WriteString(report.RadarSeries(f.title,
+				[]string{"Non-agent LLMJ", "LLMJ 1", "LLMJ 2"},
+				[]metrics.Summary{pr.Direct, pr.LLMJ1, pr.LLMJ2}))
+		} else {
+			b.WriteString(report.RadarSeries(f.title,
+				[]string{"Pipeline 1", "Pipeline 2"},
+				[]metrics.Summary{pr.Pipeline1, pr.Pipeline2}))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// AblationsScenarioResult carries the A1-A3 ablation measurements per
+// dialect.
+type AblationsScenarioResult struct {
+	Dialects   []spec.Dialect
+	AgentInfo  map[spec.Dialect]AblationAgentInfoResult
+	Stages     map[spec.Dialect]AblationStagesResult
+	Throughput map[spec.Dialect]PipelineThroughputResult
+}
+
+func runAblationsScenario(ctx context.Context, r *Runner, p ExperimentParams) (ExperimentResult, error) {
+	res := &AblationsScenarioResult{
+		AgentInfo:  map[spec.Dialect]AblationAgentInfoResult{},
+		Stages:     map[spec.Dialect]AblationStagesResult{},
+		Throughput: map[spec.Dialect]PipelineThroughputResult{},
+	}
+	for _, d := range p.EffectiveDialects() {
+		s := PartTwoSpec(d).Scaled(p.EffectiveScale())
+		ai, err := r.AblationAgentInfo(ctx, s)
+		if err != nil {
+			return nil, err
+		}
+		st, err := r.AblationStages(ctx, s)
+		if err != nil {
+			return nil, err
+		}
+		tp, err := r.PipelineThroughput(ctx, s)
+		if err != nil {
+			return nil, err
+		}
+		res.Dialects = append(res.Dialects, d)
+		res.AgentInfo[d] = ai
+		res.Stages[d] = st
+		res.Throughput[d] = tp
+	}
+	return res, nil
+}
+
+func (r *AblationsScenarioResult) Report() string {
+	var b strings.Builder
+	b.WriteString("================ ABLATIONS (DESIGN.md A1-A3) ================\n")
+	for _, d := range r.Dialects {
+		ai := r.AgentInfo[d]
+		fmt.Fprintf(&b, "A2 (%v): tool information in the prompt\n", d)
+		fmt.Fprintf(&b, "  without tools: acc=%.2f%% bias=%+.3f\n", 100*ai.WithoutTools.Accuracy(), ai.WithoutTools.Bias())
+		fmt.Fprintf(&b, "  with tools:    acc=%.2f%% bias=%+.3f\n\n", 100*ai.WithTools.Accuracy(), ai.WithTools.Bias())
+
+		st := r.Stages[d]
+		fmt.Fprintf(&b, "A3 (%v): stage contribution\n", d)
+		fmt.Fprintf(&b, "  compile only:        acc=%.2f%%\n", 100*st.CompileOnly.Accuracy())
+		fmt.Fprintf(&b, "  compile + execute:   acc=%.2f%%\n", 100*st.CompileAndRun.Accuracy())
+		fmt.Fprintf(&b, "  full pipeline:       acc=%.2f%%\n\n", 100*st.FullPipeline.Accuracy())
+
+		tp := r.Throughput[d]
+		fmt.Fprintf(&b, "A1 (%v): short-circuiting\n", d)
+		fmt.Fprintf(&b, "  short-circuit: compiles=%d executions=%d judge calls=%d\n",
+			tp.ShortCircuit.Compiles, tp.ShortCircuit.Executions, tp.ShortCircuit.JudgeCalls)
+		fmt.Fprintf(&b, "  record-all:    compiles=%d executions=%d judge calls=%d\n\n",
+			tp.RecordAll.Compiles, tp.RecordAll.Executions, tp.RecordAll.JudgeCalls)
+	}
+	return b.String()
+}
+
+// GenloopScenarioResult carries one generation campaign per dialect.
+type GenloopScenarioResult struct {
+	Dialects []spec.Dialect
+	Results  map[spec.Dialect]*GenerationResult
+}
+
+func runGenloopScenario(ctx context.Context, r *Runner, p ExperimentParams) (ExperimentResult, error) {
+	perFeature := p.PerFeature
+	if perFeature <= 0 {
+		perFeature = 2
+	}
+	res := &GenloopScenarioResult{Results: map[spec.Dialect]*GenerationResult{}}
+	for _, d := range p.EffectiveDialects() {
+		gr, err := r.GenerationLoop(ctx, d, perFeature)
+		if err != nil {
+			return nil, err
+		}
+		res.Dialects = append(res.Dialects, d)
+		res.Results[d] = gr
+	}
+	return res, nil
+}
+
+func (r *GenloopScenarioResult) Report() string {
+	var b strings.Builder
+	b.WriteString("================ EXTENSION E1: automated test generation (paper §VI) ================\n")
+	for _, d := range r.Dialects {
+		gr := r.Results[d]
+		fmt.Fprintf(&b, "%v: %d candidates, %d accepted\n", d, len(gr.Candidates), len(gr.Accepted))
+		fmt.Fprintf(&b, "  raw sound rate      %5.1f%%\n", 100*gr.RawSoundRate())
+		fmt.Fprintf(&b, "  accepted precision  %5.1f%%\n", 100*gr.AcceptancePrecision())
+		fmt.Fprintf(&b, "  defect catch rate   %5.1f%%\n", 100*gr.DefectCatchRate())
+		fmt.Fprintf(&b, "  sound-test yield    %5.1f%%\n\n", 100*gr.SoundYield())
+	}
+	return b.String()
+}
