@@ -16,6 +16,16 @@ const DefaultBackend = "deepseek-sim"
 
 // BackendFactory constructs an LLM endpoint for a sampling seed. Equal
 // seeds must give equal behaviour for experiments to stay reproducible.
+//
+// The required contract is judge.LLM (one prompt, one response), and
+// endpoints opt into richer handling by implementing the optional
+// capabilities: judge.ContextLLM for in-flight cancellation,
+// judge.BatchLLM to receive whole shards of prompts in one
+// CompleteBatch call (the Runner's sharded scheduler and the
+// pipeline's judge stage detect it and batch accordingly), and
+// genloop.Author (a GenerateTest method) for test authoring. The
+// simulated deepseek backend implements Complete, CompleteBatch, and
+// GenerateTest.
 type BackendFactory func(seed uint64) judge.LLM
 
 var backendRegistry = struct {

@@ -1,7 +1,7 @@
 package llm4vv
 
 // The benchmark harness regenerates every table and figure of the
-// paper's evaluation section (DESIGN.md §4 maps each bench to its
+// paper's evaluation section (DESIGN.md §6 maps each bench to its
 // artifact). Each bench runs its experiment end to end — suite
 // generation, negative probing, toolchain, judging, scoring — on a
 // 1/benchScale-sized suite per iteration and reports the headline

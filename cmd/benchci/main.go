@@ -1,0 +1,171 @@
+// Command benchci turns `go test -bench` output into a CI gate for
+// the reproduced result shapes. The benchmark harness reports every
+// headline accuracy/bias metric of the paper's tables via
+// b.ReportMetric; benchci parses those custom metrics (timing units —
+// ns/op, B/op, allocs/op — are machine-dependent and ignored), writes
+// them to a JSON artifact, and compares them against a committed
+// baseline, failing when any metric drifts beyond tolerance. The
+// metrics are deterministic functions of the experiment seeds, so
+// under an unchanged model any drift is a behaviour change, not
+// noise; the tolerances exist to absorb intentional small
+// recalibrations without a baseline churn on every PR.
+//
+// Usage:
+//
+//	go test -bench . -benchtime 1x -run '^$' | \
+//	    benchci -out BENCH_ci.json -baseline BENCH_baseline.json
+//	go test -bench . -benchtime 1x -run '^$' | \
+//	    benchci -write-baseline BENCH_baseline.json
+//
+// -tol-pct and -tol-bias set the drift tolerances for percentage
+// metrics (units ending in %) and bias metrics. A baseline key absent
+// from the current run fails the gate (a table disappeared); a new
+// key not in the baseline is reported but passes (a table was added —
+// regenerate the baseline to start gating it).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	out := flag.String("out", "BENCH_ci.json", "write parsed metrics to this JSON artifact")
+	baselinePath := flag.String("baseline", "", "compare metrics against this committed baseline")
+	writeBaseline := flag.String("write-baseline", "", "write the parsed metrics as a new baseline and exit")
+	tolPct := flag.Float64("tol-pct", 2.0, "allowed drift for %-unit metrics, in percentage points")
+	tolBias := flag.Float64("tol-bias", 0.1, "allowed drift for bias metrics")
+	flag.Parse()
+
+	metrics, err := parseBench(os.Stdin)
+	fail(err)
+	if len(metrics) == 0 {
+		fail(fmt.Errorf("no benchmark metrics found on stdin (run `go test -bench . -benchtime 1x -run '^$'`)"))
+	}
+
+	if *writeBaseline != "" {
+		fail(writeJSON(*writeBaseline, metrics))
+		fmt.Printf("benchci: wrote %d metrics to %s\n", len(metrics), *writeBaseline)
+		return
+	}
+
+	fail(writeJSON(*out, metrics))
+	fmt.Printf("benchci: wrote %d metrics to %s\n", len(metrics), *out)
+	if *baselinePath == "" {
+		return
+	}
+
+	data, err := os.ReadFile(*baselinePath)
+	fail(err)
+	var baseline map[string]float64
+	fail(json.Unmarshal(data, &baseline))
+
+	var failures []string
+	keys := make([]string, 0, len(baseline))
+	for k := range baseline {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		want := baseline[k]
+		got, ok := metrics[k]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: missing from current run (baseline %.4f)", k, want))
+			continue
+		}
+		tol := *tolBias
+		if strings.HasSuffix(k, "%") {
+			tol = *tolPct
+		}
+		if drift := math.Abs(got - want); drift > tol {
+			failures = append(failures, fmt.Sprintf("%s: %.4f drifted %.4f from baseline %.4f (tolerance %.4f)", k, got, drift, want, tol))
+		}
+	}
+	for k := range metrics {
+		if _, ok := baseline[k]; !ok {
+			fmt.Printf("benchci: new metric %s = %.4f (not in baseline; regenerate to gate it)\n", k, metrics[k])
+		}
+	}
+	if len(failures) > 0 {
+		fmt.Fprintf(os.Stderr, "benchci: %d metric(s) drifted from %s:\n", len(failures), *baselinePath)
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "  "+f)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("benchci: all %d baseline metrics within tolerance\n", len(keys))
+}
+
+// parseBench extracts the custom (value, unit) metric pairs from
+// `go test -bench` output lines, keying them as "BenchmarkName/unit".
+// A benchmark result line is: name, iteration count, then pairs.
+func parseBench(f *os.File) (map[string]float64, error) {
+	metrics := map[string]float64{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		// Echo the raw output so the CI log keeps the full table.
+		fmt.Println(line)
+		fields := strings.Fields(line)
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := trimProcSuffix(fields[0])
+		for i := 2; i+1 < len(fields); i += 2 {
+			val, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break // malformed pair; stop reading this line
+			}
+			unit := fields[i+1]
+			if skipUnit(unit) {
+				continue
+			}
+			metrics[name+"/"+unit] = val
+		}
+	}
+	return metrics, sc.Err()
+}
+
+// trimProcSuffix drops the -GOMAXPROCS suffix so keys are stable
+// across runner shapes.
+func trimProcSuffix(name string) string {
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			return name[:i]
+		}
+	}
+	return name
+}
+
+// skipUnit filters the machine-dependent units; only the harness's
+// deterministic custom metrics gate the build.
+func skipUnit(unit string) bool {
+	switch unit {
+	case "ns/op", "B/op", "allocs/op", "MB/s":
+		return true
+	}
+	return false
+}
+
+func writeJSON(path string, metrics map[string]float64) error {
+	data, err := json.MarshalIndent(metrics, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchci:", err)
+		os.Exit(1)
+	}
+}

@@ -7,12 +7,24 @@
 //	judgebench -dialect acc|omp -mode direct|agent|indirect|pipeline1|pipeline2 \
 //	           [-scale K] [-seed N] [-backend NAME] [-show N] [-record-all=false]
 //	judgebench -experiment NAME [-scale K] [-seed N] [-backend NAME]
+//	judgebench -compare [-scale K] [-seed N] [-store PATH [-resume]]
 //	judgebench -list
 //
 // -show N prints N sample prompt/response transcripts. -experiment
 // dispatches any registered experiment through the same generic path
 // cmd/llm4vv uses; -list enumerates registered experiments and
 // backends.
+//
+// -compare sweeps every registered backend over the same suites and
+// renders a cross-backend metrics matrix (accuracy and bias per
+// dialect). Combined with -store PATH, any run appends every sealed
+// verdict to a persistent JSONL run store, and with -resume it skips
+// every (backend, file) pair a previous run already judged — so an
+// interrupted sweep restarts where it stopped, and a sweep re-run
+// after registering one more backend judges only the new backend.
+// -shard sets the scheduler's shard (and judge batch) size; 0 picks
+// one automatically. -show transcripts require re-judging, so -store
+// and -resume are ignored when -show is set.
 package main
 
 import (
@@ -41,6 +53,10 @@ func main() {
 	show := flag.Int("show", 0, "print this many sample transcripts")
 	recordAll := flag.Bool("record-all", true, "run every stage for every file (false = short-circuit)")
 	experiment := flag.String("experiment", "", "dispatch a registered experiment instead of a mode")
+	compare := flag.Bool("compare", false, "sweep every registered backend and print a cross-backend metrics matrix")
+	storePath := flag.String("store", "", "append sealed verdicts to this JSONL run store")
+	resume := flag.Bool("resume", false, "skip files already recorded in the run store (requires -store)")
+	shard := flag.Int("shard", 0, "scheduler shard / judge batch size (0 = automatic)")
 	list := flag.Bool("list", false, "list registered experiments and backends, then exit")
 	flag.Parse()
 
@@ -55,22 +71,16 @@ func main() {
 		}
 		return
 	}
+	if *resume && *storePath == "" {
+		fmt.Fprintln(os.Stderr, "judgebench: -resume requires -store")
+		os.Exit(2)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	runner, err := llm4vv.NewRunner(
-		llm4vv.WithBackend(*backend),
-		llm4vv.WithSeed(*seed),
-		llm4vv.WithRecordAll(*recordAll),
-	)
-	fail(err)
-
-	if *experiment != "" {
-		res, err := llm4vv.RunExperiment(ctx, runner, *experiment, llm4vv.ExperimentParams{Scale: *scale})
-		fail(err)
-		fmt.Println(res.Report())
-		return
+	if *compare {
+		*experiment = "compare"
 	}
 
 	var d spec.Dialect
@@ -83,59 +93,119 @@ func main() {
 		fmt.Fprintln(os.Stderr, "judgebench: -dialect must be acc or omp")
 		os.Exit(2)
 	}
+
+	style := judge.AgentDirect
+	pipelineVerdict := false
+	if *experiment == "" {
+		switch *mode {
+		case "direct":
+			style = judge.Direct
+		case "agent":
+			style = judge.AgentDirect
+		case "indirect":
+			style = judge.AgentIndirect
+		case "pipeline1":
+			style, pipelineVerdict = judge.AgentDirect, true
+		case "pipeline2":
+			style, pipelineVerdict = judge.AgentIndirect, true
+		default:
+			fmt.Fprintln(os.Stderr, "judgebench: unknown -mode", *mode)
+			os.Exit(2)
+		}
+	}
+
+	// Judge-only scorecards (agent/indirect) need every file judged;
+	// short-circuiting would score dropped files as judge-invalid and
+	// measure the pipeline instead of the judge.
+	runRecordAll := *recordAll
+	if *experiment == "" && !pipelineVerdict && style != judge.Direct && !runRecordAll {
+		fmt.Fprintln(os.Stderr, "judgebench: -mode", *mode, "scores the judge alone; forcing -record-all=true")
+		runRecordAll = true
+	}
+
+	if *experiment == "" && *show > 0 {
+		// Transcripts need kept responses, which the Runner's stored
+		// path does not retain; judge through the toolchain directly.
+		showTranscripts(ctx, d, llm4vv.PartTwoSpec(d).Scaled(*scale), *mode, style, pipelineVerdict, *backend, *seed, *scale, *show, runRecordAll)
+		return
+	}
+
+	opts := []llm4vv.Option{
+		llm4vv.WithBackend(*backend),
+		llm4vv.WithSeed(*seed),
+		llm4vv.WithRecordAll(runRecordAll),
+		llm4vv.WithShardSize(*shard),
+	}
+	if *storePath != "" {
+		opts = append(opts, llm4vv.WithStore(*storePath), llm4vv.WithResume(*resume))
+	}
+	runner, err := llm4vv.NewRunner(opts...)
+	fail(err)
+
+	if *experiment != "" {
+		res, err := llm4vv.RunExperiment(ctx, runner, *experiment, llm4vv.ExperimentParams{Scale: *scale})
+		fail(err)
+		fmt.Println(res.Report())
+		fail(runner.Close())
+		return
+	}
+
 	suiteSpec := llm4vv.PartTwoSpec(d).Scaled(*scale)
 	suite, err := llm4vv.BuildSuite(suiteSpec)
 	fail(err)
 
-	style := judge.AgentDirect
-	pipelineVerdict := false
-	switch *mode {
-	case "direct":
-		style = judge.Direct
-	case "agent":
-		style = judge.AgentDirect
-	case "indirect":
-		style = judge.AgentIndirect
-	case "pipeline1":
-		style, pipelineVerdict = judge.AgentDirect, true
-	case "pipeline2":
-		style, pipelineVerdict = judge.AgentIndirect, true
-	default:
-		fmt.Fprintln(os.Stderr, "judgebench: unknown -mode", *mode)
-		os.Exit(2)
-	}
-
-	llm, err := llm4vv.NewBackend(*backend, *seed)
-	fail(err)
-	jd := &judge.Judge{LLM: llm, Style: style, Dialect: d}
 	if style == judge.Direct {
 		// The direct judge receives no tool info; evaluate outside the
 		// pipeline for fidelity to Part One.
+		sum, err := runner.DirectProbing(ctx, suiteSpec)
+		fail(err)
+		fmt.Println(report.PerIssueTable(fmt.Sprintf("Direct judge on %v (scale 1/%d)", d, *scale), sum))
+		fail(runner.Close())
+		return
+	}
+
+	results, stats, err := runner.ValidateSuite(ctx, suiteSpec, style)
+	fail(err)
+	outcomes := make([]metrics.Outcome, len(results))
+	for i, r := range results {
+		v := r.Verdict == judge.Valid
+		if pipelineVerdict {
+			v = r.Valid
+		}
+		outcomes[i] = metrics.Outcome{Issue: suite[i].Issue, JudgedValid: v}
+	}
+	title := fmt.Sprintf("%s on %v (scale 1/%d)", *mode, d, *scale)
+	fmt.Println(report.PerIssueTable(title, metrics.Score(d, outcomes)))
+	fmt.Printf("stage executions: compiles=%d runs=%d judge-calls=%d judge-batches=%d\n",
+		stats.Compiles, stats.Executions, stats.JudgeCalls, stats.JudgeBatches)
+	fail(runner.Close())
+}
+
+// showTranscripts reruns the configuration with responses kept,
+// printing the first N transcripts alongside the scorecard.
+func showTranscripts(ctx context.Context, d spec.Dialect, suiteSpec llm4vv.SuiteSpec, mode string, style judge.Style, pipelineVerdict bool, backend string, seed uint64, scale, show int, recordAll bool) {
+	suite, err := llm4vv.BuildSuite(suiteSpec)
+	fail(err)
+	llm, err := llm4vv.NewBackend(backend, seed)
+	fail(err)
+	jd := &judge.Judge{LLM: llm, Style: style, Dialect: d}
+	if style == judge.Direct {
 		outcomes := make([]metrics.Outcome, len(suite))
 		for i, pf := range suite {
 			ev, err := jd.Evaluate(ctx, pf.Source, nil)
 			fail(err)
 			outcomes[i] = metrics.Outcome{Issue: pf.Issue, JudgedValid: ev.Verdict == judge.Valid}
-			if i < *show {
+			if i < show {
 				fmt.Printf("--- %s (issue %d) ---\n%s\n", pf.Name, pf.Issue, ev.Response)
 			}
 		}
-		fmt.Println(report.PerIssueTable(fmt.Sprintf("Direct judge on %v (scale 1/%d)", d, *scale),
+		fmt.Println(report.PerIssueTable(fmt.Sprintf("Direct judge on %v (scale 1/%d)", d, scale),
 			metrics.Score(d, outcomes)))
 		return
 	}
-
 	inputs := make([]pipeline.Input, len(suite))
 	for i, pf := range suite {
 		inputs[i] = pipeline.Input{Name: pf.Name, Source: pf.Source, Lang: pf.Lang}
-	}
-	// Judge-only scorecards (agent/indirect) need every file judged;
-	// short-circuiting would score dropped files as judge-invalid and
-	// measure the pipeline instead of the judge.
-	runRecordAll := *recordAll
-	if !pipelineVerdict && !runRecordAll {
-		fmt.Fprintln(os.Stderr, "judgebench: -mode", *mode, "scores the judge alone; forcing -record-all=true")
-		runRecordAll = true
 	}
 	workers := runtime.GOMAXPROCS(0)
 	results, stats, err := pipeline.Run(ctx, pipeline.Config{
@@ -144,8 +214,8 @@ func main() {
 		CompileWorkers: workers,
 		ExecWorkers:    workers,
 		JudgeWorkers:   workers,
-		RecordAll:      runRecordAll,
-		KeepResponses:  *show > 0,
+		RecordAll:      recordAll,
+		KeepResponses:  true,
 	}, inputs)
 	fail(err)
 	outcomes := make([]metrics.Outcome, len(results))
@@ -156,13 +226,13 @@ func main() {
 			v = r.Valid
 		}
 		outcomes[i] = metrics.Outcome{Issue: suite[i].Issue, JudgedValid: v}
-		if shown < *show && r.Evaluation != nil {
+		if shown < show && r.Evaluation != nil {
 			fmt.Printf("--- %s (issue %d, pipeline valid=%v) ---\n%s\n",
 				r.Name, suite[i].Issue, r.Valid, r.Evaluation.Response)
 			shown++
 		}
 	}
-	title := fmt.Sprintf("%s on %v (scale 1/%d)", *mode, d, *scale)
+	title := fmt.Sprintf("%s on %v (scale 1/%d)", mode, d, scale)
 	fmt.Println(report.PerIssueTable(title, metrics.Score(d, outcomes)))
 	fmt.Printf("stage executions: compiles=%d runs=%d judge-calls=%d\n",
 		stats.Compiles, stats.Executions, stats.JudgeCalls)

@@ -6,15 +6,19 @@
 //
 // Usage:
 //
-//	llm4vv [-seed N] [-scale K] [-backend NAME] [-workers N] \
-//	       [-experiment all|list|NAME] [-progress]
+//	llm4vv [-seed N] [-scale K] [-backend NAME] [-workers N] [-shard N] \
+//	       [-experiment all|list|NAME] [-progress] [-store PATH [-resume]]
 //
 // -experiment list enumerates the registered experiments (and the
 // registered backends); any registered name — including scenarios
 // added by third-party packages via llm4vv.RegisterExperiment — runs
 // through the same generic path. -scale K divides every suite's
 // per-issue counts by K for quick runs. Interrupting the process
-// (SIGINT) cancels the run's context and exits promptly.
+// (SIGINT) cancels the run's context and exits promptly; with
+// -store PATH every sealed verdict was appended to the run store on
+// the way, and re-running with -resume picks up where the interrupted
+// run stopped, re-judging zero completed files. -shard sets the
+// sharded scheduler's chunk (and judge batch) size, 0 = automatic.
 package main
 
 import (
@@ -33,9 +37,17 @@ func main() {
 	scale := flag.Int("scale", 1, "divide suite sizes by this factor")
 	backend := flag.String("backend", llm4vv.DefaultBackend, "registered LLM backend")
 	workers := flag.Int("workers", 0, "per-stage workers (0 = GOMAXPROCS)")
+	shard := flag.Int("shard", 0, "scheduler shard / judge batch size (0 = automatic)")
 	experiment := flag.String("experiment", "all", "all|list|<registered name>")
 	progress := flag.Bool("progress", false, "stream per-file progress to stderr")
+	storePath := flag.String("store", "", "append sealed verdicts to this JSONL run store")
+	resume := flag.Bool("resume", false, "skip files already recorded in the run store (requires -store)")
 	flag.Parse()
+
+	if *resume && *storePath == "" {
+		fmt.Fprintln(os.Stderr, "llm4vv: -resume requires -store")
+		os.Exit(2)
+	}
 
 	if *experiment == "list" {
 		fmt.Println("registered experiments:")
@@ -49,9 +61,16 @@ func main() {
 		return
 	}
 
-	opts := []llm4vv.Option{llm4vv.WithBackend(*backend), llm4vv.WithSeed(*seed)}
+	opts := []llm4vv.Option{
+		llm4vv.WithBackend(*backend),
+		llm4vv.WithSeed(*seed),
+		llm4vv.WithShardSize(*shard),
+	}
 	if *workers > 0 {
 		opts = append(opts, llm4vv.WithWorkers(*workers))
+	}
+	if *storePath != "" {
+		opts = append(opts, llm4vv.WithStore(*storePath), llm4vv.WithResume(*resume))
 	}
 	if *progress {
 		opts = append(opts, llm4vv.WithProgress(func(p llm4vv.Progress) {
@@ -72,6 +91,13 @@ func main() {
 	if *experiment == "all" {
 		names = names[:0]
 		for _, e := range llm4vv.Experiments() {
+			// "all" reproduces the paper's experiments once on the
+			// selected backend; the cross-backend compare sweep would
+			// re-judge the Part One suites per registered backend, so
+			// it runs only when asked for by name.
+			if e.Name() == "compare" {
+				continue
+			}
 			names = append(names, e.Name())
 		}
 	}
@@ -82,6 +108,7 @@ func main() {
 		check(err)
 		fmt.Println(res.Report())
 	}
+	check(runner.Close())
 	fmt.Printf("\ntotal wall time: %v\n", time.Since(start).Round(time.Millisecond))
 }
 

@@ -19,17 +19,32 @@
 // The API is organised around three pluggable concepts:
 //
 //   - Runner: constructed with functional options (WithBackend,
-//     WithWorkers, WithRecordAll, WithEvalCache, WithProgress), its
-//     context-aware methods run every experiment cancellably and can
-//     stream per-file progress.
+//     WithWorkers, WithShardSize, WithRecordAll, WithEvalCache,
+//     WithProgress, WithStore, WithResume), its context-aware methods
+//     run every experiment cancellably and can stream per-file
+//     progress. Work is scheduled in shards by a chunked
+//     work-stealing scheduler, and each shard's prompts reach the
+//     endpoint as one batch when it supports that.
 //   - Backend registry: RegisterBackend plugs alternate LLM endpoints
 //     in by name; the simulated deepseek model ships as
-//     DefaultBackend.
+//     DefaultBackend. The required contract is judge.LLM; endpoints
+//     may add judge.ContextLLM (cancellation), judge.BatchLLM (whole
+//     shards per call), and genloop.Author (test authoring).
 //   - Experiment registry: RegisterExperiment makes a scenario
 //     dispatchable by name through RunExperiment; Part One, Part Two,
-//     the ablations, and the generation loop ship registered, and
-//     cmd/llm4vv and cmd/judgebench enumerate and run any registered
-//     scenario generically.
+//     the ablations, the generation loop, and the cross-backend
+//     compare sweep ship registered, and cmd/llm4vv and
+//     cmd/judgebench enumerate and run any registered scenario
+//     generically.
+//
+// Runs are durable and resumable: WithStore attaches an append-only
+// JSONL run store keyed by (experiment, backend, seed, file content
+// hash) to which every sealed verdict is appended as it lands, and
+// WithResume makes experiments skip files a previous run already
+// completed — an interrupted sweep restarted under the same
+// configuration re-judges nothing it finished and reproduces the
+// uninterrupted metrics exactly. See DESIGN.md §5 for the record
+// schema and resume semantics.
 //
 // The pre-redesign free functions (RunDirectProbing, RunPartTwo,
 // RunGenerationLoop, ...) remain as deprecated wrappers over a

@@ -2,6 +2,7 @@ package judge
 
 import (
 	"context"
+	"fmt"
 	"sync"
 )
 
@@ -11,16 +12,25 @@ import (
 // prompt) and saves the repeated completions a record-all experiment
 // issues when several configurations judge the same file.
 //
-// The wrapper preserves the inner endpoint's optional capabilities:
-// it always implements ContextLLM (delegating to the inner context
-// path when available, so cancellation and endpoint errors still
-// propagate), and when the endpoint can also author tests (it has a
-// GenerateTest method, like internal/model) the returned value keeps
-// that too. Generation calls are never cached because the generation
-// loop relies on per-nonce prompts already being unique; failed
-// completions are never cached either.
+// Concurrent misses on the same prompt are deduplicated
+// singleflight-style: one caller leads the endpoint call, the others
+// wait for its result, so an expensive endpoint is never asked the
+// same question twice at once. A waiter whose own context ends stops
+// waiting with that context's error; if the leader fails, a waiter
+// retries as its own leader.
+//
+// The wrapper preserves the inner endpoint's optional capabilities: it
+// always implements ContextLLM (delegating to the inner context path
+// when available, so cancellation and endpoint errors still propagate)
+// and BatchLLM (submitting only the shard's uncached, unled prompts to
+// the inner batch path when the endpoint has one), and when the
+// endpoint can also author tests (it has a GenerateTest method, like
+// internal/model) the returned value keeps that too. Generation calls
+// are never cached because the generation loop relies on per-nonce
+// prompts already being unique; failed completions are never cached
+// either.
 func Cached(llm LLM) LLM {
-	c := &cachedLLM{inner: llm, memo: map[string]string{}}
+	c := &cachedLLM{inner: llm, memo: map[string]string{}, inflight: map[string]*flight{}}
 	if g, ok := llm.(generator); ok {
 		return &cachedAuthor{cachedLLM: c, gen: g}
 	}
@@ -33,35 +43,88 @@ type generator interface {
 	GenerateTest(prompt string) (code, defect string)
 }
 
+// flight is one in-progress endpoint call other callers can wait on.
+// resp and err are written exactly once, before done is closed.
+type flight struct {
+	done chan struct{}
+	resp string
+	err  error
+}
+
 type cachedLLM struct {
-	inner LLM
-	mu    sync.Mutex
-	memo  map[string]string
+	inner    LLM
+	mu       sync.Mutex
+	memo     map[string]string
+	inflight map[string]*flight
 }
 
-func (c *cachedLLM) lookup(prompt string) (string, bool) {
+// lead resolves a prompt through the memo and the in-flight table:
+// either the memoised response (resp, true, nil), an existing flight
+// to wait on (_, false, flight), or leadership of a new flight the
+// caller must complete via land (_, false, nil → the registered
+// flight is returned as leader).
+func (c *cachedLLM) lead(prompt string) (resp string, hit bool, waitOn, leader *flight) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	resp, ok := c.memo[prompt]
-	return resp, ok
+	if resp, ok := c.memo[prompt]; ok {
+		return resp, true, nil, nil
+	}
+	if f, ok := c.inflight[prompt]; ok {
+		return "", false, f, nil
+	}
+	f := &flight{done: make(chan struct{})}
+	c.inflight[prompt] = f
+	return "", false, nil, f
 }
 
-func (c *cachedLLM) store(prompt, resp string) {
+// land publishes a leader's outcome: the flight leaves the in-flight
+// table, successful responses are memoised, and waiters are released.
+func (c *cachedLLM) land(prompt string, f *flight, resp string, err error) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.memo[prompt] = resp
+	delete(c.inflight, prompt)
+	if err == nil {
+		c.memo[prompt] = resp
+	}
+	c.mu.Unlock()
+	f.resp, f.err = resp, err
+	close(f.done)
+}
+
+// complete is the single-prompt singleflight path. call performs the
+// actual endpoint request when this caller wins leadership.
+func (c *cachedLLM) complete(ctx context.Context, prompt string, call func() (string, error)) (string, error) {
+	for {
+		resp, hit, waitOn, leader := c.lead(prompt)
+		if hit {
+			return resp, nil
+		}
+		if leader != nil {
+			resp, err := call()
+			c.land(prompt, leader, resp, err)
+			return resp, err
+		}
+		select {
+		case <-waitOn.done:
+			if waitOn.err == nil {
+				return waitOn.resp, nil
+			}
+			// The leader failed (typically its context ended). Its
+			// flight is out of the table, so loop and retry as our own
+			// leader rather than inheriting an error this caller's
+			// live context did not cause.
+			if err := ctx.Err(); err != nil {
+				return "", err
+			}
+		case <-ctx.Done():
+			return "", ctx.Err()
+		}
+	}
 }
 
 func (c *cachedLLM) Complete(prompt string) string {
-	if resp, ok := c.lookup(prompt); ok {
-		return resp
-	}
-	// The endpoint call runs outside the lock so concurrent misses on
-	// different prompts do not serialise; duplicate concurrent misses
-	// on the same prompt do duplicate work but stay correct because
-	// deterministic endpoints answer identically.
-	resp := c.inner.Complete(prompt)
-	c.store(prompt, resp)
+	resp, _ := c.complete(context.Background(), prompt, func() (string, error) {
+		return c.inner.Complete(prompt), nil
+	})
 	return resp
 }
 
@@ -70,24 +133,113 @@ func (c *cachedLLM) Complete(prompt string) string {
 // ContextLLM and would otherwise fall back to the blocking, no-error
 // Complete path whenever the cache is on.
 func (c *cachedLLM) CompleteContext(ctx context.Context, prompt string) (string, error) {
-	if resp, ok := c.lookup(prompt); ok {
-		return resp, nil
-	}
-	var resp string
-	if cl, ok := c.inner.(ContextLLM); ok {
-		r, err := cl.CompleteContext(ctx, prompt)
-		if err != nil {
-			return "", err
+	return c.complete(ctx, prompt, func() (string, error) {
+		if cl, ok := c.inner.(ContextLLM); ok {
+			return cl.CompleteContext(ctx, prompt)
 		}
-		resp = r
-	} else {
 		if err := ctx.Err(); err != nil {
 			return "", err
 		}
-		resp = c.inner.Complete(prompt)
+		return c.inner.Complete(prompt), nil
+	})
+}
+
+// CompleteBatch resolves a shard through the cache, submitting only
+// the prompts this caller leads — deduplicated within the shard — to
+// the inner endpoint in one batch call when it implements BatchLLM.
+// Prompts already memoised cost nothing; prompts led by a concurrent
+// caller are waited on rather than re-asked.
+func (c *cachedLLM) CompleteBatch(ctx context.Context, prompts []string) ([]string, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
-	c.store(prompt, resp)
-	return resp, nil
+	out := make([]string, len(prompts))
+	var leadPrompts []string
+	leadFlights := map[string]*flight{}
+	type waiter struct {
+		idx int
+		f   *flight
+	}
+	var waiters []waiter
+	c.mu.Lock()
+	for i, p := range prompts {
+		if resp, ok := c.memo[p]; ok {
+			out[i] = resp
+			continue
+		}
+		if f, ok := c.inflight[p]; ok {
+			waiters = append(waiters, waiter{i, f})
+			continue
+		}
+		f := &flight{done: make(chan struct{})}
+		c.inflight[p] = f
+		leadFlights[p] = f
+		leadPrompts = append(leadPrompts, p)
+		waiters = append(waiters, waiter{i, f})
+	}
+	c.mu.Unlock()
+
+	if len(leadPrompts) > 0 {
+		resps, err := c.innerBatch(ctx, leadPrompts)
+		for k, p := range leadPrompts {
+			if err != nil {
+				c.land(p, leadFlights[p], "", err)
+			} else {
+				c.land(p, leadFlights[p], resps[k], nil)
+			}
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	for _, w := range waiters {
+		select {
+		case <-w.f.done:
+			if w.f.err != nil {
+				// A concurrent leader failed; fall back to the
+				// single-prompt path, which retries under this
+				// caller's context.
+				resp, err := c.CompleteContext(ctx, prompts[w.idx])
+				if err != nil {
+					return nil, err
+				}
+				out[w.idx] = resp
+				continue
+			}
+			out[w.idx] = w.f.resp
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	return out, nil
+}
+
+// innerBatch submits the led prompts through the richest path the
+// inner endpoint offers.
+func (c *cachedLLM) innerBatch(ctx context.Context, prompts []string) ([]string, error) {
+	if bl, ok := c.inner.(BatchLLM); ok {
+		resps, err := bl.CompleteBatch(ctx, prompts)
+		if err == nil && len(resps) != len(prompts) {
+			return nil, fmt.Errorf("judge: batch endpoint returned %d responses for %d prompts", len(resps), len(prompts))
+		}
+		return resps, err
+	}
+	resps := make([]string, len(prompts))
+	for i, p := range prompts {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if cl, ok := c.inner.(ContextLLM); ok {
+			resp, err := cl.CompleteContext(ctx, p)
+			if err != nil {
+				return nil, err
+			}
+			resps[i] = resp
+			continue
+		}
+		resps[i] = c.inner.Complete(p)
+	}
+	return resps, nil
 }
 
 type cachedAuthor struct {

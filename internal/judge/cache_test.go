@@ -1,0 +1,187 @@
+package judge
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// gatedLLM blocks every completion until released, counting calls —
+// slow enough that concurrent misses on one prompt genuinely overlap.
+type gatedLLM struct {
+	gate  chan struct{}
+	calls atomic.Int64
+}
+
+func (g *gatedLLM) Complete(prompt string) string {
+	g.calls.Add(1)
+	<-g.gate
+	return "resp:" + prompt
+}
+
+// TestCachedSingleflight is the regression test for duplicate
+// concurrent misses: N goroutines asking for the same prompt while it
+// is in flight must produce exactly one endpoint call.
+func TestCachedSingleflight(t *testing.T) {
+	inner := &gatedLLM{gate: make(chan struct{})}
+	llm := Cached(inner)
+
+	const waiters = 16
+	var wg sync.WaitGroup
+	results := make([]string, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = llm.Complete("shared prompt")
+		}(i)
+	}
+	// Let every goroutine reach the cache before releasing the single
+	// endpoint call. The non-leaders are parked on the flight's done
+	// channel; none of them may have touched the endpoint.
+	close(inner.gate)
+	wg.Wait()
+
+	if got := inner.calls.Load(); got != 1 {
+		t.Fatalf("endpoint called %d times for one prompt, want 1 (singleflight)", got)
+	}
+	for i, r := range results {
+		if r != "resp:shared prompt" {
+			t.Fatalf("waiter %d got %q", i, r)
+		}
+	}
+	// And distinct prompts still do not serialise behind each other.
+	if r := llm.Complete("another prompt"); r != "resp:another prompt" {
+		t.Fatalf("got %q", r)
+	}
+	if got := inner.calls.Load(); got != 2 {
+		t.Fatalf("endpoint calls = %d, want 2", got)
+	}
+}
+
+// TestCachedSingleflightConcurrentBatch: CompleteBatch through the
+// cache dedupes against in-flight single completions and within the
+// shard itself.
+func TestCachedSingleflightConcurrentBatch(t *testing.T) {
+	inner := &gatedLLM{gate: make(chan struct{})}
+	c := Cached(inner).(interface {
+		LLM
+		BatchLLM
+	})
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c.Complete("p1") // leads p1
+	}()
+	wg.Add(1)
+	var batch []string
+	var batchErr error
+	go func() {
+		defer wg.Done()
+		// p1 may be led by the goroutine above or by this batch —
+		// either way it must not be completed twice; p2 appears twice
+		// in the shard and must be completed once.
+		batch, batchErr = c.CompleteBatch(context.Background(), []string{"p1", "p2", "p2"})
+	}()
+	close(inner.gate)
+	wg.Wait()
+
+	if batchErr != nil {
+		t.Fatal(batchErr)
+	}
+	want := []string{"resp:p1", "resp:p2", "resp:p2"}
+	for i := range want {
+		if batch[i] != want[i] {
+			t.Fatalf("batch[%d] = %q, want %q", i, batch[i], want[i])
+		}
+	}
+	if got := inner.calls.Load(); got != 2 {
+		t.Fatalf("endpoint calls = %d, want 2 (p1 once, p2 once)", got)
+	}
+}
+
+// TestCachedFailedLeaderRetries: a leader failing with its context's
+// error must not poison waiters — the next caller retries and
+// succeeds, and failures are never memoised.
+func TestCachedFailedLeaderRetries(t *testing.T) {
+	inner := &flakyCtxLLM{failures: 1}
+	llm := Cached(inner)
+	cl := llm.(ContextLLM)
+	if _, err := cl.CompleteContext(context.Background(), "p"); err == nil {
+		t.Fatal("first call should fail")
+	}
+	resp, err := cl.CompleteContext(context.Background(), "p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp != "ok:p" {
+		t.Fatalf("retry got %q", resp)
+	}
+	if inner.calls != 2 {
+		t.Fatalf("inner called %d times, want 2 (failure not cached)", inner.calls)
+	}
+}
+
+type flakyCtxLLM struct {
+	calls    int
+	failures int
+}
+
+func (f *flakyCtxLLM) Complete(prompt string) string { return "ok:" + prompt }
+
+func (f *flakyCtxLLM) CompleteContext(ctx context.Context, prompt string) (string, error) {
+	f.calls++
+	if f.calls <= f.failures {
+		return "", fmt.Errorf("transient endpoint failure %d", f.calls)
+	}
+	return "ok:" + prompt, nil
+}
+
+// TestCachedPreservesBatchCapability: wrapping a batch-capable
+// endpoint keeps BatchLLM, and cached shards only submit true misses.
+func TestCachedPreservesBatchCapability(t *testing.T) {
+	inner := &batchCountLLM{}
+	llm := Cached(inner)
+	bl, ok := llm.(BatchLLM)
+	if !ok {
+		t.Fatal("cached wrapper lost BatchLLM")
+	}
+	if _, err := bl.CompleteBatch(context.Background(), []string{"a", "b"}); err != nil {
+		t.Fatal(err)
+	}
+	if inner.batched != 2 {
+		t.Fatalf("inner batch saw %d prompts, want 2", inner.batched)
+	}
+	// a and b are memoised; only c reaches the endpoint.
+	out, err := bl.CompleteBatch(context.Background(), []string{"a", "c", "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inner.batched != 3 {
+		t.Fatalf("inner batch saw %d prompts total, want 3 (hits resubmitted)", inner.batched)
+	}
+	for i, want := range []string{"batch:a", "batch:c", "batch:b"} {
+		if out[i] != want {
+			t.Fatalf("out[%d] = %q, want %q", i, out[i], want)
+		}
+	}
+}
+
+type batchCountLLM struct {
+	batched int
+}
+
+func (b *batchCountLLM) Complete(prompt string) string { return "batch:" + prompt }
+
+func (b *batchCountLLM) CompleteBatch(ctx context.Context, prompts []string) ([]string, error) {
+	b.batched += len(prompts)
+	out := make([]string, len(prompts))
+	for i, p := range prompts {
+		out[i] = "batch:" + p
+	}
+	return out, nil
+}

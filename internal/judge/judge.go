@@ -28,6 +28,17 @@ type ContextLLM interface {
 	CompleteContext(ctx context.Context, prompt string) (string, error)
 }
 
+// BatchLLM is the optional batched endpoint contract: a whole shard of
+// prompts submitted in one call. Endpoints with a server-side batch
+// API (or ones that amortise per-request overhead, like the simulated
+// model amortising its n-gram tables) implement it; EvaluateBatch uses
+// it when available and falls back to per-prompt completion otherwise.
+// Implementations must return exactly one response per prompt, in
+// prompt order.
+type BatchLLM interface {
+	CompleteBatch(ctx context.Context, prompts []string) ([]string, error)
+}
+
 // Style selects the prompt template.
 type Style int
 
@@ -130,6 +141,54 @@ func (j *Judge) Evaluate(ctx context.Context, code string, info *ToolInfo) (Eval
 		Response: resp,
 		Verdict:  ParseVerdict(resp),
 	}, nil
+}
+
+// EvaluateBatch judges a whole shard of files in one pass. infos
+// supplies the per-file tool information for agent styles; nil means
+// no tool information for any file. When the endpoint implements
+// BatchLLM every prompt of the shard is submitted in a single
+// CompleteBatch call; otherwise the shard falls back to per-prompt
+// Evaluate. Either way the returned evaluations are in input order and
+// identical to judging each file alone — batching changes scheduling,
+// never verdicts.
+func (j *Judge) EvaluateBatch(ctx context.Context, codes []string, infos []*ToolInfo) ([]Evaluation, error) {
+	info := func(i int) *ToolInfo {
+		if infos == nil {
+			return nil
+		}
+		return infos[i]
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	bl, ok := j.LLM.(BatchLLM)
+	if !ok {
+		evs := make([]Evaluation, len(codes))
+		for i, code := range codes {
+			ev, err := j.Evaluate(ctx, code, info(i))
+			if err != nil {
+				return nil, err
+			}
+			evs[i] = ev
+		}
+		return evs, nil
+	}
+	prompts := make([]string, len(codes))
+	for i, code := range codes {
+		prompts[i] = j.BuildPrompt(code, info(i))
+	}
+	resps, err := bl.CompleteBatch(ctx, prompts)
+	if err != nil {
+		return nil, err
+	}
+	if len(resps) != len(prompts) {
+		return nil, fmt.Errorf("judge: batch endpoint returned %d responses for %d prompts", len(resps), len(prompts))
+	}
+	evs := make([]Evaluation, len(codes))
+	for i, resp := range resps {
+		evs[i] = Evaluation{Prompt: prompts[i], Response: resp, Verdict: ParseVerdict(resp)}
+	}
+	return evs, nil
 }
 
 // criteria renders the Listing-1 evaluation criteria for a dialect.

@@ -1,6 +1,7 @@
 package model
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"strings"
@@ -47,6 +48,23 @@ func (m *Model) Complete(prompt string) string {
 	}
 	_, text := m.Judge(prompt)
 	return text
+}
+
+// CompleteBatch runs the model on a whole shard of prompts in one
+// call (the judge.BatchLLM contract). Every response is identical to
+// what Complete would return for the same prompt — each completion is
+// a pure function of (seed, prompt) — so batch submission changes
+// scheduling and overhead, never verdicts. The context is checked
+// between completions so a cancelled shard stops promptly.
+func (m *Model) CompleteBatch(ctx context.Context, prompts []string) ([]string, error) {
+	out := make([]string, len(prompts))
+	for i, p := range prompts {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		out[i] = m.Complete(p)
+	}
+	return out, nil
 }
 
 // Judge runs the model and also returns the structured trace.

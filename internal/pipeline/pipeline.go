@@ -44,6 +44,13 @@ type Config struct {
 	CompileWorkers int
 	ExecWorkers    int
 	JudgeWorkers   int
+	// JudgeBatch caps how many queued files one judge worker submits
+	// to the endpoint in a single EvaluateBatch call (0 or 1 = one at
+	// a time). Batching only changes how prompts reach the endpoint —
+	// endpoints implementing judge.BatchLLM receive whole shards in
+	// one CompleteBatch call — never the verdicts, which stay
+	// byte-identical to per-file judging.
+	JudgeBatch int
 	// RecordAll disables short-circuiting so every stage runs for
 	// every file.
 	RecordAll bool
@@ -81,7 +88,10 @@ type Stats struct {
 	Files      int
 	Compiles   int64
 	Executions int64
-	JudgeCalls int64
+	// JudgeCalls counts judged files; JudgeBatches counts endpoint
+	// round-trips (equal unless Config.JudgeBatch coalesced files).
+	JudgeCalls   int64
+	JudgeBatches int64
 }
 
 // Run processes files through the staged pipeline and returns per-file
@@ -197,7 +207,14 @@ func Run(ctx context.Context, cfg Config, files []Input) ([]FileResult, Stats, e
 		}()
 	}
 
-	// Stage 3: judge.
+	// Stage 3: judge. Each worker takes one queued file, then opportunistically
+	// coalesces up to JudgeBatch-1 more already-waiting files into the
+	// same endpoint submission — shards form from whatever the earlier
+	// stages have finished, so batching never delays a lone file.
+	judgeBatch := cfg.JudgeBatch
+	if judgeBatch < 1 {
+		judgeBatch = 1
+	}
 	for w := 0; w < nw(cfg.JudgeWorkers); w++ {
 		wgJudge.Add(1)
 		go func() {
@@ -206,25 +223,49 @@ func Run(ctx context.Context, cfg Config, files []Input) ([]FileResult, Stats, e
 				if aborted() {
 					continue
 				}
+				batch := []*item{it}
+			coalesce:
+				for len(batch) < judgeBatch {
+					select {
+					case more, ok := <-judgeCh:
+						if !ok {
+							break coalesce
+						}
+						batch = append(batch, more)
+					default:
+						break coalesce
+					}
+				}
 				if cfg.Judge == nil {
-					finish(it)
+					for _, b := range batch {
+						finish(b)
+					}
 					continue
 				}
-				r := &results[it.idx]
-				atomic.AddInt64(&stats.JudgeCalls, 1)
-				info := buildToolInfo(it.compile, it.run)
-				ev, err := cfg.Judge.Evaluate(ctx, it.in.Source, &info)
+				atomic.AddInt64(&stats.JudgeCalls, int64(len(batch)))
+				atomic.AddInt64(&stats.JudgeBatches, 1)
+				codes := make([]string, len(batch))
+				infos := make([]*judge.ToolInfo, len(batch))
+				for i, b := range batch {
+					codes[i] = b.in.Source
+					info := buildToolInfo(b.compile, b.run)
+					infos[i] = &info
+				}
+				evs, err := cfg.Judge.EvaluateBatch(ctx, codes, infos)
 				if err != nil {
 					fail(err) // backend or context failure; abort the run
 					continue
 				}
-				r.JudgeRan = true
-				r.Verdict = ev.Verdict
-				if cfg.KeepResponses {
-					evCopy := ev
-					r.Evaluation = &evCopy
+				for i, b := range batch {
+					r := &results[b.idx]
+					r.JudgeRan = true
+					r.Verdict = evs[i].Verdict
+					if cfg.KeepResponses {
+						evCopy := evs[i]
+						r.Evaluation = &evCopy
+					}
+					finish(b)
 				}
-				finish(it)
 			}
 		}()
 	}

@@ -1,0 +1,197 @@
+// Package store implements the persistent, resumable run store: an
+// append-only JSONL file of per-file judging records keyed by
+// (experiment, backend, seed, file content hash). Large multi-backend
+// sweeps write every sealed verdict through the store as it lands, so
+// an interrupted run can resume by loading prior records and judging
+// only the files that never completed — identical content under an
+// identical configuration is never judged twice.
+//
+// The format is one JSON object per line. Appends are atomic with
+// respect to the in-process index (a mutex serialises them) and each
+// record is written in a single Write call ending in '\n', so a crash
+// can corrupt at most the final line. Open tolerates exactly that:
+// unparsable or incomplete lines are counted (Dropped) and skipped,
+// and the records around them stay usable — recovery is "reopen and
+// keep going", with the lost tail simply re-judged.
+package store
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// Key identifies one judging result: the same file content judged
+// under the same experiment phase, backend, and seed always lands on
+// the same key, so reruns and resumed runs dedupe naturally.
+type Key struct {
+	Experiment string
+	Backend    string
+	Seed       uint64
+	FileHash   string
+}
+
+// Record is one stored per-file result: the key fields plus the stage
+// outcomes a run needs to reconstruct the file's verdict without
+// re-doing any work. Judge-only phases fill Verdict; pipeline phases
+// fill the stage flags too.
+type Record struct {
+	Experiment string `json:"experiment"`
+	Backend    string `json:"backend"`
+	Seed       uint64 `json:"seed"`
+	FileHash   string `json:"file_hash"`
+	Name       string `json:"name,omitempty"`
+
+	CompileRan bool   `json:"compile_ran,omitempty"`
+	CompileOK  bool   `json:"compile_ok,omitempty"`
+	ExecRan    bool   `json:"exec_ran,omitempty"`
+	ExecOK     bool   `json:"exec_ok,omitempty"`
+	JudgeRan   bool   `json:"judge_ran,omitempty"`
+	Verdict    string `json:"verdict,omitempty"`
+	Valid      bool   `json:"valid,omitempty"`
+}
+
+// Key returns the record's identity.
+func (r Record) Key() Key {
+	return Key{Experiment: r.Experiment, Backend: r.Backend, Seed: r.Seed, FileHash: r.FileHash}
+}
+
+// HashSource returns the content hash used in keys: hex SHA-256 of
+// the file's source text.
+func HashSource(source string) string {
+	sum := sha256.Sum256([]byte(source))
+	return hex.EncodeToString(sum[:])
+}
+
+// Store is an open run store. It is safe for concurrent use; one
+// Store can absorb sealed results from every worker of a sharded run.
+type Store struct {
+	mu      sync.Mutex
+	f       *os.File
+	index   map[Key]Record
+	dropped int
+	werr    error // first append failure, surfaced by Close
+}
+
+// Open loads the JSONL file at path (creating it when absent), builds
+// the in-memory index, and readies the file for appends. Unparsable
+// lines — a torn final line from an interrupted run, or garbage from
+// outside interference — are skipped and counted, never fatal; later
+// records on valid lines still load. For duplicate keys the last
+// record wins, matching append order.
+func Open(path string) (*Store, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{f: f, index: map[Key]Record{}}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(line, &rec); err != nil || rec.FileHash == "" || rec.Experiment == "" {
+			s.dropped++
+			continue
+		}
+		s.index[rec.Key()] = rec
+	}
+	if err := sc.Err(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: reading %s: %w", path, err)
+	}
+	// Append from the true end regardless of where scanning stopped —
+	// and if the file ends in a torn line (no final newline, the crash
+	// signature of an interrupted append), terminate it first so the
+	// next record starts on its own line instead of merging into the
+	// garbage.
+	end, err := f.Seek(0, io.SeekEnd)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if end > 0 {
+		var last [1]byte
+		if _, err := f.ReadAt(last[:], end-1); err != nil {
+			f.Close()
+			return nil, err
+		}
+		if last[0] != '\n' {
+			if _, err := f.Write([]byte{'\n'}); err != nil {
+				f.Close()
+				return nil, err
+			}
+		}
+	}
+	return s, nil
+}
+
+// Get returns the stored record for a key.
+func (s *Store) Get(k Key) (Record, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec, ok := s.index[k]
+	return rec, ok
+}
+
+// Put appends a record and indexes it. Putting a record whose key is
+// already stored with identical contents is a no-op, which keeps
+// replayed runs from growing the log; a changed record for an
+// existing key is appended and wins (last-write-wins, as Open
+// replays). The first write failure is remembered and returned by
+// every subsequent Put and by Close, so a run on a full disk cannot
+// silently pretend to be durable.
+func (s *Store) Put(rec Record) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.werr != nil {
+		return s.werr
+	}
+	if old, ok := s.index[rec.Key()]; ok && old == rec {
+		return nil
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	if _, err := s.f.Write(append(line, '\n')); err != nil {
+		s.werr = fmt.Errorf("store: append: %w", err)
+		return s.werr
+	}
+	s.index[rec.Key()] = rec
+	return nil
+}
+
+// Len reports how many distinct keys are stored.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.index)
+}
+
+// Dropped reports how many corrupt or truncated lines Open skipped.
+func (s *Store) Dropped() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dropped
+}
+
+// Close flushes and closes the file, returning the first append
+// failure of the store's lifetime, if any.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	err := s.f.Close()
+	if s.werr != nil {
+		return s.werr
+	}
+	return err
+}

@@ -1,0 +1,162 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func testRecord(exp, hash, verdict string) Record {
+	return Record{
+		Experiment: exp, Backend: "deepseek-sim", Seed: 33,
+		FileHash: hash, Name: "t_" + hash + ".c",
+		JudgeRan: true, Verdict: verdict, Valid: verdict == "valid",
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := []Record{
+		testRecord("direct-probing", HashSource("int main(){}"), "valid"),
+		testRecord("direct-probing", HashSource("bad code"), "invalid"),
+		{Experiment: "pipeline/agent-direct", Backend: "b", Seed: 1, FileHash: "abc",
+			CompileRan: true, CompileOK: true, ExecRan: true, ExecOK: false, Valid: false},
+	}
+	for _, rec := range recs {
+		if err := s.Put(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Len() != len(recs) {
+		t.Fatalf("Len = %d, want %d", s.Len(), len(recs))
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Len() != len(recs) || s2.Dropped() != 0 {
+		t.Fatalf("reopened: Len=%d Dropped=%d, want %d/0", s2.Len(), s2.Dropped(), len(recs))
+	}
+	for _, want := range recs {
+		got, ok := s2.Get(want.Key())
+		if !ok {
+			t.Fatalf("record %+v missing after reopen", want.Key())
+		}
+		if got != want {
+			t.Errorf("round-trip mismatch:\n got %+v\nwant %+v", got, want)
+		}
+	}
+}
+
+func TestPutIdempotentAndLastWriteWins(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := testRecord("p", "h1", "valid")
+	for i := 0; i < 5; i++ {
+		if err := s.Put(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	changed := rec
+	changed.Verdict = "invalid"
+	changed.Valid = false
+	if err := s.Put(changed); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(string(data), "\n"); lines != 2 {
+		t.Errorf("log has %d lines, want 2 (identical re-puts must not append)", lines)
+	}
+	s2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	got, ok := s2.Get(rec.Key())
+	if !ok || got.Verdict != "invalid" {
+		t.Errorf("last write did not win: got %+v", got)
+	}
+}
+
+// TestCorruptedAndTruncatedRecovery: garbage lines and a torn final
+// line (the crash signature of an interrupted append) are skipped and
+// counted; intact records before AND after the damage stay readable,
+// and the recovered store accepts appends that survive a reopen.
+func TestCorruptedAndTruncatedRecovery(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	good1 := `{"experiment":"p","backend":"b","seed":1,"file_hash":"h1","judge_ran":true,"verdict":"valid","valid":true}`
+	good2 := `{"experiment":"p","backend":"b","seed":1,"file_hash":"h2","judge_ran":true,"verdict":"invalid"}`
+	content := good1 + "\n" +
+		"not json at all\n" +
+		`{"experiment":"","backend":"b"}` + "\n" + // parsable but keyless
+		good2 + "\n" +
+		`{"experiment":"p","backend":"b","seed":1,"file_ha` // torn tail, no newline
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 2 {
+		t.Errorf("Len = %d, want 2", s.Len())
+	}
+	if s.Dropped() != 3 {
+		t.Errorf("Dropped = %d, want 3", s.Dropped())
+	}
+	for _, h := range []string{"h1", "h2"} {
+		if _, ok := s.Get(Key{Experiment: "p", Backend: "b", Seed: 1, FileHash: h}); !ok {
+			t.Errorf("record %s lost to recovery", h)
+		}
+	}
+	// The recovered store keeps appending valid lines.
+	if err := s.Put(testRecord("p", "h3", "valid")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if _, ok := s2.Get(testRecord("p", "h3", "valid").Key()); !ok {
+		t.Error("append after recovery did not survive reopen")
+	}
+	if s2.Len() != 3 {
+		t.Errorf("after recovery+append: Len = %d, want 3", s2.Len())
+	}
+}
+
+func TestHashSourceDistinguishesContent(t *testing.T) {
+	a, b := HashSource("int main(){return 0;}"), HashSource("int main(){return 1;}")
+	if a == b {
+		t.Fatal("different sources hashed equal")
+	}
+	if a != HashSource("int main(){return 0;}") {
+		t.Fatal("hash not deterministic")
+	}
+	if len(a) != 64 {
+		t.Fatalf("hash length %d, want 64 hex chars", len(a))
+	}
+}

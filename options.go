@@ -29,6 +29,47 @@ func WithWorkers(n int) Option {
 	}
 }
 
+// WithShardSize sets the shard size of the Runner's chunked
+// work-stealing scheduler: direct-judging loops claim contiguous
+// shards of this many files off a shared cursor, each shard's prompts
+// are submitted to the endpoint as one batch (a single CompleteBatch
+// call for backends implementing judge.BatchLLM), and pipeline judge
+// workers coalesce up to this many queued files per endpoint call.
+// Sharding changes scheduling and endpoint round-trips, never results.
+// Values below 1 — and the default 0 — select an automatic size
+// balancing worker utilisation against batching overhead.
+func WithShardSize(n int) Option {
+	return func(r *Runner) {
+		if n < 0 {
+			n = 0
+		}
+		r.shardSize = n
+	}
+}
+
+// WithStore attaches a persistent run store: an append-only JSONL
+// file (created on first use) to which every sealed per-file verdict
+// is appended, keyed by (experiment phase, backend, seed, file
+// content hash). NewRunner opens the store — and recovers it,
+// skipping any torn final line from an interrupted run — so path
+// problems fail fast; Close the Runner to release it. Combine with
+// WithResume to skip work recorded in previous runs.
+func WithStore(path string) Option {
+	return func(r *Runner) { r.storePath = path }
+}
+
+// WithResume makes experiments consult the run store before judging:
+// files whose (experiment phase, backend, seed, content hash) key is
+// already stored load their prior verdict and are never re-judged, so
+// an interrupted sweep restarted under the same configuration redoes
+// only the files that never completed — and reproduces the metrics an
+// uninterrupted run would have. Requires WithStore; without a store
+// the option has no effect. Default: off (a store-holding Runner
+// still records, it just never skips).
+func WithResume(on bool) Option {
+	return func(r *Runner) { r.resume = on }
+}
+
 // WithRecordAll controls short-circuiting in ValidateSuite: true runs
 // every stage for every file (how the paper gathered Part-Two data),
 // false lets files that fail an early stage skip the expensive later

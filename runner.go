@@ -11,28 +11,37 @@ import (
 	"repro/internal/judge"
 	"repro/internal/metrics"
 	"repro/internal/pipeline"
+	"repro/internal/probe"
 	"repro/internal/spec"
+	"repro/internal/store"
 )
 
 // Runner is the configured entry point to every experiment: a backend
-// selection, a sampling seed, worker counts, and streaming hooks,
-// shared by concurrent experiment calls. Construct one with NewRunner
-// and functional options; the zero value is not usable.
+// selection, a sampling seed, worker counts, sharding, a run store,
+// and streaming hooks, shared by concurrent experiment calls.
+// Construct one with NewRunner and functional options; the zero value
+// is not usable.
 //
 // A Runner is immutable after construction and safe for concurrent use
 // — a service can hold one Runner and dispatch many experiments over
-// it, each governed by its own context.
+// it, each governed by its own context. A Runner holding a run store
+// (WithStore) should be Closed when done with it.
 type Runner struct {
 	backend   string
 	seed      uint64
 	workers   int
+	shardSize int
 	recordAll bool
 	evalCache bool
 	progress  ProgressFunc
+	storePath string
+	store     *store.Store
+	resume    bool
 }
 
 // NewRunner builds a Runner from options, validating the backend name
-// against the registry so misconfiguration fails here rather than
+// against the registry — and opening the run store, when one is
+// configured — so misconfiguration fails here rather than
 // mid-experiment.
 func NewRunner(opts ...Option) (*Runner, error) {
 	r := &Runner{
@@ -46,7 +55,32 @@ func NewRunner(opts ...Option) (*Runner, error) {
 	if _, err := NewBackend(r.backend, r.seed); err != nil {
 		return nil, err
 	}
+	if r.storePath != "" {
+		st, err := store.Open(r.storePath)
+		if err != nil {
+			return nil, err
+		}
+		r.store = st
+	}
 	return r, nil
+}
+
+// Close releases the Runner's run store, surfacing any append failure
+// from the store's lifetime. It is a no-op for store-less Runners.
+func (r *Runner) Close() error {
+	if r.store == nil {
+		return nil
+	}
+	return r.store.Close()
+}
+
+// withBackend returns a copy of the Runner aimed at another registered
+// backend, sharing the store — how the compare scenario sweeps every
+// backend through one configuration.
+func (r *Runner) withBackend(name string) *Runner {
+	r2 := *r
+	r2.backend = name
+	return &r2
 }
 
 // newLLM constructs a fresh endpoint for one experiment call. The
@@ -81,49 +115,77 @@ func (t *tracker) file(name string) {
 	t.fn(Progress{Phase: t.phase, File: name, Done: int(t.done.Add(1)), Total: t.total})
 }
 
-// onResult adapts a tracker to the pipeline's streaming hook.
-func (t *tracker) onResult(fr pipeline.FileResult) { t.file(fr.Name) }
-
-// parallelFor runs fn(i) for i in [0,n) across the Runner's workers,
-// stopping early when ctx is cancelled or any fn errors; the first
-// error is returned.
-func (r *Runner) parallelFor(ctx context.Context, n int, fn func(i int) error) error {
+// shardSizeFor resolves the Runner's shard size for an n-file
+// workload: the WithShardSize override when set, otherwise a chunk
+// small enough that every worker gets several shards to steal (load
+// balance) but large enough to amortise per-shard batching overhead.
+func (r *Runner) shardSizeFor(n int) int {
+	if r.shardSize > 0 {
+		return r.shardSize
+	}
 	workers := r.workers
-	if workers > n {
-		workers = n
+	if workers < 1 {
+		workers = 1
+	}
+	shard := n / (workers * 4)
+	if shard < 1 {
+		shard = 1
+	}
+	if shard > 64 {
+		shard = 64
+	}
+	return shard
+}
+
+// forEachShard is the Runner's sharded scheduler: [0,n) is split into
+// contiguous shards of shardSizeFor(n) files, and the Runner's workers
+// claim shards off a shared cursor (chunked work stealing — a fast
+// worker simply claims more shards). fn(start, end) processes one
+// shard and streams its results as it goes; the first error stops the
+// scheduler, and a cancelled context stops it between shards. Shard
+// boundaries never affect results: fn writes each file's outcome to
+// its own slot, so any schedule assembles the same output.
+func (r *Runner) forEachShard(ctx context.Context, n int, fn func(start, end int) error) error {
+	if n == 0 {
+		return ctx.Err()
+	}
+	shard := r.shardSizeFor(n)
+	shards := (n + shard - 1) / shard
+	workers := r.workers
+	if workers > shards {
+		workers = shards
+	}
+	if workers < 1 {
+		workers = 1
 	}
 	var firstErr error
 	var errOnce sync.Once
-	fail := func(err error) { errOnce.Do(func() { firstErr = err }) }
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			if err := ctx.Err(); err != nil {
-				return err
-			}
-			if err := fn(i); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
 	var stop atomic.Bool
-	next := make(chan int, n)
-	for i := 0; i < n; i++ {
-		next <- i
+	fail := func(err error) {
+		errOnce.Do(func() { firstErr = err })
+		stop.Store(true)
 	}
-	close(next)
+	var cursor atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := range next {
+			for {
 				if stop.Load() || ctx.Err() != nil {
-					continue
+					return
 				}
-				if err := fn(i); err != nil {
+				start := int(cursor.Add(int64(shard))) - shard
+				if start >= n {
+					return
+				}
+				end := start + shard
+				if end > n {
+					end = n
+				}
+				if err := fn(start, end); err != nil {
 					fail(err)
-					stop.Store(true)
+					return
 				}
 			}
 		}()
@@ -133,6 +195,192 @@ func (r *Runner) parallelFor(ctx context.Context, n int, fn func(i int) error) e
 		return firstErr
 	}
 	return ctx.Err()
+}
+
+// hashSources digests every input's source for store keys — skipped
+// entirely (nil) on store-less Runners, where the hashes would be
+// dead work on every experiment.
+func (r *Runner) hashSources(n int, source func(i int) string) []string {
+	if r.store == nil {
+		return nil
+	}
+	hashes := make([]string, n)
+	for i := range hashes {
+		hashes[i] = store.HashSource(source(i))
+	}
+	return hashes
+}
+
+// storedRecords returns, per file, the prior record under the given
+// experiment phase — all nil unless the Runner both holds a store and
+// was asked to resume.
+func (r *Runner) storedRecords(phase string, n int, hashes []string) []*store.Record {
+	prior := make([]*store.Record, n)
+	if r.store == nil || !r.resume {
+		return prior
+	}
+	for i, h := range hashes {
+		if rec, ok := r.store.Get(store.Key{Experiment: phase, Backend: r.backend, Seed: r.seed, FileHash: h}); ok {
+			recCopy := rec
+			prior[i] = &recCopy
+		}
+	}
+	return prior
+}
+
+// putRecord appends a sealed result to the run store, when one is
+// configured. Append failures are remembered by the store and
+// surfaced by Runner.Close — an experiment keeps producing results
+// even when durability is lost mid-run.
+func (r *Runner) putRecord(rec store.Record) {
+	if r.store == nil {
+		return
+	}
+	_ = r.store.Put(rec)
+}
+
+// verdictFromName parses a stored verdict string back into the judge
+// type (the inverse of judge.Verdict.String).
+func verdictFromName(s string) judge.Verdict {
+	switch s {
+	case "valid":
+		return judge.Valid
+	case "invalid":
+		return judge.Invalid
+	default:
+		return judge.Unparsable
+	}
+}
+
+// judgeDirect runs a judge over every suite file with the sharded
+// scheduler, submitting each shard's prompts in one batch (endpoints
+// implementing judge.BatchLLM receive them in a single call) and
+// streaming per-file progress per shard. With a store configured,
+// sealed verdicts append as each shard completes; with resume on,
+// files already stored under this phase are loaded instead of judged.
+func (r *Runner) judgeDirect(ctx context.Context, phase string, j *judge.Judge, suite []probe.ProbedFile, infoFor func(pf probe.ProbedFile) *judge.ToolInfo) ([]metrics.Outcome, error) {
+	tr := r.track(phase, len(suite))
+	hashes := r.hashSources(len(suite), func(i int) string { return suite[i].Source })
+	prior := r.storedRecords(phase, len(suite), hashes)
+	outcomes := make([]metrics.Outcome, len(suite))
+	err := r.forEachShard(ctx, len(suite), func(start, end int) error {
+		var idx []int
+		var codes []string
+		var infos []*judge.ToolInfo
+		for i := start; i < end; i++ {
+			if rec := prior[i]; rec != nil {
+				outcomes[i] = metrics.Outcome{Issue: suite[i].Issue, JudgedValid: verdictFromName(rec.Verdict) == judge.Valid}
+				tr.file(suite[i].Name)
+				continue
+			}
+			idx = append(idx, i)
+			codes = append(codes, suite[i].Source)
+			if infoFor != nil {
+				infos = append(infos, infoFor(suite[i]))
+			}
+		}
+		if len(idx) == 0 {
+			return nil
+		}
+		evs, err := j.EvaluateBatch(ctx, codes, infos)
+		if err != nil {
+			return err
+		}
+		for k, ev := range evs {
+			i := idx[k]
+			outcomes[i] = metrics.Outcome{Issue: suite[i].Issue, JudgedValid: ev.Verdict == judge.Valid}
+			if r.store != nil {
+				r.putRecord(store.Record{
+					Experiment: phase, Backend: r.backend, Seed: r.seed,
+					FileHash: hashes[i], Name: suite[i].Name,
+					JudgeRan: true, Verdict: ev.Verdict.String(),
+				})
+			}
+			tr.file(suite[i].Name)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return outcomes, nil
+}
+
+// runPipeline is the store-aware wrapper around pipeline.Run shared
+// by every pipeline-backed experiment. With resume on, files already
+// stored under phase skip the pipeline entirely and reconstruct their
+// FileResult from the record; the rest stream through the staged
+// pipeline (judging in shards of the Runner's shard size) and append
+// to the store the moment their fate is sealed, so an interrupted run
+// loses at most in-flight files. Returned results are in input order;
+// Stats counts only the work actually performed, which is the point
+// of resuming.
+func (r *Runner) runPipeline(ctx context.Context, phase string, jd *judge.Judge, tools *agent.Tools, recordAll bool, inputs []pipeline.Input) ([]pipeline.FileResult, pipeline.Stats, error) {
+	tr := r.track(phase, len(inputs))
+	storePhase := phase
+	if recordAll {
+		// Short-circuit and record-all runs agree on verdicts but not
+		// on which stages ran, so their records must not mix.
+		storePhase += "+record-all"
+	}
+	hashes := r.hashSources(len(inputs), func(i int) string { return inputs[i].Source })
+	prior := r.storedRecords(storePhase, len(inputs), hashes)
+
+	results := make([]pipeline.FileResult, len(inputs))
+	var pending []pipeline.Input
+	var origIdx []int
+	for i, in := range inputs {
+		rec := prior[i]
+		if rec == nil {
+			origIdx = append(origIdx, i)
+			pending = append(pending, in)
+			continue
+		}
+		results[i] = pipeline.FileResult{
+			Index: i, Name: in.Name,
+			CompileRan: rec.CompileRan, CompileOK: rec.CompileOK,
+			ExecRan: rec.ExecRan, ExecOK: rec.ExecOK,
+			JudgeRan: rec.JudgeRan, Verdict: verdictFromName(rec.Verdict),
+			Valid: rec.Valid,
+		}
+		tr.file(in.Name)
+	}
+	stats := pipeline.Stats{Files: len(inputs)}
+	if len(pending) == 0 {
+		return results, stats, ctx.Err()
+	}
+
+	res, st, err := pipeline.Run(ctx, pipeline.Config{
+		Tools:          tools,
+		Judge:          jd,
+		CompileWorkers: r.workers,
+		ExecWorkers:    r.workers,
+		JudgeWorkers:   r.workers,
+		JudgeBatch:     r.shardSizeFor(len(pending)),
+		RecordAll:      recordAll,
+		OnResult: func(fr pipeline.FileResult) {
+			if r.store != nil {
+				r.putRecord(store.Record{
+					Experiment: storePhase, Backend: r.backend, Seed: r.seed,
+					FileHash: hashes[origIdx[fr.Index]], Name: fr.Name,
+					CompileRan: fr.CompileRan, CompileOK: fr.CompileOK,
+					ExecRan: fr.ExecRan, ExecOK: fr.ExecOK,
+					JudgeRan: fr.JudgeRan, Verdict: fr.Verdict.String(),
+					Valid: fr.Valid,
+				})
+			}
+			tr.file(fr.Name)
+		},
+	}, pending)
+	for k, fr := range res {
+		fr.Index = origIdx[k]
+		results[fr.Index] = fr
+	}
+	stats.Compiles = st.Compiles
+	stats.Executions = st.Executions
+	stats.JudgeCalls = st.JudgeCalls
+	stats.JudgeBatches = st.JudgeBatches
+	return results, stats, err
 }
 
 // DirectProbing is the Part-One experiment: judge every file of the
@@ -145,20 +393,7 @@ func (r *Runner) DirectProbing(ctx context.Context, s SuiteSpec) (metrics.Summar
 		return metrics.Summary{}, err
 	}
 	j := &judge.Judge{LLM: r.newLLM(), Style: judge.Direct, Dialect: s.Dialect}
-	tr := r.track("direct-probing", len(suite))
-	outcomes := make([]metrics.Outcome, len(suite))
-	err = r.parallelFor(ctx, len(suite), func(i int) error {
-		ev, err := j.Evaluate(ctx, suite[i].Source, nil)
-		if err != nil {
-			return err
-		}
-		outcomes[i] = metrics.Outcome{
-			Issue:       suite[i].Issue,
-			JudgedValid: ev.Verdict == judge.Valid,
-		}
-		tr.file(suite[i].Name)
-		return nil
-	})
+	outcomes, err := r.judgeDirect(ctx, "direct-probing", j, suite, nil)
 	if err != nil {
 		return metrics.Summary{}, err
 	}
@@ -167,9 +402,9 @@ func (r *Runner) DirectProbing(ctx context.Context, s SuiteSpec) (metrics.Summar
 
 // ValidateSuite streams a probed suite through the compile → execute →
 // judge pipeline with the given judge style, honouring the Runner's
-// worker, record-all, and progress settings. It is the generic
-// workload behind the fixed experiments and the natural entry point
-// for new scenarios.
+// worker, shard, record-all, store, and progress settings. It is the
+// generic workload behind the fixed experiments and the natural entry
+// point for new scenarios.
 func (r *Runner) ValidateSuite(ctx context.Context, s SuiteSpec, style judge.Style) ([]pipeline.FileResult, pipeline.Stats, error) {
 	suite, err := BuildSuite(s)
 	if err != nil {
@@ -179,16 +414,8 @@ func (r *Runner) ValidateSuite(ctx context.Context, s SuiteSpec, style judge.Sty
 	for i, pf := range suite {
 		inputs[i] = pipeline.Input{Name: pf.Name, Source: pf.Source, Lang: pf.Lang}
 	}
-	tr := r.track("pipeline/"+style.String(), len(inputs))
-	return pipeline.Run(ctx, pipeline.Config{
-		Tools:          agent.NewTools(s.Dialect),
-		Judge:          &judge.Judge{LLM: r.newLLM(), Style: style, Dialect: s.Dialect},
-		CompileWorkers: r.workers,
-		ExecWorkers:    r.workers,
-		JudgeWorkers:   r.workers,
-		RecordAll:      r.recordAll,
-		OnResult:       tr.onResult,
-	}, inputs)
+	jd := &judge.Judge{LLM: r.newLLM(), Style: style, Dialect: s.Dialect}
+	return r.runPipeline(ctx, "pipeline/"+style.String(), jd, agent.NewTools(s.Dialect), r.recordAll, inputs)
 }
 
 // PartTwo executes the Part-Two experiment for one dialect: both
@@ -210,16 +437,8 @@ func (r *Runner) PartTwo(ctx context.Context, s SuiteSpec) (PartTwoResult, error
 
 	var res PartTwoResult
 	run := func(style judge.Style) (judgeSum, pipeSum metrics.Summary, stats pipeline.Stats, err error) {
-		tr := r.track("part2/"+style.String(), len(inputs))
-		results, st, err := pipeline.Run(ctx, pipeline.Config{
-			Tools:          tools,
-			Judge:          &judge.Judge{LLM: llm, Style: style, Dialect: s.Dialect},
-			CompileWorkers: r.workers,
-			ExecWorkers:    r.workers,
-			JudgeWorkers:   r.workers,
-			RecordAll:      true,
-			OnResult:       tr.onResult,
-		}, inputs)
+		jd := &judge.Judge{LLM: llm, Style: style, Dialect: s.Dialect}
+		results, st, err := r.runPipeline(ctx, "part2/"+style.String(), jd, tools, true, inputs)
 		if err != nil {
 			return metrics.Summary{}, metrics.Summary{}, st, err
 		}
@@ -240,17 +459,7 @@ func (r *Runner) PartTwo(ctx context.Context, s SuiteSpec) (PartTwoResult, error
 
 	// The non-agent judge on the same suite (Figures 5/6 baseline).
 	direct := &judge.Judge{LLM: llm, Style: judge.Direct, Dialect: s.Dialect}
-	tr := r.track("part2/direct", len(suite))
-	outcomes := make([]metrics.Outcome, len(suite))
-	err = r.parallelFor(ctx, len(suite), func(i int) error {
-		ev, err := direct.Evaluate(ctx, suite[i].Source, nil)
-		if err != nil {
-			return err
-		}
-		outcomes[i] = metrics.Outcome{Issue: suite[i].Issue, JudgedValid: ev.Verdict == judge.Valid}
-		tr.file(suite[i].Name)
-		return nil
-	})
+	outcomes, err := r.judgeDirect(ctx, "part2/direct", direct, suite, nil)
 	if err != nil {
 		return res, err
 	}
@@ -270,21 +479,12 @@ func (r *Runner) AblationStages(ctx context.Context, s SuiteSpec) (AblationStage
 		inputs[i] = pipeline.Input{Name: pf.Name, Source: pf.Source, Lang: pf.Lang}
 	}
 
-	score := func(judgeOn, execOn bool) (metrics.Summary, error) {
+	score := func(phase string, judgeOn, execOn bool) (metrics.Summary, error) {
 		var jd *judge.Judge
 		if judgeOn {
 			jd = &judge.Judge{LLM: r.newLLM(), Style: judge.AgentDirect, Dialect: s.Dialect}
 		}
-		tr := r.track("ablation-stages", len(inputs))
-		results, _, err := pipeline.Run(ctx, pipeline.Config{
-			Tools:          tools,
-			Judge:          jd,
-			CompileWorkers: r.workers,
-			ExecWorkers:    r.workers,
-			JudgeWorkers:   r.workers,
-			RecordAll:      true,
-			OnResult:       tr.onResult,
-		}, inputs)
+		results, _, err := r.runPipeline(ctx, "ablation-stages/"+phase, jd, tools, true, inputs)
 		if err != nil {
 			return metrics.Summary{}, err
 		}
@@ -302,13 +502,13 @@ func (r *Runner) AblationStages(ctx context.Context, s SuiteSpec) (AblationStage
 		return metrics.Score(s.Dialect, out), nil
 	}
 	var res AblationStagesResult
-	if res.CompileOnly, err = score(false, false); err != nil {
+	if res.CompileOnly, err = score("compile", false, false); err != nil {
 		return res, err
 	}
-	if res.CompileAndRun, err = score(false, true); err != nil {
+	if res.CompileAndRun, err = score("compile+run", false, true); err != nil {
 		return res, err
 	}
-	if res.FullPipeline, err = score(true, true); err != nil {
+	if res.FullPipeline, err = score("full", true, true); err != nil {
 		return res, err
 	}
 	return res, nil
@@ -325,24 +525,14 @@ func (r *Runner) AblationAgentInfo(ctx context.Context, s SuiteSpec) (AblationAg
 	direct := &judge.Judge{LLM: llm, Style: judge.Direct, Dialect: s.Dialect}
 	agentJudge := &judge.Judge{LLM: llm, Style: judge.AgentDirect, Dialect: s.Dialect}
 
-	tr := r.track("ablation-agent-info", len(suite))
-	without := make([]metrics.Outcome, len(suite))
-	with := make([]metrics.Outcome, len(suite))
-	err = r.parallelFor(ctx, len(suite), func(i int) error {
-		pf := suite[i]
-		evD, err := direct.Evaluate(ctx, pf.Source, nil)
-		if err != nil {
-			return err
-		}
-		without[i] = metrics.Outcome{Issue: pf.Issue, JudgedValid: evD.Verdict == judge.Valid}
+	without, err := r.judgeDirect(ctx, "ablation-agent-info/direct", direct, suite, nil)
+	if err != nil {
+		return AblationAgentInfoResult{}, err
+	}
+	with, err := r.judgeDirect(ctx, "ablation-agent-info/agent", agentJudge, suite, func(pf probe.ProbedFile) *judge.ToolInfo {
 		outcome := tools.Gather(pf.Name, pf.Source, pf.Lang)
-		evA, err := agentJudge.Evaluate(ctx, pf.Source, &outcome.Info)
-		if err != nil {
-			return err
-		}
-		with[i] = metrics.Outcome{Issue: pf.Issue, JudgedValid: evA.Verdict == judge.Valid}
-		tr.file(pf.Name)
-		return nil
+		info := outcome.Info
+		return &info
 	})
 	if err != nil {
 		return AblationAgentInfoResult{}, err
@@ -354,7 +544,10 @@ func (r *Runner) AblationAgentInfo(ctx context.Context, s SuiteSpec) (AblationAg
 }
 
 // PipelineThroughput runs ablation A1 (short-circuiting) on the suite,
-// measuring stage executions with and without early exit.
+// measuring stage executions with and without early exit. Throughput
+// is a measurement of work performed, so this experiment deliberately
+// bypasses the run store — resuming a throughput run would measure
+// the resume, not the pipeline.
 func (r *Runner) PipelineThroughput(ctx context.Context, s SuiteSpec) (PipelineThroughputResult, error) {
 	suite, err := BuildSuite(s)
 	if err != nil {
@@ -374,8 +567,9 @@ func (r *Runner) PipelineThroughput(ctx context.Context, s SuiteSpec) (PipelineT
 			CompileWorkers: r.workers,
 			ExecWorkers:    r.workers,
 			JudgeWorkers:   r.workers,
+			JudgeBatch:     r.shardSizeFor(len(inputs)),
 			RecordAll:      recordAll,
-			OnResult:       tr.onResult,
+			OnResult:       func(fr pipeline.FileResult) { tr.file(fr.Name) },
 		}, inputs)
 		if err != nil {
 			return out, err

@@ -29,6 +29,9 @@ func init() {
 	RegisterExperimentFunc("genloop",
 		"automated test generation filtered by the validation pipeline (§VI)",
 		runGenloopScenario)
+	RegisterExperimentFunc("compare",
+		"cross-backend sweep: judge the same suites with every registered backend and render a metrics matrix",
+		runCompareScenario)
 }
 
 // Part1ScenarioResult carries the Part-One summaries per dialect.
@@ -227,6 +230,60 @@ func (r *AblationsScenarioResult) Report() string {
 			tp.ShortCircuit.Compiles, tp.ShortCircuit.Executions, tp.ShortCircuit.JudgeCalls)
 		fmt.Fprintf(&b, "  record-all:    compiles=%d executions=%d judge calls=%d\n\n",
 			tp.RecordAll.Compiles, tp.RecordAll.Executions, tp.RecordAll.JudgeCalls)
+	}
+	return b.String()
+}
+
+// CompareScenarioResult carries the cross-backend sweep: the same
+// Part-One suites judged by every registered backend under one seed,
+// the multi-backend direction of the LLM4VV follow-up work.
+type CompareScenarioResult struct {
+	Backends  []string
+	Dialects  []spec.Dialect
+	Summaries map[string]map[spec.Dialect]metrics.Summary
+}
+
+// runCompareScenario sweeps every registered backend through direct
+// probing on the same suites. Each backend runs on a copy of the
+// dispatching Runner that shares its run store, so a stored, resumed
+// sweep skips every (backend, file) pair a previous run already
+// judged — adding one backend to a finished sweep judges only the new
+// backend's files.
+func runCompareScenario(ctx context.Context, r *Runner, p ExperimentParams) (ExperimentResult, error) {
+	res := &CompareScenarioResult{
+		Backends:  Backends(),
+		Dialects:  p.EffectiveDialects(),
+		Summaries: map[string]map[spec.Dialect]metrics.Summary{},
+	}
+	for _, name := range res.Backends {
+		rb := r.withBackend(name)
+		res.Summaries[name] = map[spec.Dialect]metrics.Summary{}
+		for _, d := range res.Dialects {
+			sum, err := rb.DirectProbing(ctx, PartOneSpec(d).Scaled(p.EffectiveScale()))
+			if err != nil {
+				return nil, err
+			}
+			res.Summaries[name][d] = sum
+		}
+	}
+	return res, nil
+}
+
+func (r *CompareScenarioResult) Report() string {
+	var b strings.Builder
+	b.WriteString("================ CROSS-BACKEND COMPARISON (direct probing) ================\n")
+	fmt.Fprintf(&b, "%-24s", "backend")
+	for _, d := range r.Dialects {
+		fmt.Fprintf(&b, " | %8s acc%%  bias", d)
+	}
+	b.WriteByte('\n')
+	for _, name := range r.Backends {
+		fmt.Fprintf(&b, "%-24s", name)
+		for _, d := range r.Dialects {
+			s := r.Summaries[name][d]
+			fmt.Fprintf(&b, " | %12.2f %+.3f", 100*s.Accuracy(), s.Bias())
+		}
+		b.WriteByte('\n')
 	}
 	return b.String()
 }
