@@ -3,10 +3,12 @@ package llm4vv
 import (
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 
 	"repro/internal/judge"
 	"repro/internal/model"
+	"repro/internal/remote"
 )
 
 // DefaultBackend names the registered endpoint every published
@@ -50,32 +52,110 @@ func RegisterBackend(name string, factory BackendFactory) {
 	backendRegistry.factories[name] = factory
 }
 
-// NewBackend constructs the named endpoint with the given seed,
-// erroring on unknown names (the error lists what is registered).
+// BackendSchemeFactory constructs an endpoint for a dynamic
+// "scheme:argument" backend name, receiving the argument after the
+// colon. The seed contract matches BackendFactory, though a scheme
+// may document it as inert (a remote daemon's seed is fixed
+// server-side).
+type BackendSchemeFactory func(arg string, seed uint64) judge.LLM
+
+var schemeRegistry = struct {
+	sync.RWMutex
+	factories map[string]BackendSchemeFactory
+}{factories: map[string]BackendSchemeFactory{}}
+
+// RegisterBackendScheme makes a whole family of endpoints
+// constructable by prefixed name: after RegisterBackendScheme("remote",
+// f), any "remote:<addr>" resolves through f without each address
+// being registered individually. Concrete registrations take
+// precedence over scheme resolution. Like RegisterBackend it panics
+// on an empty scheme or a duplicate registration.
+func RegisterBackendScheme(scheme string, factory BackendSchemeFactory) {
+	if scheme == "" || factory == nil {
+		panic("llm4vv: RegisterBackendScheme with empty scheme or nil factory")
+	}
+	schemeRegistry.Lock()
+	defer schemeRegistry.Unlock()
+	if _, dup := schemeRegistry.factories[scheme]; dup {
+		panic(fmt.Sprintf("llm4vv: backend scheme %q registered twice", scheme))
+	}
+	schemeRegistry.factories[scheme] = factory
+}
+
+// NewBackend constructs the named endpoint with the given seed.
+// Concrete registered names resolve first; names of the form
+// "scheme:argument" then fall back to the scheme registry (so
+// "remote:127.0.0.1:8080" dials a judging daemon without prior
+// registration). Unknown names — and factories that return nil —
+// are errors, not panics, because names arrive from flags and
+// requests at runtime.
 func NewBackend(name string, seed uint64) (judge.LLM, error) {
 	backendRegistry.RLock()
 	factory, ok := backendRegistry.factories[name]
 	backendRegistry.RUnlock()
 	if !ok {
+		scheme, arg, cut := strings.Cut(name, ":")
+		if cut {
+			schemeRegistry.RLock()
+			sf, sok := schemeRegistry.factories[scheme]
+			schemeRegistry.RUnlock()
+			if sok {
+				if llm := sf(arg, seed); llm != nil {
+					return llm, nil
+				}
+				return nil, fmt.Errorf("llm4vv: backend scheme %q produced no endpoint for %q", scheme, name)
+			}
+		}
 		return nil, fmt.Errorf("llm4vv: unknown backend %q (registered: %v)", name, Backends())
 	}
-	return factory(seed), nil
+	llm := factory(seed)
+	if llm == nil {
+		return nil, fmt.Errorf("llm4vv: backend %q factory returned a nil endpoint", name)
+	}
+	return llm, nil
 }
 
-// Backends lists the registered backend names, sorted.
+// Backends lists the registered backend names, sorted and distinct
+// (the registry is a map, so each name appears exactly once).
+// Scheme-resolved names ("remote:<addr>") appear only once registered
+// concretely (see RegisterRemoteBackend), since a scheme denotes an
+// open-ended family.
 func Backends() []string {
 	backendRegistry.RLock()
-	defer backendRegistry.RUnlock()
 	names := make([]string, 0, len(backendRegistry.factories))
 	for name := range backendRegistry.factories {
 		names = append(names, name)
 	}
+	backendRegistry.RUnlock()
 	sort.Strings(names)
 	return names
 }
 
+// RegisterRemoteBackend concretely registers the judging daemon at
+// addr under the name "remote:<addr>" and returns that name. Unlike
+// RegisterBackend it is idempotent — front-ends call it from flag
+// handling, where re-registration must not panic. Concrete
+// registration is what admits a daemon into Backends() and therefore
+// into the cross-backend compare sweep; ad-hoc "remote:<addr>" names
+// resolve through the scheme registry without it.
+//
+// The seed passed at construction is inert for remote endpoints: the
+// daemon's backend and seed are fixed when it starts, so experiments
+// needing a particular seed must run against a daemon started with
+// it.
+func RegisterRemoteBackend(addr string) string {
+	name := "remote:" + addr
+	backendRegistry.Lock()
+	defer backendRegistry.Unlock()
+	if _, ok := backendRegistry.factories[name]; !ok {
+		backendRegistry.factories[name] = func(seed uint64) judge.LLM { return remote.New(addr) }
+	}
+	return name
+}
+
 func init() {
 	RegisterBackend(DefaultBackend, func(seed uint64) judge.LLM { return model.New(seed) })
+	RegisterBackendScheme("remote", func(addr string, seed uint64) judge.LLM { return remote.New(addr) })
 }
 
 // NewModel returns the simulated deepseek-coder-33B-instruct endpoint.

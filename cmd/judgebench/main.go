@@ -6,8 +6,10 @@
 //
 //	judgebench -dialect acc|omp -mode direct|agent|indirect|pipeline1|pipeline2 \
 //	           [-scale K] [-seed N] [-backend NAME] [-show N] [-record-all=false]
-//	judgebench -experiment NAME [-scale K] [-seed N] [-backend NAME]
+//	judgebench -experiment NAME [-scale K] [-seed N] [-backend NAME] [-timeout D]
 //	judgebench -compare [-scale K] [-seed N] [-store PATH [-resume]]
+//	judgebench -serve-addr HOST:PORT [...]
+//	judgebench -store PATH -compact
 //	judgebench -list
 //
 // -show N prints N sample prompt/response transcripts. -experiment
@@ -25,6 +27,17 @@
 // -shard sets the scheduler's shard (and judge batch) size; 0 picks
 // one automatically. -show transcripts require re-judging, so -store
 // and -resume are ignored when -show is set.
+//
+// -serve-addr routes judging through a running llm4vvd daemon: the
+// address registers as the "remote:<addr>" backend and overrides
+// -backend (with -compare, the daemon joins the sweep alongside the
+// in-process backends). -timeout D cancels the run when the deadline
+// passes, exactly like SIGINT. -store PATH -compact rewrites the run
+// store dropping superseded duplicate and corrupt lines, then exits —
+// maintenance for stores grown across many resumed runs. Compact
+// offline: the rewrite renames over the file, so another process
+// holding the same store (a running llm4vvd) would keep appending to
+// the orphaned inode and lose those records.
 package main
 
 import (
@@ -42,6 +55,7 @@ import (
 	"repro/internal/pipeline"
 	"repro/internal/report"
 	"repro/internal/spec"
+	"repro/internal/store"
 )
 
 func main() {
@@ -50,12 +64,15 @@ func main() {
 	scale := flag.Int("scale", 4, "divide suite sizes by this factor")
 	seed := flag.Uint64("seed", llm4vv.DefaultModelSeed, "model seed")
 	backend := flag.String("backend", llm4vv.DefaultBackend, "registered LLM backend")
+	serveAddr := flag.String("serve-addr", "", "judge through the llm4vvd daemon at this address (overrides -backend)")
+	timeout := flag.Duration("timeout", 0, "cancel the whole run after this duration (0 = no deadline)")
 	show := flag.Int("show", 0, "print this many sample transcripts")
 	recordAll := flag.Bool("record-all", true, "run every stage for every file (false = short-circuit)")
 	experiment := flag.String("experiment", "", "dispatch a registered experiment instead of a mode")
 	compare := flag.Bool("compare", false, "sweep every registered backend and print a cross-backend metrics matrix")
 	storePath := flag.String("store", "", "append sealed verdicts to this JSONL run store")
 	resume := flag.Bool("resume", false, "skip files already recorded in the run store (requires -store)")
+	compact := flag.Bool("compact", false, "compact the run store (drop superseded duplicates), then exit (requires -store)")
 	shard := flag.Int("shard", 0, "scheduler shard / judge batch size (0 = automatic)")
 	list := flag.Bool("list", false, "list registered experiments and backends, then exit")
 	flag.Parse()
@@ -75,10 +92,36 @@ func main() {
 		fmt.Fprintln(os.Stderr, "judgebench: -resume requires -store")
 		os.Exit(2)
 	}
+	if *compact {
+		if *storePath == "" {
+			fmt.Fprintln(os.Stderr, "judgebench: -compact requires -store")
+			os.Exit(2)
+		}
+		// Open would silently create a missing path; maintenance on a
+		// typo must fail, not report an empty store compacted.
+		if _, err := os.Stat(*storePath); err != nil {
+			fail(fmt.Errorf("-compact: %w", err))
+		}
+		st, err := store.Open(*storePath)
+		fail(err)
+		removed, err := st.Compact()
+		fail(err)
+		fail(st.Close())
+		fmt.Printf("compacted %s: %d records kept, %d lines removed\n", *storePath, st.Len(), removed)
+		return
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
+	if *serveAddr != "" {
+		*backend = llm4vv.RegisterRemoteBackend(*serveAddr)
+	}
 	if *compare {
 		*experiment = "compare"
 	}

@@ -6,7 +6,8 @@
 //
 // Usage:
 //
-//	llm4vv [-seed N] [-scale K] [-backend NAME] [-workers N] [-shard N] \
+//	llm4vv [-seed N] [-scale K] [-backend NAME] [-serve-addr HOST:PORT] \
+//	       [-workers N] [-shard N] [-timeout D] \
 //	       [-experiment all|list|NAME] [-progress] [-store PATH [-resume]]
 //
 // -experiment list enumerates the registered experiments (and the
@@ -19,6 +20,13 @@
 // the way, and re-running with -resume picks up where the interrupted
 // run stopped, re-judging zero completed files. -shard sets the
 // sharded scheduler's chunk (and judge batch) size, 0 = automatic.
+//
+// -serve-addr routes all judging through a running llm4vvd daemon:
+// the address registers as the "remote:<addr>" backend and overrides
+// -backend, so many worker processes can share one judging service
+// (the daemon's backend and seed govern; they are fixed at daemon
+// start). -timeout D wraps the whole run in a deadline — the run is
+// cancelled cleanly, exactly like SIGINT, when it expires.
 package main
 
 import (
@@ -36,6 +44,8 @@ func main() {
 	seed := flag.Uint64("seed", llm4vv.DefaultModelSeed, "model sampling seed")
 	scale := flag.Int("scale", 1, "divide suite sizes by this factor")
 	backend := flag.String("backend", llm4vv.DefaultBackend, "registered LLM backend")
+	serveAddr := flag.String("serve-addr", "", "judge through the llm4vvd daemon at this address (overrides -backend)")
+	timeout := flag.Duration("timeout", 0, "cancel the whole run after this duration (0 = no deadline)")
 	workers := flag.Int("workers", 0, "per-stage workers (0 = GOMAXPROCS)")
 	shard := flag.Int("shard", 0, "scheduler shard / judge batch size (0 = automatic)")
 	experiment := flag.String("experiment", "all", "all|list|<registered name>")
@@ -61,6 +71,9 @@ func main() {
 		return
 	}
 
+	if *serveAddr != "" {
+		*backend = llm4vv.RegisterRemoteBackend(*serveAddr)
+	}
 	opts := []llm4vv.Option{
 		llm4vv.WithBackend(*backend),
 		llm4vv.WithSeed(*seed),
@@ -85,6 +98,11 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	params := llm4vv.ExperimentParams{Scale: *scale}
 	names := []string{*experiment}

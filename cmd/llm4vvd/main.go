@@ -1,0 +1,110 @@
+// Command llm4vvd is the judging daemon: it fronts one registered LLM
+// backend over HTTP so any number of worker processes — cmd/llm4vv,
+// cmd/judgebench, or third-party clients — judge through one shared
+// endpoint instead of each embedding its own. Workers select it with
+// -serve-addr (or -backend remote:<addr>), and every experiment runs
+// unmodified against it.
+//
+// Usage:
+//
+//	llm4vvd [-addr HOST:PORT] [-backend NAME] [-seed N] \
+//	        [-batch-max N] [-batch-delay D] [-queue N] \
+//	        [-store PATH] [-cache]
+//
+// Concurrent single-prompt requests are coalesced by a dynamic
+// micro-batcher (-batch-max, -batch-delay) into one CompleteBatch
+// call per shard when the backend supports batching; -queue bounds
+// admission, with overload answered by 429 + Retry-After. -store
+// mounts a persistent run store so identical (backend, seed, prompt)
+// requests — across workers and daemon restarts — dedup to one
+// completion; -cache adds an in-memory memo with singleflight dedup
+// of concurrent identical prompts. SIGINT shuts down gracefully:
+// in-flight requests finish, then the store is closed.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	llm4vv "repro"
+	"repro/internal/judge"
+	"repro/internal/server"
+	"repro/internal/store"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
+	backend := flag.String("backend", llm4vv.DefaultBackend, "registered LLM backend to serve")
+	seed := flag.Uint64("seed", llm4vv.DefaultModelSeed, "model sampling seed")
+	batchMax := flag.Int("batch-max", server.DefaultBatchMaxSize, "micro-batcher: max coalesced prompts per endpoint call")
+	batchDelay := flag.Duration("batch-delay", server.DefaultBatchMaxDelay, "micro-batcher: max wait for stragglers")
+	queue := flag.Int("queue", server.DefaultQueueLimit, "admission control: max prompts queued or in flight")
+	storePath := flag.String("store", "", "dedup identical requests through this JSONL run store")
+	cache := flag.Bool("cache", false, "memoise completions in memory with singleflight dedup")
+	flag.Parse()
+
+	llm, err := llm4vv.NewBackend(*backend, *seed)
+	fail(err)
+	if *cache {
+		llm = judge.Cached(llm)
+	}
+
+	cfg := server.Config{
+		LLM:           llm,
+		Backend:       *backend,
+		Seed:          *seed,
+		Registered:    llm4vv.Backends(),
+		BatchMaxSize:  *batchMax,
+		BatchMaxDelay: *batchDelay,
+		QueueLimit:    *queue,
+	}
+	var st *store.Store
+	if *storePath != "" {
+		st, err = store.Open(*storePath)
+		fail(err)
+		cfg.Store = st
+	}
+
+	srv := server.New(cfg)
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "llm4vvd: serving %s (seed %d) on %s\n", *backend, *seed, *addr)
+
+	select {
+	case err := <-errc:
+		fail(err)
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(os.Stderr, "llm4vvd: shutting down")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "llm4vvd: shutdown:", err)
+	}
+	srv.Close()
+	if st != nil {
+		fail(st.Close())
+	}
+	s := srv.Stats()
+	fmt.Fprintf(os.Stderr, "llm4vvd: served %d single + %d batch requests with %d endpoint calls (%d prompts, %d coalesced batches, %d store hits, %d rejected)\n",
+		s.Requests, s.BatchRequests, s.EndpointCalls, s.EndpointPrompts, s.Coalesced, s.StoreHits, s.Rejected)
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "llm4vvd:", err)
+		os.Exit(1)
+	}
+}

@@ -46,6 +46,14 @@
 // uninterrupted metrics exactly. See DESIGN.md §5 for the record
 // schema and resume semantics.
 //
+// Judging also runs as a service: cmd/llm4vvd fronts any registered
+// backend over HTTP with dynamic micro-batching, bounded admission
+// (429 + Retry-After on overload), and store-backed completion dedup,
+// and the "remote:<addr>" backend (RegisterRemoteBackend, or the
+// -serve-addr flag on both commands) points any experiment at a
+// running daemon with byte-identical metrics — see DESIGN.md §8 and
+// examples/service.
+//
 // The pre-redesign free functions (RunDirectProbing, RunPartTwo,
 // RunGenerationLoop, ...) remain as deprecated wrappers over a
 // default-configured Runner.

@@ -2,7 +2,6 @@ package judge
 
 import (
 	"context"
-	"fmt"
 	"sync"
 )
 
@@ -217,29 +216,7 @@ func (c *cachedLLM) CompleteBatch(ctx context.Context, prompts []string) ([]stri
 // innerBatch submits the led prompts through the richest path the
 // inner endpoint offers.
 func (c *cachedLLM) innerBatch(ctx context.Context, prompts []string) ([]string, error) {
-	if bl, ok := c.inner.(BatchLLM); ok {
-		resps, err := bl.CompleteBatch(ctx, prompts)
-		if err == nil && len(resps) != len(prompts) {
-			return nil, fmt.Errorf("judge: batch endpoint returned %d responses for %d prompts", len(resps), len(prompts))
-		}
-		return resps, err
-	}
-	resps := make([]string, len(prompts))
-	for i, p := range prompts {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		if cl, ok := c.inner.(ContextLLM); ok {
-			resp, err := cl.CompleteContext(ctx, p)
-			if err != nil {
-				return nil, err
-			}
-			resps[i] = resp
-			continue
-		}
-		resps[i] = c.inner.Complete(p)
-	}
-	return resps, nil
+	return CompleteAll(ctx, c.inner, prompts)
 }
 
 type cachedAuthor struct {

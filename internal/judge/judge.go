@@ -39,6 +39,41 @@ type BatchLLM interface {
 	CompleteBatch(ctx context.Context, prompts []string) ([]string, error)
 }
 
+// CompleteAll submits a set of prompts through the richest contract
+// an endpoint offers: one CompleteBatch call when it implements
+// BatchLLM (validating one response per prompt), otherwise per-prompt
+// completion — cancellable via ContextLLM when available, with the
+// context checked between prompts either way. Responses come back in
+// prompt order, identical to asking each prompt alone. The Cached
+// wrapper's miss path and the judging daemon's dispatch both resolve
+// shards through this helper.
+func CompleteAll(ctx context.Context, llm LLM, prompts []string) ([]string, error) {
+	if bl, ok := llm.(BatchLLM); ok {
+		resps, err := bl.CompleteBatch(ctx, prompts)
+		if err == nil && len(resps) != len(prompts) {
+			return nil, fmt.Errorf("judge: batch endpoint returned %d responses for %d prompts", len(resps), len(prompts))
+		}
+		return resps, err
+	}
+	resps := make([]string, len(prompts))
+	cl, hasCtx := llm.(ContextLLM)
+	for i, p := range prompts {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if hasCtx {
+			resp, err := cl.CompleteContext(ctx, p)
+			if err != nil {
+				return nil, err
+			}
+			resps[i] = resp
+			continue
+		}
+		resps[i] = llm.Complete(p)
+	}
+	return resps, nil
+}
+
 // Style selects the prompt template.
 type Style int
 

@@ -1,0 +1,257 @@
+// Package remote implements the client side of the judging service:
+// a backend that satisfies judge.LLM, judge.ContextLLM, and
+// judge.BatchLLM by forwarding prompts to a running llm4vvd daemon
+// over HTTP. Registered in the backend registry as "remote:<addr>",
+// it lets every existing experiment — part1, part2, ablations,
+// genloop, compare — run unmodified against a daemon, which is how
+// one judging service absorbs the load of many worker processes.
+//
+// The client is built for flaky networks and busy daemons: transient
+// failures (connection errors, 429 overload rejections, 5xx) are
+// retried with jittered exponential backoff — honouring the daemon's
+// Retry-After hint when one comes back — while permanent 4xx errors
+// and context cancellation fail immediately. Connections are reused
+// across requests via a shared keep-alive transport sized for the
+// Runner's worker fan-out.
+package remote
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/server"
+)
+
+// Defaults for New's option zero values.
+const (
+	DefaultRetries = 5
+	DefaultBackoff = 25 * time.Millisecond
+	maxBackoff     = 2 * time.Second
+)
+
+// transport is shared by every Backend so all clients in a process
+// pool connections together.
+var transport = &http.Transport{
+	MaxIdleConns:        256,
+	MaxIdleConnsPerHost: 128,
+	IdleConnTimeout:     90 * time.Second,
+}
+
+// Backend is a remote judging endpoint. Construct with New; the zero
+// value is not usable.
+type Backend struct {
+	base    string
+	hc      *http.Client
+	retries int
+	backoff time.Duration
+
+	mu     sync.Mutex
+	jitter *rand.Rand
+}
+
+// Option configures a Backend.
+type Option func(*Backend)
+
+// WithRetries sets how many times a transient failure is retried
+// before it is surfaced (so a request costs at most retries+1
+// attempts). Negative values mean no retries.
+func WithRetries(n int) Option { return func(b *Backend) { b.retries = n } }
+
+// WithBackoff sets the base retry delay; attempt k waits
+// backoff·2^k plus up to 50% jitter, capped at 2s, unless the daemon
+// sent a longer Retry-After hint.
+func WithBackoff(d time.Duration) Option { return func(b *Backend) { b.backoff = d } }
+
+// WithHTTPClient substitutes the HTTP client (tests inject
+// httptest clients; production code keeps the shared transport).
+func WithHTTPClient(hc *http.Client) Option { return func(b *Backend) { b.hc = hc } }
+
+// New returns a client for the daemon at addr ("host:port" or a full
+// http:// URL).
+func New(addr string, opts ...Option) *Backend {
+	base := strings.TrimSuffix(addr, "/")
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	b := &Backend{
+		base:    base,
+		hc:      &http.Client{Transport: transport},
+		retries: DefaultRetries,
+		backoff: DefaultBackoff,
+		jitter:  rand.New(rand.NewSource(time.Now().UnixNano())),
+	}
+	for _, opt := range opts {
+		opt(b)
+	}
+	return b
+}
+
+// Complete implements judge.LLM. The error-free contract has nowhere
+// to surface a network failure, so one maps to an empty response
+// (parsed downstream as an unparsable verdict); callers that can
+// handle errors use CompleteContext, which Evaluate prefers
+// automatically.
+func (b *Backend) Complete(prompt string) string {
+	resp, err := b.CompleteContext(context.Background(), prompt)
+	if err != nil {
+		return ""
+	}
+	return resp
+}
+
+// CompleteContext implements judge.ContextLLM against /v1/complete.
+func (b *Backend) CompleteContext(ctx context.Context, prompt string) (string, error) {
+	var out server.CompleteResponse
+	if err := b.post(ctx, "/v1/complete", server.CompleteRequest{Prompt: prompt}, &out); err != nil {
+		return "", err
+	}
+	return out.Response, nil
+}
+
+// CompleteBatch implements judge.BatchLLM against /v1/complete_batch:
+// a whole shard of prompts crosses the wire in one request and is
+// resolved server-side as one unit.
+func (b *Backend) CompleteBatch(ctx context.Context, prompts []string) ([]string, error) {
+	var out server.CompleteBatchResponse
+	if err := b.post(ctx, "/v1/complete_batch", server.CompleteBatchRequest{Prompts: prompts}, &out); err != nil {
+		return nil, err
+	}
+	if len(out.Responses) != len(prompts) {
+		return nil, fmt.Errorf("remote: daemon returned %d responses for %d prompts", len(out.Responses), len(prompts))
+	}
+	return out.Responses, nil
+}
+
+// Ping checks daemon liveness via /healthz — how front-ends fail fast
+// on a bad -serve-addr before starting a sweep.
+func (b *Backend) Ping(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.base+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := b.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("remote: daemon at %s unreachable: %w", b.base, err)
+	}
+	defer drain(resp)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("remote: daemon at %s unhealthy: %s", b.base, resp.Status)
+	}
+	return nil
+}
+
+// post submits one JSON request with retry-on-transient-failure
+// semantics and decodes the success body into out.
+func (b *Backend) post(ctx context.Context, path string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, b.base+path, bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := b.hc.Do(req)
+		var retryAfter time.Duration
+		switch {
+		case err != nil:
+			// Connection-level failure. The request context's own end
+			// is permanent; everything else is worth retrying.
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			lastErr = err
+		case resp.StatusCode == http.StatusOK:
+			err := json.NewDecoder(resp.Body).Decode(out)
+			drain(resp)
+			return err
+		case resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode >= 500:
+			lastErr = httpError(resp)
+			retryAfter = parseRetryAfter(resp.Header.Get("Retry-After"))
+			drain(resp)
+		default:
+			err := httpError(resp)
+			drain(resp)
+			return err
+		}
+		if attempt >= b.retries {
+			return fmt.Errorf("remote: %s failed after %d attempts: %w", path, attempt+1, lastErr)
+		}
+		if err := b.sleep(ctx, attempt, retryAfter); err != nil {
+			return err
+		}
+	}
+}
+
+// sleep waits out one backoff period — jittered exponential from the
+// attempt number, floored by the daemon's Retry-After hint — or
+// returns early with the context's error.
+func (b *Backend) sleep(ctx context.Context, attempt int, retryAfter time.Duration) error {
+	// Cap the exponent before shifting: a large retry budget must not
+	// overflow the shift into a negative duration.
+	d := maxBackoff
+	if b.backoff <= 0 {
+		d = 0
+	} else if attempt < 30 {
+		if shifted := b.backoff << attempt; shifted > 0 && shifted < maxBackoff {
+			d = shifted
+		}
+	}
+	b.mu.Lock()
+	d += time.Duration(b.jitter.Int63n(int64(d)/2 + 1))
+	b.mu.Unlock()
+	if retryAfter > d {
+		d = retryAfter
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// httpError renders a non-2xx response as an error, preferring the
+// daemon's structured message.
+func httpError(resp *http.Response) error {
+	var e server.ErrorResponse
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	if json.Unmarshal(data, &e) == nil && e.Error != "" {
+		return fmt.Errorf("remote: daemon: %s (%s)", e.Error, resp.Status)
+	}
+	return fmt.Errorf("remote: daemon: %s", resp.Status)
+}
+
+// parseRetryAfter reads the Retry-After header; the daemon writes
+// fractional seconds, and plain integer seconds parse too.
+func parseRetryAfter(v string) time.Duration {
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.ParseFloat(v, 64)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs * float64(time.Second))
+}
+
+// drain discards any unread body so the keep-alive connection is
+// reusable.
+func drain(resp *http.Response) {
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+	resp.Body.Close()
+}

@@ -1,0 +1,170 @@
+package remote_test
+
+// Tests for the remote backend client: transient failures (connection
+// drops, 429 overload, 5xx) retry with backoff and eventually succeed
+// or surface a useful error; permanent 4xx failures and context
+// deadlines fail immediately. Handlers are scripted, so every
+// scenario is deterministic.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/remote"
+	"repro/internal/server"
+)
+
+// scripted answers each attempt according to a status script, then
+// succeeds forever.
+type scripted struct {
+	attempts atomic.Int64
+	script   []int // status per attempt; beyond the script, 200
+	retryHdr string
+}
+
+func (s *scripted) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	n := int(s.attempts.Add(1)) - 1
+	if n < len(s.script) {
+		if s.retryHdr != "" {
+			w.Header().Set("Retry-After", s.retryHdr)
+		}
+		w.WriteHeader(s.script[n])
+		_ = json.NewEncoder(w).Encode(server.ErrorResponse{Error: "scripted failure"})
+		return
+	}
+	var req server.CompleteRequest
+	_ = json.NewDecoder(r.Body).Decode(&req)
+	_ = json.NewEncoder(w).Encode(server.CompleteResponse{Response: "ok:" + req.Prompt})
+}
+
+func client(ts *httptest.Server, retries int) *remote.Backend {
+	return remote.New(ts.URL, remote.WithRetries(retries), remote.WithBackoff(time.Millisecond))
+}
+
+func TestRetriesTransient5xx(t *testing.T) {
+	h := &scripted{script: []int{http.StatusInternalServerError, http.StatusBadGateway}}
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+	resp, err := client(ts, 3).CompleteContext(context.Background(), "p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp != "ok:p" {
+		t.Fatalf("got %q", resp)
+	}
+	if got := h.attempts.Load(); got != 3 {
+		t.Errorf("took %d attempts, want 3 (2 failures + success)", got)
+	}
+}
+
+func TestRetries429WithRetryAfter(t *testing.T) {
+	h := &scripted{script: []int{http.StatusTooManyRequests}, retryHdr: "0.01"}
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+	start := time.Now()
+	resp, err := client(ts, 2).CompleteContext(context.Background(), "p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp != "ok:p" {
+		t.Fatalf("got %q", resp)
+	}
+	if elapsed := time.Since(start); elapsed < 10*time.Millisecond {
+		t.Errorf("retried after %v, should have honoured Retry-After of 10ms", elapsed)
+	}
+}
+
+func TestPermanent4xxFailsImmediately(t *testing.T) {
+	h := &scripted{script: []int{http.StatusBadRequest, http.StatusBadRequest, http.StatusBadRequest}}
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+	_, err := client(ts, 5).CompleteContext(context.Background(), "p")
+	if err == nil {
+		t.Fatal("expected an error on 400")
+	}
+	if got := h.attempts.Load(); got != 1 {
+		t.Errorf("client retried a permanent 400 (%d attempts)", got)
+	}
+	if !strings.Contains(err.Error(), "scripted failure") {
+		t.Errorf("error lost the daemon's message: %v", err)
+	}
+}
+
+func TestRetriesExhausted(t *testing.T) {
+	h := &scripted{script: []int{503, 503, 503, 503, 503, 503, 503, 503}}
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+	_, err := client(ts, 2).CompleteContext(context.Background(), "p")
+	if err == nil {
+		t.Fatal("expected exhaustion error")
+	}
+	if got := h.attempts.Load(); got != 3 {
+		t.Errorf("made %d attempts with 2 retries, want 3", got)
+	}
+	if !strings.Contains(err.Error(), "after 3 attempts") {
+		t.Errorf("error does not report attempts: %v", err)
+	}
+}
+
+func TestConnectionErrorRetriesThenFails(t *testing.T) {
+	// A port nothing listens on: every attempt is a connection error.
+	b := remote.New("127.0.0.1:1", remote.WithRetries(2), remote.WithBackoff(time.Millisecond))
+	_, err := b.CompleteContext(context.Background(), "p")
+	if err == nil {
+		t.Fatal("expected a connection error")
+	}
+	// The error-free judge.LLM contract maps the same failure to an
+	// empty response rather than a panic.
+	if resp := b.Complete("p"); resp != "" {
+		t.Errorf("Complete on dead daemon returned %q, want empty", resp)
+	}
+}
+
+func TestDeadlineCutsRetryLoop(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+	b := remote.New(ts.URL, remote.WithRetries(1000), remote.WithBackoff(5*time.Millisecond))
+	ctx, cancel := context.WithTimeout(context.Background(), 40*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := b.CompleteContext(ctx, "p")
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("got %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("deadline ignored for %v", elapsed)
+	}
+}
+
+func TestZeroBackoffRetriesImmediately(t *testing.T) {
+	h := &scripted{script: []int{503, 503}}
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+	b := remote.New(ts.URL, remote.WithRetries(2), remote.WithBackoff(0))
+	if _, err := b.CompleteContext(context.Background(), "p"); err != nil {
+		t.Fatal(err)
+	}
+	if got := h.attempts.Load(); got != 3 {
+		t.Errorf("made %d attempts, want 3", got)
+	}
+}
+
+func TestBatchLengthMismatchRejected(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_ = json.NewEncoder(w).Encode(server.CompleteBatchResponse{Responses: []string{"only-one"}})
+	}))
+	defer ts.Close()
+	_, err := client(ts, 0).CompleteBatch(context.Background(), []string{"a", "b"})
+	if err == nil || !strings.Contains(err.Error(), "1 responses for 2 prompts") {
+		t.Fatalf("mismatched batch not rejected: %v", err)
+	}
+}

@@ -1,0 +1,468 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/judge"
+	"repro/internal/store"
+)
+
+// Defaults for the zero values of Config's knobs.
+const (
+	DefaultBatchMaxSize  = 16
+	DefaultBatchMaxDelay = 2 * time.Millisecond
+	DefaultQueueLimit    = 1024
+	DefaultRetryAfter    = 50 * time.Millisecond
+)
+
+// dedupPhase is the Experiment field of store records written by the
+// server: completion-cache records live in their own phase namespace
+// so they can never collide with an experiment's sealed verdicts.
+const dedupPhase = "serve/completions"
+
+// errShuttingDown answers requests caught mid-shutdown, mapped to 503
+// on every path so clean shutdowns never read as internal errors.
+var errShuttingDown = errors.New("server shutting down")
+
+// statusFor classifies a resolution error: shutdown is 503, the
+// requester's own context ending is 504, anything else is a true 500.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, errShuttingDown):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// Config configures a Server. LLM is the only required field.
+type Config struct {
+	// LLM is the fronted endpoint. Implementing judge.BatchLLM opts it
+	// into coalesced shards; judge.ContextLLM into per-prompt
+	// cancellation on the fallback path.
+	LLM judge.LLM
+	// Backend and Seed identify what LLM was constructed from; they
+	// are reported by /v1/backends and key the dedup store records.
+	Backend string
+	Seed    uint64
+	// Registered is the backend-registry listing reported by
+	// /v1/backends (the server does not import the registry itself).
+	Registered []string
+
+	// BatchMaxSize caps how many concurrent /v1/complete requests one
+	// micro-batch may coalesce. Default DefaultBatchMaxSize.
+	BatchMaxSize int
+	// BatchMaxDelay is how long a forming micro-batch waits for
+	// stragglers after its first prompt arrives. Default
+	// DefaultBatchMaxDelay.
+	BatchMaxDelay time.Duration
+	// QueueLimit bounds admission: the total prompts queued or in
+	// flight, across both endpoints. Excess requests get 429 with a
+	// Retry-After hint. Default DefaultQueueLimit.
+	QueueLimit int
+	// RetryAfter is the back-off hint sent with 429 responses.
+	// Default DefaultRetryAfter.
+	RetryAfter time.Duration
+
+	// Store, when set, records every completion keyed by
+	// (backend, seed, prompt hash) and serves identical prompts from
+	// the record without an endpoint call — dedup that spans workers
+	// and daemon restarts. The server never closes the store.
+	Store *store.Store
+}
+
+// result is one resolved prompt handed back to a waiting request.
+type result struct {
+	resp string
+	err  error
+}
+
+// pending is one /v1/complete request queued for the micro-batcher.
+type pending struct {
+	ctx    context.Context
+	prompt string
+	done   chan result // buffered(1): delivery never blocks dispatch
+}
+
+// Server is the judging daemon. Construct with New, mount Handler on
+// an http.Server, and Close when done.
+type Server struct {
+	cfg      Config
+	batch    judge.BatchLLM // nil when the endpoint is single-prompt only
+	queue    chan *pending
+	inflight atomic.Int64 // prompts admitted and not yet answered
+
+	baseCtx context.Context
+	cancel  context.CancelFunc
+	wg      sync.WaitGroup
+
+	requests        atomic.Int64
+	batchRequests   atomic.Int64
+	rejected        atomic.Int64
+	endpointCalls   atomic.Int64
+	endpointPrompts atomic.Int64
+	coalesced       atomic.Int64
+	storeHits       atomic.Int64
+}
+
+// New builds a Server over cfg and starts its micro-batch collector.
+func New(cfg Config) *Server {
+	if cfg.LLM == nil {
+		panic("server: Config.LLM is required")
+	}
+	if cfg.BatchMaxSize <= 0 {
+		cfg.BatchMaxSize = DefaultBatchMaxSize
+	}
+	if cfg.BatchMaxDelay <= 0 {
+		cfg.BatchMaxDelay = DefaultBatchMaxDelay
+	}
+	if cfg.QueueLimit <= 0 {
+		cfg.QueueLimit = DefaultQueueLimit
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = DefaultRetryAfter
+	}
+	s := &Server{
+		cfg:   cfg,
+		queue: make(chan *pending, cfg.QueueLimit),
+	}
+	s.batch, _ = cfg.LLM.(judge.BatchLLM)
+	s.baseCtx, s.cancel = context.WithCancel(context.Background())
+	s.wg.Add(1)
+	go s.collect()
+	return s
+}
+
+// Close stops the collector, fails any queued requests, and waits for
+// in-flight dispatches. Shut the http.Server down first so no new
+// requests arrive while the queue drains.
+func (s *Server) Close() {
+	s.cancel()
+	s.wg.Wait()
+	for {
+		select {
+		case p := <-s.queue:
+			p.done <- result{err: errShuttingDown}
+			s.inflight.Add(-1)
+		default:
+			return
+		}
+	}
+}
+
+// Stats returns a snapshot of the serving counters.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Requests:        s.requests.Load(),
+		BatchRequests:   s.batchRequests.Load(),
+		Rejected:        s.rejected.Load(),
+		EndpointCalls:   s.endpointCalls.Load(),
+		EndpointPrompts: s.endpointPrompts.Load(),
+		Coalesced:       s.coalesced.Load(),
+		StoreHits:       s.storeHits.Load(),
+	}
+}
+
+// Handler returns the daemon's route table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/complete", s.handleComplete)
+	mux.HandleFunc("/v1/complete_batch", s.handleCompleteBatch)
+	mux.HandleFunc("/v1/backends", s.handleBackends)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	return mux
+}
+
+// collect is the micro-batcher: it takes the first queued prompt,
+// gathers stragglers until the batch fills or BatchMaxDelay elapses,
+// and dispatches the coalesced shard on its own goroutine so the next
+// batch starts forming immediately.
+func (s *Server) collect() {
+	defer s.wg.Done()
+	for {
+		var first *pending
+		select {
+		case first = <-s.queue:
+		case <-s.baseCtx.Done():
+			return
+		}
+		batch := []*pending{first}
+		timer := time.NewTimer(s.cfg.BatchMaxDelay)
+	gather:
+		for len(batch) < s.cfg.BatchMaxSize {
+			select {
+			case p := <-s.queue:
+				batch = append(batch, p)
+			case <-timer.C:
+				break gather
+			case <-s.baseCtx.Done():
+				break gather
+			}
+		}
+		timer.Stop()
+		if len(batch) > 1 {
+			s.coalesced.Add(1)
+		}
+		s.wg.Add(1)
+		go func(batch []*pending) {
+			defer s.wg.Done()
+			s.flush(batch)
+		}(batch)
+	}
+}
+
+// flush resolves one coalesced micro-batch. Members whose context
+// already ended are answered with that error and excluded; the rest
+// share one resolve pass. A member's own deadline elapsing mid-flight
+// is handled on the handler side — the batch completes for everyone
+// else regardless. Every member's admission slot is released here,
+// when its prompt is truly done, so QueueLimit bounds real
+// outstanding work even when requesters disconnect early.
+func (s *Server) flush(batch []*pending) {
+	defer s.inflight.Add(int64(-len(batch)))
+	live := batch[:0]
+	for _, p := range batch {
+		if err := p.ctx.Err(); err != nil {
+			p.done <- result{err: err}
+			continue
+		}
+		live = append(live, p)
+	}
+	if len(live) == 0 {
+		return
+	}
+	prompts := make([]string, len(live))
+	for i, p := range live {
+		prompts[i] = p.prompt
+	}
+	resps, err := s.resolve(s.baseCtx, prompts)
+	if err != nil && s.baseCtx.Err() != nil {
+		// The base context ends only at Close: report shutdown, not
+		// the bare cancellation it caused.
+		err = errShuttingDown
+	}
+	for i, p := range live {
+		if err != nil {
+			p.done <- result{err: err}
+			continue
+		}
+		p.done <- result{resp: resps[i]}
+	}
+}
+
+// dedupKey is the run-store key for one prompt's completion record.
+func (s *Server) dedupKey(hash string) store.Key {
+	return store.Key{Experiment: dedupPhase, Backend: s.cfg.Backend, Seed: s.cfg.Seed, FileHash: hash}
+}
+
+// resolve answers a shard of prompts: store hits and intra-shard
+// duplicates cost nothing, and the remaining unique prompts go to the
+// endpoint in a single CompleteBatch call when it supports one.
+// Responses come back in prompt order, byte-identical to asking the
+// endpoint each prompt alone.
+func (s *Server) resolve(ctx context.Context, prompts []string) ([]string, error) {
+	out := make([]string, len(prompts))
+	// resolved maps a prompt seen earlier in the shard to the slot
+	// holding its response; missing are the unique prompts that still
+	// need the endpoint, each answering the slots in positions.
+	resolved := map[string]int{}
+	var missing []string
+	positions := map[string][]int{}
+	var hashes map[string]string
+	if s.cfg.Store != nil {
+		hashes = make(map[string]string, len(prompts))
+	}
+	for i, p := range prompts {
+		if j, dup := resolved[p]; dup {
+			out[i] = out[j]
+			s.storeHits.Add(1)
+			continue
+		}
+		if idxs, dup := positions[p]; dup {
+			positions[p] = append(idxs, i)
+			s.storeHits.Add(1)
+			continue
+		}
+		if s.cfg.Store != nil {
+			h := store.HashSource(p)
+			hashes[p] = h
+			// The serve/completions namespace holds only records this
+			// path wrote, so presence alone is the hit signal — an
+			// endpoint whose legitimate response is empty still dedups.
+			if rec, ok := s.cfg.Store.Get(s.dedupKey(h)); ok {
+				out[i] = rec.Response
+				resolved[p] = i
+				s.storeHits.Add(1)
+				continue
+			}
+		}
+		positions[p] = []int{i}
+		missing = append(missing, p)
+	}
+	if len(missing) == 0 {
+		return out, nil
+	}
+	resps, err := s.completeEndpoint(ctx, missing)
+	if err != nil {
+		return nil, err
+	}
+	for k, p := range missing {
+		for _, i := range positions[p] {
+			out[i] = resps[k]
+		}
+		if s.cfg.Store != nil {
+			_ = s.cfg.Store.Put(store.Record{
+				Experiment: dedupPhase, Backend: s.cfg.Backend, Seed: s.cfg.Seed,
+				FileHash: hashes[p], JudgeRan: true, Response: resps[k],
+			})
+		}
+	}
+	return out, nil
+}
+
+// completeEndpoint submits unique prompts to the fronted endpoint
+// through the richest contract it offers (judge.CompleteAll): one
+// call for batch-capable backends, one per prompt otherwise.
+func (s *Server) completeEndpoint(ctx context.Context, prompts []string) ([]string, error) {
+	if s.batch != nil {
+		s.endpointCalls.Add(1)
+	} else {
+		s.endpointCalls.Add(int64(len(prompts)))
+	}
+	s.endpointPrompts.Add(int64(len(prompts)))
+	return judge.CompleteAll(ctx, s.cfg.LLM, prompts)
+}
+
+// admit reserves n prompt slots, reporting false — and answering the
+// request with 429 + Retry-After — when the daemon is at QueueLimit.
+func (s *Server) admit(w http.ResponseWriter, n int) bool {
+	if s.inflight.Add(int64(n)) > int64(s.cfg.QueueLimit) {
+		s.inflight.Add(int64(-n))
+		s.rejected.Add(1)
+		w.Header().Set("Retry-After", strconv.FormatFloat(s.cfg.RetryAfter.Seconds(), 'f', -1, 64))
+		writeError(w, http.StatusTooManyRequests, "server overloaded, retry later")
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
+	var req CompleteRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	if req.Prompt == "" {
+		writeError(w, http.StatusBadRequest, "empty prompt")
+		return
+	}
+	if !s.admit(w, 1) {
+		return
+	}
+	// The slot is released when the pending resolves (flush, or the
+	// Close drain) — not when this handler returns — so a requester
+	// that gives up early cannot free capacity its abandoned prompt
+	// still occupies.
+	s.requests.Add(1)
+	p := &pending{ctx: r.Context(), prompt: req.Prompt, done: make(chan result, 1)}
+	select {
+	case s.queue <- p:
+	case <-s.baseCtx.Done():
+		s.inflight.Add(-1)
+		writeError(w, http.StatusServiceUnavailable, errShuttingDown.Error())
+		return
+	}
+	select {
+	case res := <-p.done:
+		if res.err != nil {
+			writeError(w, statusFor(res.err), res.err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, CompleteResponse{Response: res.resp})
+	case <-r.Context().Done():
+		// Client gone or deadline passed; the coalesced batch still
+		// completes for its other members.
+		writeError(w, http.StatusGatewayTimeout, r.Context().Err().Error())
+	}
+}
+
+func (s *Server) handleCompleteBatch(w http.ResponseWriter, r *http.Request) {
+	var req CompleteBatchRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	if len(req.Prompts) == 0 {
+		writeJSON(w, http.StatusOK, CompleteBatchResponse{Responses: []string{}})
+		return
+	}
+	// A shard that can never fit is a configuration error, not
+	// overload: answer with a permanent 413 (clients retry 429
+	// forever to no avail) naming the fix.
+	if len(req.Prompts) > s.cfg.QueueLimit {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("batch of %d prompts exceeds the daemon queue limit %d; lower the client shard size or raise -queue", len(req.Prompts), s.cfg.QueueLimit))
+		return
+	}
+	if !s.admit(w, len(req.Prompts)) {
+		return
+	}
+	defer s.inflight.Add(int64(-len(req.Prompts)))
+	s.batchRequests.Add(1)
+	resps, err := s.resolve(r.Context(), req.Prompts)
+	if err != nil {
+		writeError(w, statusFor(err), err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, CompleteBatchResponse{Responses: resps})
+}
+
+func (s *Server) handleBackends(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, BackendsResponse{
+		Serving:    s.cfg.Backend,
+		Seed:       s.cfg.Seed,
+		Batch:      s.batch != nil,
+		Registered: s.cfg.Registered,
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, HealthResponse{
+		OK:      true,
+		Backend: s.cfg.Backend,
+		Seed:    s.cfg.Seed,
+		Stats:   s.Stats(),
+	})
+}
+
+// readJSON decodes a POST body, answering 405/400 itself on failure.
+func readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return false
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20))
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, ErrorResponse{Error: msg})
+}

@@ -1,0 +1,97 @@
+// Package server implements the judging daemon behind cmd/llm4vvd: an
+// HTTP front for any judge.LLM endpoint. It exposes
+//
+//	POST /v1/complete        {"prompt": ...}    -> {"response": ...}
+//	POST /v1/complete_batch  {"prompts": [...]} -> {"responses": [...]}
+//	GET  /v1/backends                           -> what is served and registered
+//	GET  /healthz                               -> liveness plus serving stats
+//
+// The server's core is a dynamic micro-batcher: concurrent single-
+// prompt requests are coalesced — up to Config.BatchMaxSize prompts,
+// waiting at most Config.BatchMaxDelay for stragglers — into one
+// CompleteBatch call when the fronted endpoint implements
+// judge.BatchLLM, so many independent workers hitting /v1/complete
+// cost far fewer endpoint round-trips than requests. Admission is
+// bounded: at most Config.QueueLimit prompts may be queued or in
+// flight, and requests beyond that are refused immediately with 429
+// and a Retry-After hint rather than queued without bound. Request
+// deadlines propagate: the handler works under the request's context,
+// which net/http cancels when the client disconnects or its deadline
+// passes.
+//
+// With a run store mounted (Config.Store), every completion is
+// recorded keyed by (backend, seed, prompt hash) and identical
+// requests — from any number of workers, across daemon restarts —
+// resolve to the stored response without touching the endpoint:
+// distributed verdict dedup.
+package server
+
+// CompleteRequest is the body of POST /v1/complete.
+type CompleteRequest struct {
+	Prompt string `json:"prompt"`
+}
+
+// CompleteResponse is the success body of POST /v1/complete.
+type CompleteResponse struct {
+	Response string `json:"response"`
+}
+
+// CompleteBatchRequest is the body of POST /v1/complete_batch. The
+// whole shard is resolved as one unit (one endpoint call for batch-
+// capable backends) and responses come back in prompt order.
+type CompleteBatchRequest struct {
+	Prompts []string `json:"prompts"`
+}
+
+// CompleteBatchResponse is the success body of POST /v1/complete_batch.
+type CompleteBatchResponse struct {
+	Responses []string `json:"responses"`
+}
+
+// BackendsResponse is the body of GET /v1/backends: the backend this
+// daemon instance serves (name and seed are fixed at daemon start;
+// a client-side seed is ignored) plus every name registered in the
+// daemon's backend registry.
+type BackendsResponse struct {
+	Serving    string   `json:"serving"`
+	Seed       uint64   `json:"seed"`
+	Batch      bool     `json:"batch"`
+	Registered []string `json:"registered,omitempty"`
+}
+
+// HealthResponse is the body of GET /healthz.
+type HealthResponse struct {
+	OK      bool   `json:"ok"`
+	Backend string `json:"backend"`
+	Seed    uint64 `json:"seed"`
+	Stats   Stats  `json:"stats"`
+}
+
+// ErrorResponse is the body of every non-2xx response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// Stats are the daemon's serving counters, exposed by Server.Stats
+// and /healthz. EndpointCalls < Requests+BatchRequests is the
+// signature of micro-batching and dedup doing their job.
+type Stats struct {
+	// Requests counts admitted /v1/complete requests.
+	Requests int64 `json:"requests"`
+	// BatchRequests counts admitted /v1/complete_batch requests.
+	BatchRequests int64 `json:"batch_requests"`
+	// Rejected counts requests refused with 429 by admission control.
+	Rejected int64 `json:"rejected"`
+	// EndpointCalls counts calls made to the fronted endpoint
+	// (one per CompleteBatch shard for batch-capable backends).
+	EndpointCalls int64 `json:"endpoint_calls"`
+	// EndpointPrompts counts prompts submitted to the endpoint.
+	EndpointPrompts int64 `json:"endpoint_prompts"`
+	// Coalesced counts micro-batches that merged two or more
+	// concurrent /v1/complete requests into one dispatch.
+	Coalesced int64 `json:"coalesced"`
+	// StoreHits counts prompts resolved from the mounted run store
+	// (or deduplicated against an identical prompt in the same shard)
+	// without an endpoint call.
+	StoreHits int64 `json:"store_hits"`
+}

@@ -23,6 +23,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
+	"sort"
 	"sync"
 )
 
@@ -54,6 +56,13 @@ type Record struct {
 	JudgeRan   bool   `json:"judge_ran,omitempty"`
 	Verdict    string `json:"verdict,omitempty"`
 	Valid      bool   `json:"valid,omitempty"`
+
+	// Response holds the raw completion text for records that cache a
+	// whole endpoint completion rather than a sealed verdict — the
+	// judging service stores one such record per unique prompt (keyed
+	// by prompt hash) so identical requests from many workers resolve
+	// to one completion.
+	Response string `json:"response,omitempty"`
 }
 
 // Key returns the record's identity.
@@ -72,8 +81,10 @@ func HashSource(source string) string {
 // Store can absorb sealed results from every worker of a sharded run.
 type Store struct {
 	mu      sync.Mutex
+	path    string
 	f       *os.File
 	index   map[Key]Record
+	lines   int // physical lines in the file (valid, superseded, and corrupt)
 	dropped int
 	werr    error // first append failure, surfaced by Close
 }
@@ -89,7 +100,7 @@ func Open(path string) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Store{f: f, index: map[Key]Record{}}
+	s := &Store{path: path, f: f, index: map[Key]Record{}}
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
 	for sc.Scan() {
@@ -97,6 +108,7 @@ func Open(path string) (*Store, error) {
 		if len(line) == 0 {
 			continue
 		}
+		s.lines++
 		var rec Record
 		if err := json.Unmarshal(line, &rec); err != nil || rec.FileHash == "" || rec.Experiment == "" {
 			s.dropped++
@@ -166,8 +178,106 @@ func (s *Store) Put(rec Record) error {
 		s.werr = fmt.Errorf("store: append: %w", err)
 		return s.werr
 	}
+	s.lines++
 	s.index[rec.Key()] = rec
 	return nil
+}
+
+// Compact rewrites the store file keeping exactly one line per key —
+// the live record Open would resolve — and drops superseded
+// duplicates and corrupt lines, so a long-lived store that absorbed
+// many resumed or replayed runs shrinks back to its distinct-key
+// size. The rewrite goes through a temp file in the same directory
+// and an atomic rename, so a crash mid-compact leaves either the old
+// file or the new one, never a mix. Records land in sorted key order,
+// making compacted stores canonical: two stores holding the same
+// records compact to identical bytes. It returns the number of lines
+// removed.
+//
+// Compact is maintenance for a store this process owns exclusively:
+// the rename unlinks the file out from under any other process
+// holding it open (a running llm4vvd, a concurrent sweep), whose
+// appends would then land in the orphaned inode and vanish. Compact
+// offline.
+func (s *Store) Compact() (removed int, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.werr != nil {
+		return 0, s.werr
+	}
+	// Carry the live file's permissions over; CreateTemp's private
+	// 0600 default would lock out other readers after the rename.
+	mode := os.FileMode(0o644)
+	if fi, err := s.f.Stat(); err == nil {
+		mode = fi.Mode().Perm()
+	}
+	keys := make([]Key, 0, len(s.index))
+	for k := range s.index {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.Experiment != b.Experiment {
+			return a.Experiment < b.Experiment
+		}
+		if a.Backend != b.Backend {
+			return a.Backend < b.Backend
+		}
+		if a.Seed != b.Seed {
+			return a.Seed < b.Seed
+		}
+		return a.FileHash < b.FileHash
+	})
+	tmp, err := os.CreateTemp(filepath.Dir(s.path), filepath.Base(s.path)+".compact-*")
+	if err != nil {
+		return 0, err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if err := tmp.Chmod(mode); err != nil {
+		tmp.Close()
+		return 0, err
+	}
+	w := bufio.NewWriter(tmp)
+	for _, k := range keys {
+		line, err := json.Marshal(s.index[k])
+		if err != nil {
+			tmp.Close()
+			return 0, err
+		}
+		if _, err := w.Write(append(line, '\n')); err != nil {
+			tmp.Close()
+			return 0, fmt.Errorf("store: compact: %w", err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		tmp.Close()
+		return 0, fmt.Errorf("store: compact: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return 0, err
+	}
+	if err := tmp.Close(); err != nil {
+		return 0, err
+	}
+	if err := os.Rename(tmp.Name(), s.path); err != nil {
+		return 0, err
+	}
+	// Swap the append handle to the new file; the old handle points at
+	// the unlinked inode. Failing here must poison the store — keeping
+	// the stale handle would let every later Put "succeed" into the
+	// deleted inode and silently vanish at exit.
+	f, err := os.OpenFile(s.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		s.werr = fmt.Errorf("store: compact: reopening %s: %w", s.path, err)
+		return 0, s.werr
+	}
+	s.f.Close()
+	s.f = f
+	removed = s.lines - len(s.index)
+	s.lines = len(s.index)
+	s.dropped = 0
+	return removed, nil
 }
 
 // Len reports how many distinct keys are stored.

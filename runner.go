@@ -84,9 +84,9 @@ func (r *Runner) withBackend(name string) *Runner {
 }
 
 // newLLM constructs a fresh endpoint for one experiment call. The
-// backend name was validated at construction, so the registry lookup
-// cannot fail unless the backend was registered with a nil-producing
-// factory — a programmer error surfaced by the ensuing nil deref.
+// backend name was validated at construction — NewRunner's NewBackend
+// probe errors on unknown names and nil-producing factories alike —
+// so the registry lookup here cannot fail.
 func (r *Runner) newLLM() judge.LLM {
 	llm, _ := NewBackend(r.backend, r.seed)
 	if r.evalCache {
