@@ -6,9 +6,11 @@ import (
 	"strings"
 	"sync"
 
+	"repro/internal/ensemble"
 	"repro/internal/judge"
 	"repro/internal/model"
 	"repro/internal/remote"
+	"repro/internal/rng"
 )
 
 // DefaultBackend names the registered endpoint every published
@@ -153,9 +155,87 @@ func RegisterRemoteBackend(addr string) string {
 	return name
 }
 
+// NewPanel constructs a voting ensemble from a member spec
+// ("a+b+c[:strategy]", the argument of an "ensemble:" backend name):
+// each member backend is resolved through the registry — including
+// "remote:<addr>" members, so a panel can seat daemons — under its
+// own derived seed, so a panel of N copies of one simulated backend
+// seats N distinct judges rather than one echoed three times. Member
+// i of backend b derives its seed from (seed, i, b) via the
+// deterministic split rng, making panel behaviour a pure function of
+// the panel seed; remote members' seeds are inert as always (the
+// daemon's seed governs).
+//
+// With the Weighted strategy the panel starts with uniform weights;
+// Runner panel phases recalibrate from run-store history (see
+// panelWeights).
+func NewPanel(spec string, seed uint64) (*ensemble.Panel, error) {
+	names, strategy, err := ensemble.ParseSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	members := make([]ensemble.Member, len(names))
+	for i, n := range names {
+		llm, err := NewBackend(n, panelMemberSeed(seed, i, n))
+		if err != nil {
+			return nil, fmt.Errorf("llm4vv: ensemble member %d: %w", i, err)
+		}
+		members[i] = ensemble.Member{Name: fmt.Sprintf("%s#%d", n, i), LLM: llm}
+	}
+	return ensemble.New(ensemble.Config{Members: members, Strategy: strategy})
+}
+
+// panelMemberSeed derives member i's sampling seed from the panel
+// seed. The rng split keys on both the index and the backend name, so
+// reordering or renaming members changes their streams while equal
+// specs reproduce equal panels.
+func panelMemberSeed(seed uint64, i int, name string) uint64 {
+	return rng.New(seed).Split(fmt.Sprintf("panel-member/%d/%s", i, name)).Uint64()
+}
+
+// RegisterEnsembleBackend concretely registers the panel described by
+// spec ("a+b+c[:strategy]") under the name "ensemble:<spec>" and
+// returns that name. Like RegisterRemoteBackend it is idempotent —
+// front-ends call it from flag handling — and concrete registration
+// is what admits a panel into Backends() and therefore into the
+// cross-backend compare sweep, where it is scored like any single
+// judge. The spec is validated here — member names resolved included,
+// so register members before their ensemble — and a typo fails at
+// flag time with the member's own error, not mid-sweep as a generic
+// nil-endpoint failure.
+func RegisterEnsembleBackend(spec string) (string, error) {
+	if _, err := NewPanel(spec, DefaultModelSeed); err != nil {
+		return "", err
+	}
+	name := "ensemble:" + spec
+	backendRegistry.Lock()
+	defer backendRegistry.Unlock()
+	if _, ok := backendRegistry.factories[name]; !ok {
+		backendRegistry.factories[name] = func(seed uint64) judge.LLM {
+			p, err := NewPanel(spec, seed)
+			if err != nil {
+				return nil
+			}
+			return p
+		}
+	}
+	return name, nil
+}
+
 func init() {
 	RegisterBackend(DefaultBackend, func(seed uint64) judge.LLM { return model.New(seed) })
 	RegisterBackendScheme("remote", func(addr string, seed uint64) judge.LLM { return remote.New(addr) })
+	// "ensemble:a+b+c[:strategy]" composes registered backends into a
+	// voting panel; the scheme contract reports construction failures
+	// as a nil endpoint, which NewBackend turns into an error (use
+	// NewPanel or RegisterEnsembleBackend for the detailed message).
+	RegisterBackendScheme("ensemble", func(spec string, seed uint64) judge.LLM {
+		p, err := NewPanel(spec, seed)
+		if err != nil {
+			return nil
+		}
+		return p
+	})
 }
 
 // NewModel returns the simulated deepseek-coder-33B-instruct endpoint.

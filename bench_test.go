@@ -10,6 +10,7 @@ package llm4vv
 // experiments at full size.
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/metrics"
@@ -294,4 +295,31 @@ func BenchmarkGenerationLoop(b *testing.B) {
 	b.ReportMetric(100*r.AcceptancePrecision(), "accepted-precision%")
 	b.ReportMetric(100*r.DefectCatchRate(), "defect-catch%")
 	b.ReportMetric(float64(len(r.Candidates))/float64(len(r.Accepted)+1), "candidates/accepted")
+}
+
+// BenchmarkPanelAgreement — the ensemble experiment: a three-seat
+// panel of the default backend on the Part-One OpenACC suite,
+// reporting the panel verdict quality and the inter-judge agreement
+// headline (Fleiss' kappa, mean pairwise agreement). Deterministic
+// like every other metric here, so benchci gates the agreement
+// numbers against the committed baseline.
+func BenchmarkPanelAgreement(b *testing.B) {
+	r, err := NewRunner()
+	if err != nil {
+		b.Fatal(err)
+	}
+	var last PanelDialectResult
+	for i := 0; i < b.N; i++ {
+		res, err := RunExperiment(context.Background(), r, "panel",
+			ExperimentParams{Dialects: []spec.Dialect{spec.OpenACC}, Scale: benchScale})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res.(*PanelScenarioResult).Results[spec.OpenACC]
+	}
+	reportSummary(b, "panel-", last.Panel)
+	// A unit without the % suffix gets benchci's bias tolerance —
+	// right for kappa, a coefficient in [-1, 1].
+	b.ReportMetric(last.Agreement.Kappa, "kappa")
+	b.ReportMetric(100*last.Agreement.MeanPairwise(), "pairwise%")
 }

@@ -22,6 +22,12 @@
 // from the current run fails the gate (a table disappeared); a new
 // key not in the baseline is reported but passes (a table was added —
 // regenerate the baseline to start gating it).
+//
+// Zero metrics on stdin is always an error: an upstream bench run
+// that failed or panicked must not fall through to an empty-input
+// success. This guard pairs with pipefail on the CI step (`shell:
+// bash`) — either alone leaves a masking window; together a broken
+// bench pipeline cannot pass.
 package main
 
 import (

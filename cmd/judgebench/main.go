@@ -8,6 +8,7 @@
 //	           [-scale K] [-seed N] [-backend NAME] [-show N] [-record-all=false]
 //	judgebench -experiment NAME [-scale K] [-seed N] [-backend NAME] [-timeout D]
 //	judgebench -compare [-scale K] [-seed N] [-store PATH [-resume]]
+//	judgebench -panel [-panel-members a+b+c[:strategy]] [...]
 //	judgebench -serve-addr HOST:PORT [...]
 //	judgebench -store PATH -compact
 //	judgebench -list
@@ -28,6 +29,18 @@
 // one automatically. -show transcripts require re-judging, so -store
 // and -resume are ignored when -show is set.
 //
+// -panel runs the panel experiment: the suites judged by a voting
+// ensemble of backends, scored for accuracy and for inter-judge
+// agreement (Fleiss' kappa, pairwise agreement, per-member bias
+// against the consensus). -panel-members chooses the seats —
+// "a+b+c[:strategy]" over registered backend names, strategies
+// majority (default), unanimous, weighted — and registers
+// "ensemble:<spec>" as a concrete backend, so it also joins any
+// -compare sweep; without it the panel seats three copies of
+// -backend, each under its own derived member seed. With -serve-addr
+// the daemon must itself serve an ensemble backend (llm4vvd -backend
+// ensemble:...); judgebench verifies that before judging starts.
+//
 // -serve-addr routes judging through a running llm4vvd daemon: the
 // address registers as the "remote:<addr>" backend and overrides
 // -backend (with -compare, the daemon joins the sweep alongside the
@@ -47,12 +60,14 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 
 	llm4vv "repro"
 	"repro/internal/agent"
 	"repro/internal/judge"
 	"repro/internal/metrics"
 	"repro/internal/pipeline"
+	"repro/internal/remote"
 	"repro/internal/report"
 	"repro/internal/spec"
 	"repro/internal/store"
@@ -70,6 +85,8 @@ func main() {
 	recordAll := flag.Bool("record-all", true, "run every stage for every file (false = short-circuit)")
 	experiment := flag.String("experiment", "", "dispatch a registered experiment instead of a mode")
 	compare := flag.Bool("compare", false, "sweep every registered backend and print a cross-backend metrics matrix")
+	panel := flag.Bool("panel", false, "run the panel experiment: ensemble judging with inter-judge agreement metrics")
+	panelMembers := flag.String("panel-members", "", "ensemble member spec a+b+c[:strategy]; registers ensemble:<spec> as a backend")
 	storePath := flag.String("store", "", "append sealed verdicts to this JSONL run store")
 	resume := flag.Bool("resume", false, "skip files already recorded in the run store (requires -store)")
 	compact := flag.Bool("compact", false, "compact the run store (drop superseded duplicates), then exit (requires -store)")
@@ -121,6 +138,35 @@ func main() {
 
 	if *serveAddr != "" {
 		*backend = llm4vv.RegisterRemoteBackend(*serveAddr)
+	}
+	if *panelMembers != "" {
+		// Concrete registration admits the panel into Backends() (and
+		// so into -compare sweeps); it also becomes the judging
+		// backend unless a daemon was selected.
+		name, err := llm4vv.RegisterEnsembleBackend(*panelMembers)
+		fail(err)
+		if *serveAddr == "" {
+			*backend = name
+		}
+	}
+	if *panel {
+		*experiment = "panel"
+		if *serveAddr != "" {
+			// The panel experiment needs responses that carry member
+			// votes; a daemon fronting a single judge would fail only
+			// after judging starts, so check what it serves up front —
+			// and when -panel-members was given too, that the daemon
+			// serves that exact panel rather than silently scoring a
+			// different one.
+			info, err := remote.New(*serveAddr).Info(ctx)
+			fail(err)
+			if !strings.HasPrefix(info.Serving, "ensemble:") {
+				fail(fmt.Errorf("daemon at %s serves backend %q, not an ensemble; start llm4vvd with -backend ensemble:a+b+c", *serveAddr, info.Serving))
+			}
+			if *panelMembers != "" && info.Serving != "ensemble:"+*panelMembers {
+				fail(fmt.Errorf("daemon at %s serves %q, not the requested ensemble:%s; restart llm4vvd with -backend 'ensemble:%s' or drop -panel-members", *serveAddr, info.Serving, *panelMembers, *panelMembers))
+			}
+		}
 	}
 	if *compare {
 		*experiment = "compare"

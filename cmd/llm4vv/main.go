@@ -12,7 +12,9 @@
 //
 // -experiment list enumerates the registered experiments (and the
 // registered backends); any registered name — including scenarios
-// added by third-party packages via llm4vv.RegisterExperiment — runs
+// added by third-party packages via llm4vv.RegisterExperiment, and
+// the panel experiment (`-experiment panel`), which judges the suites
+// with a voting ensemble and scores inter-judge agreement — runs
 // through the same generic path. -scale K divides every suite's
 // per-issue counts by K for quick runs. Interrupting the process
 // (SIGINT) cancels the run's context and exits promptly; with

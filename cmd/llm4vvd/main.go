@@ -20,6 +20,13 @@
 // completion; -cache adds an in-memory memo with singleflight dedup
 // of concurrent identical prompts. SIGINT shuts down gracefully:
 // in-flight requests finish, then the store is closed.
+//
+// The daemon can serve a whole voting panel: -backend
+// "ensemble:a+b+c[:strategy]" composes the named backends into one
+// ensemble endpoint whose responses carry the per-member votes, so
+// workers running `judgebench -panel -serve-addr` score agreement
+// metrics off the daemon exactly as they would in-process.
+// /v1/backends reports the panel members and strategy.
 package main
 
 import (

@@ -54,6 +54,18 @@
 // running daemon with byte-identical metrics — see DESIGN.md §8 and
 // examples/service.
 //
+// Backends compose into voting ensembles: "ensemble:a+b+c[:strategy]"
+// (NewPanel, RegisterEnsembleBackend) seats any registered backends —
+// remote daemons included — on one panel that fans every shard out
+// concurrently per member and combines votes by majority, unanimity
+// with a deterministic tiebreak, or store-calibrated weights, with
+// quorum semantics when members fail. The "panel" experiment scores a
+// panel both as a judge and for inter-judge reliability (Fleiss'
+// kappa, pairwise agreement, per-member bias against the consensus),
+// persists per-member votes in the run store so resumed panel runs
+// re-judge nothing, and reproduces byte-identical reports through a
+// daemon serving the ensemble — see DESIGN.md §9 and examples/panel.
+//
 // The pre-redesign free functions (RunDirectProbing, RunPartTwo,
 // RunGenerationLoop, ...) remain as deprecated wrappers over a
 // default-configured Runner.

@@ -1,0 +1,84 @@
+// Panel: judge a suite with a voting ensemble instead of a single
+// judge, and read the panel's reliability off its own disagreement —
+// Fleiss' kappa, the pairwise agreement matrix, and each member's
+// bias against the consensus. Three things to notice:
+//
+//  1. The ensemble is just a backend ("ensemble:a+b+c[:strategy]"),
+//     so every experiment, the run store, and the judging daemon
+//     handle a panel exactly like a single judge.
+//  2. Member votes travel inside the response text, which is why a
+//     daemon serving the panel (llm4vvd -backend ensemble:...)
+//     reproduces the report byte-identically over HTTP.
+//  3. Three seats of the same simulated backend still disagree: each
+//     member judges under its own derived seed.
+//
+// Run it: go run ./examples/panel
+package main
+
+import (
+	"context"
+	"fmt"
+
+	llm4vv "repro"
+	"repro/internal/spec"
+)
+
+func main() {
+	ctx := context.Background()
+
+	// 1. The quick path: the registered "panel" experiment. With a
+	// plain backend configured it seats three copies of it; WithPanel
+	// chooses the seats and the voting strategy instead.
+	r, err := llm4vv.NewRunner(
+		llm4vv.WithPanel("deepseek-sim+deepseek-sim+deepseek-sim:unanimous"),
+	)
+	if err != nil {
+		panic(err)
+	}
+	res, err := llm4vv.RunExperiment(ctx, r, "panel", llm4vv.ExperimentParams{
+		Dialects: []spec.Dialect{spec.OpenACC},
+		Scale:    8,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Report())
+
+	// 2. The structured path: PanelProbing returns the verdict
+	// summary, the per-member solo summaries, and the agreement
+	// scoring as data.
+	rp, err := llm4vv.NewRunner(llm4vv.WithBackend(
+		"ensemble:deepseek-sim+deepseek-sim+deepseek-sim"))
+	if err != nil {
+		panic(err)
+	}
+	pr, err := rp.PanelProbing(ctx, llm4vv.PartOneSpec(spec.OpenACC).Scaled(8))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("panel accuracy %.1f%% vs best member %.1f%% — kappa %.3f\n",
+		100*pr.Panel.Accuracy(), 100*bestMember(pr), pr.Agreement.Kappa)
+
+	// 3. The panel is an ordinary endpoint too: ask it one prompt and
+	// read the votes out of the transcript.
+	panel, err := llm4vv.NewPanel("deepseek-sim+deepseek-sim+deepseek-sim", llm4vv.DefaultModelSeed)
+	if err != nil {
+		panic(err)
+	}
+	resp, err := panel.CompleteContext(ctx,
+		"Review the following OpenACC code and evaluate it based on the following criteria:\nHere is the code:\nint main(){return 0;}")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("one transcript:\n%s", resp)
+}
+
+func bestMember(pr llm4vv.PanelDialectResult) float64 {
+	best := 0.0
+	for _, s := range pr.PerMember {
+		if a := s.Accuracy(); a > best {
+			best = a
+		}
+	}
+	return best
+}

@@ -1,0 +1,221 @@
+package metrics
+
+// Inter-judge agreement metrics for ensemble (panel) runs: Fleiss'
+// kappa over the member verdicts, the pairwise agreement matrix, and
+// a per-member bias decomposition against the panel verdict — the
+// reliability lens the multi-judge literature applies to
+// LLM-as-a-judge ("From Code to Courtroom", the LLM4VV follow-up).
+
+import (
+	"repro/internal/judge"
+)
+
+// voteCategories is the number of verdict categories agreement is
+// computed over: valid, invalid, and other (unparsable responses and
+// dropped members alike — what matters for agreement is that the
+// member failed to deliver a usable verdict).
+const voteCategories = 3
+
+// category buckets a verdict for agreement counting.
+func category(v judge.Verdict) int {
+	switch v {
+	case judge.Valid:
+		return 0
+	case judge.Invalid:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// MemberStat decomposes one panel member's behaviour against the
+// panel verdict across all items.
+type MemberStat struct {
+	Member string
+	// Items the member was polled on — every scored item, including
+	// ones where its vote was unparsable or the member was dropped
+	// (both arrive here as Unparsable and count as disagreements with
+	// any parsable panel verdict; a member that times out on every
+	// file shows full Items with a zero agree rate).
+	Items int
+	// Agreed counts votes equal to the panel verdict.
+	Agreed int
+	// PassedVsPanel counts items the member called valid while the
+	// panel concluded invalid; FailedVsPanel the converse. Their
+	// difference over all disagreements is the member's bias relative
+	// to the panel, the panel-side analogue of Summary.Bias.
+	PassedVsPanel int
+	FailedVsPanel int
+}
+
+// AgreeRate is Agreed/Items (0 when the member never voted).
+func (m MemberStat) AgreeRate() float64 {
+	if m.Items == 0 {
+		return 0
+	}
+	return float64(m.Agreed) / float64(m.Items)
+}
+
+// Disagreements counts votes that differed from the panel verdict.
+func (m MemberStat) Disagreements() int { return m.Items - m.Agreed }
+
+// Bias is the member's signed tendency, among its disagreements with
+// the panel, toward passing what the panel failed (+1) versus failing
+// what the panel passed (-1); 0 when the member never disagreed.
+func (m MemberStat) Bias() float64 {
+	if d := m.Disagreements(); d > 0 {
+		return float64(m.PassedVsPanel-m.FailedVsPanel) / float64(d)
+	}
+	return 0
+}
+
+// Agreement is the full inter-judge agreement scoring of one panel
+// run: everything the panel report prints beyond the verdict tables.
+type Agreement struct {
+	Members []string
+	Items   int
+	// Kappa is Fleiss' kappa over the member verdicts (categories
+	// valid / invalid / other): chance-corrected agreement in [-1, 1],
+	// 1 when every member always agrees. Defined as 1 for the
+	// degenerate cases where agreement is trivially perfect (a single
+	// member, zero items, or all votes in one category).
+	Kappa float64
+	// Pairwise[i][j] is the fraction of items where members i and j
+	// cast the same verdict (1 on the diagonal).
+	Pairwise [][]float64
+	// MemberStats aligns with Members.
+	MemberStats []MemberStat
+}
+
+// MeanPairwise is the average off-diagonal pairwise agreement — the
+// raw (not chance-corrected) companion to Kappa. 1 for single-member
+// panels, which cannot disagree with themselves.
+func (a Agreement) MeanPairwise() float64 {
+	n := len(a.Members)
+	if n < 2 {
+		return 1
+	}
+	sum, pairs := 0.0, 0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			sum += a.Pairwise[i][j]
+			pairs++
+		}
+	}
+	return sum / float64(pairs)
+}
+
+// KappaBand renders the Landis–Koch qualitative band for a kappa
+// value, the conventional reading aid for agreement coefficients.
+func KappaBand(k float64) string {
+	switch {
+	case k < 0:
+		return "poor"
+	case k < 0.2:
+		return "slight"
+	case k < 0.4:
+		return "fair"
+	case k < 0.6:
+		return "moderate"
+	case k < 0.8:
+		return "substantial"
+	default:
+		return "almost perfect"
+	}
+}
+
+// ComputeAgreement scores one panel run. votes[item][member] aligns
+// with members on the second axis and with panelVerdicts on the
+// first; dropped members are represented as judge.Unparsable (the
+// caller maps its error marker). Items whose vote count mismatches
+// the member list are skipped defensively.
+func ComputeAgreement(members []string, votes [][]judge.Verdict, panelVerdicts []judge.Verdict) Agreement {
+	n := len(members)
+	a := Agreement{
+		Members:     members,
+		Pairwise:    make([][]float64, n),
+		MemberStats: make([]MemberStat, n),
+	}
+	for i := range a.MemberStats {
+		a.MemberStats[i].Member = members[i]
+	}
+	pairAgree := make([][]int, n)
+	for i := range pairAgree {
+		pairAgree[i] = make([]int, n)
+		a.Pairwise[i] = make([]float64, n)
+	}
+
+	// Fleiss accumulators: sumPi collects per-item agreement
+	// proportions, catTotals the marginal category counts.
+	var sumPi float64
+	var catTotals [voteCategories]float64
+	for item, vs := range votes {
+		if len(vs) != n || item >= len(panelVerdicts) {
+			continue
+		}
+		a.Items++
+		var counts [voteCategories]int
+		for i, v := range vs {
+			c := category(v)
+			counts[c]++
+			catTotals[c]++
+			st := &a.MemberStats[i]
+			st.Items++
+			switch {
+			case v == panelVerdicts[item]:
+				st.Agreed++
+			case v == judge.Valid && panelVerdicts[item] == judge.Invalid:
+				st.PassedVsPanel++
+			case v == judge.Invalid && panelVerdicts[item] == judge.Valid:
+				st.FailedVsPanel++
+			}
+			for j := 0; j < i; j++ {
+				if category(vs[j]) == c {
+					pairAgree[i][j]++
+					pairAgree[j][i]++
+				}
+			}
+		}
+		if n > 1 {
+			same := 0
+			for _, c := range counts {
+				same += c * (c - 1)
+			}
+			sumPi += float64(same) / float64(n*(n-1))
+		}
+	}
+
+	for i := 0; i < n; i++ {
+		a.Pairwise[i][i] = 1
+		for j := 0; j < n; j++ {
+			if i != j && a.Items > 0 {
+				a.Pairwise[i][j] = float64(pairAgree[i][j]) / float64(a.Items)
+			}
+		}
+	}
+
+	a.Kappa = fleissKappa(n, a.Items, sumPi, catTotals)
+	return a
+}
+
+// fleissKappa finishes the kappa computation from the accumulators.
+// Degenerate inputs — fewer than two raters, zero items, or every
+// vote in one category (expected agreement 1) — are defined as 1:
+// observed agreement is trivially perfect and the chance correction
+// has no information to subtract.
+func fleissKappa(raters, items int, sumPi float64, catTotals [voteCategories]float64) float64 {
+	if raters < 2 || items == 0 {
+		return 1
+	}
+	pBar := sumPi / float64(items)
+	total := float64(raters * items)
+	var pe float64
+	for _, c := range catTotals {
+		p := c / total
+		pe += p * p
+	}
+	if pe >= 1 {
+		return 1
+	}
+	return (pBar - pe) / (1 - pe)
+}

@@ -1,0 +1,150 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/judge"
+)
+
+const (
+	va = judge.Valid
+	in = judge.Invalid
+	un = judge.Unparsable
+)
+
+func agree(t *testing.T, members []string, votes [][]judge.Verdict, panel []judge.Verdict) Agreement {
+	t.Helper()
+	return ComputeAgreement(members, votes, panel)
+}
+
+// TestKappaAllAgree: perfect agreement is kappa 1, including the
+// degenerate single-category case where the chance-expected agreement
+// is also 1 (the 0/0 the convention defines as perfect).
+func TestKappaAllAgree(t *testing.T) {
+	members := []string{"a", "b", "c"}
+	uniform := [][]judge.Verdict{{va, va, va}, {va, va, va}, {va, va, va}}
+	a := agree(t, members, uniform, []judge.Verdict{va, va, va})
+	if a.Kappa != 1 {
+		t.Errorf("all-agree single-category kappa = %v, want 1", a.Kappa)
+	}
+	// Perfect agreement across mixed categories: Pe < 1, kappa still 1.
+	mixed := [][]judge.Verdict{{va, va, va}, {in, in, in}}
+	a = agree(t, members, mixed, []judge.Verdict{va, in})
+	if math.Abs(a.Kappa-1) > 1e-12 {
+		t.Errorf("all-agree mixed-category kappa = %v, want 1", a.Kappa)
+	}
+	for i := range members {
+		for j := range members {
+			if a.Pairwise[i][j] != 1 {
+				t.Errorf("pairwise[%d][%d] = %v, want 1", i, j, a.Pairwise[i][j])
+			}
+		}
+	}
+	if a.MeanPairwise() != 1 {
+		t.Errorf("mean pairwise = %v, want 1", a.MeanPairwise())
+	}
+}
+
+// TestKappaTwoMemberPanel pins the n=2 case (where Fleiss' kappa
+// reduces to Scott's pi) against a hand-computed value.
+func TestKappaTwoMemberPanel(t *testing.T) {
+	members := []string{"a", "b"}
+	// 4 items: agree, agree, disagree, disagree.
+	votes := [][]judge.Verdict{{va, va}, {in, in}, {va, in}, {in, va}}
+	panel := []judge.Verdict{va, in, va, in}
+	a := agree(t, members, votes, panel)
+	// P_i = 1, 1, 0, 0 -> Pbar = 0.5. Marginals: valid 4/8, invalid
+	// 4/8 -> Pe = 0.5. kappa = (0.5-0.5)/(1-0.5) = 0.
+	if math.Abs(a.Kappa) > 1e-12 {
+		t.Errorf("two-member kappa = %v, want 0", a.Kappa)
+	}
+	if a.Pairwise[0][1] != 0.5 {
+		t.Errorf("pairwise agreement = %v, want 0.5", a.Pairwise[0][1])
+	}
+}
+
+// TestKappaDisagreement: systematic disagreement lands below zero.
+func TestKappaDisagreement(t *testing.T) {
+	members := []string{"a", "b"}
+	votes := [][]judge.Verdict{{va, in}, {in, va}, {va, in}, {in, va}}
+	panel := []judge.Verdict{va, va, va, va}
+	a := agree(t, members, votes, panel)
+	if a.Kappa >= 0 {
+		t.Errorf("pure-disagreement kappa = %v, want < 0", a.Kappa)
+	}
+}
+
+// TestKappaDegenerate: single member, zero items.
+func TestKappaDegenerate(t *testing.T) {
+	a := agree(t, []string{"solo"}, [][]judge.Verdict{{va}, {in}}, []judge.Verdict{va, in})
+	if a.Kappa != 1 || a.MeanPairwise() != 1 {
+		t.Errorf("single-member kappa = %v mean pairwise = %v, want 1, 1", a.Kappa, a.MeanPairwise())
+	}
+	a = agree(t, []string{"a", "b"}, nil, nil)
+	if a.Kappa != 1 || a.Items != 0 {
+		t.Errorf("empty-run kappa = %v items = %d, want 1, 0", a.Kappa, a.Items)
+	}
+}
+
+// TestUnparsableIsItsOwnCategory: an unparsable vote disagrees with
+// both verdicts but two unparsable votes agree with each other.
+func TestUnparsableIsItsOwnCategory(t *testing.T) {
+	a := agree(t, []string{"a", "b"},
+		[][]judge.Verdict{{un, un}, {un, va}},
+		[]judge.Verdict{in, va})
+	if a.Pairwise[0][1] != 0.5 {
+		t.Errorf("pairwise with unparsable votes = %v, want 0.5", a.Pairwise[0][1])
+	}
+}
+
+func TestMemberStatsBiasDecomposition(t *testing.T) {
+	members := []string{"lenient", "harsh", "aligned"}
+	//          lenient  harsh  aligned   panel
+	// item 0:  valid    invalid valid  -> valid
+	// item 1:  valid    invalid invalid-> invalid
+	// item 2:  valid    invalid valid  -> valid
+	votes := [][]judge.Verdict{
+		{va, in, va},
+		{va, in, in},
+		{va, in, va},
+	}
+	panel := []judge.Verdict{va, in, va}
+	a := agree(t, members, votes, panel)
+
+	lenient := a.MemberStats[0]
+	if lenient.PassedVsPanel != 1 || lenient.FailedVsPanel != 0 {
+		t.Errorf("lenient decomposition = %+v", lenient)
+	}
+	if lenient.Bias() != 1 {
+		t.Errorf("lenient bias = %v, want +1", lenient.Bias())
+	}
+	harsh := a.MemberStats[1]
+	if harsh.PassedVsPanel != 0 || harsh.FailedVsPanel != 2 {
+		t.Errorf("harsh decomposition = %+v", harsh)
+	}
+	if harsh.Bias() != -1 {
+		t.Errorf("harsh bias = %v, want -1", harsh.Bias())
+	}
+	aligned := a.MemberStats[2]
+	if aligned.AgreeRate() != 1 || aligned.Bias() != 0 || aligned.Disagreements() != 0 {
+		t.Errorf("aligned stats = %+v", aligned)
+	}
+	// Skipped malformed items do not count.
+	a = agree(t, members, [][]judge.Verdict{{va}}, panel)
+	if a.Items != 0 {
+		t.Errorf("malformed item counted: Items = %d", a.Items)
+	}
+}
+
+func TestKappaBands(t *testing.T) {
+	cases := map[float64]string{
+		-0.1: "poor", 0.1: "slight", 0.3: "fair",
+		0.5: "moderate", 0.7: "substantial", 0.9: "almost perfect",
+	}
+	for k, want := range cases {
+		if got := KappaBand(k); got != want {
+			t.Errorf("KappaBand(%v) = %q, want %q", k, got, want)
+		}
+	}
+}

@@ -131,6 +131,31 @@ func (b *Backend) CompleteBatch(ctx context.Context, prompts []string) ([]string
 	return out.Responses, nil
 }
 
+// Info fetches the daemon's /v1/backends description: what backend it
+// serves under which seed, whether it batches, and — when it fronts a
+// voting ensemble — the panel members and strategy. Front-ends use it
+// to fail fast when an experiment needs a panel but the daemon serves
+// a single judge.
+func (b *Backend) Info(ctx context.Context) (server.BackendsResponse, error) {
+	var out server.BackendsResponse
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.base+"/v1/backends", nil)
+	if err != nil {
+		return out, err
+	}
+	resp, err := b.hc.Do(req)
+	if err != nil {
+		return out, fmt.Errorf("remote: daemon at %s unreachable: %w", b.base, err)
+	}
+	defer drain(resp)
+	if resp.StatusCode != http.StatusOK {
+		return out, fmt.Errorf("remote: daemon at %s: %s", b.base, resp.Status)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return out, fmt.Errorf("remote: daemon at %s: decoding /v1/backends: %w", b.base, err)
+	}
+	return out, nil
+}
+
 // Ping checks daemon liveness via /healthz — how front-ends fail fast
 // on a bad -serve-addr before starting a sweep.
 func (b *Backend) Ping(ctx context.Context) error {

@@ -1,0 +1,59 @@
+package report
+
+// Rendering for the inter-judge agreement metrics of panel
+// (ensemble) runs: Fleiss' kappa with its qualitative band, the
+// pairwise agreement matrix, and the per-member decomposition against
+// the panel verdict. Members are labelled [0], [1], ... in the matrix
+// header with a legend row per member, since backend names
+// ("remote:host:port#2") are too wide for matrix columns.
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/metrics"
+)
+
+// Agreement renders the full inter-judge agreement block for one
+// panel run.
+func Agreement(title string, a metrics.Agreement) string {
+	var b strings.Builder
+	b.WriteString(title)
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "Fleiss' kappa: %.3f (%s) over %d files, %d judges; mean pairwise agreement %.1f%%\n",
+		a.Kappa, metrics.KappaBand(a.Kappa), a.Items, len(a.Members), 100*a.MeanPairwise())
+
+	matrix := Table{
+		Title:   "Pairwise agreement matrix:",
+		Headers: []string{"Member"},
+	}
+	for i := range a.Members {
+		matrix.Headers = append(matrix.Headers, fmt.Sprintf("[%d]", i))
+	}
+	for i, name := range a.Members {
+		row := []string{fmt.Sprintf("[%d] %s", i, name)}
+		for j := range a.Members {
+			row = append(row, fmt.Sprintf("%.0f%%", 100*a.Pairwise[i][j]))
+		}
+		matrix.AddRow(row...)
+	}
+	b.WriteString(matrix.Render())
+
+	decomp := Table{
+		Title: "Per-member decomposition vs the panel verdict:",
+		Headers: []string{"Member", "Votes", "Agree",
+			"Passed-vs-panel", "Failed-vs-panel", "Bias"},
+	}
+	for _, st := range a.MemberStats {
+		decomp.AddRow(
+			st.Member,
+			fmt.Sprintf("%d", st.Items),
+			fmt.Sprintf("%.1f%%", 100*st.AgreeRate()),
+			fmt.Sprintf("%d", st.PassedVsPanel),
+			fmt.Sprintf("%d", st.FailedVsPanel),
+			fmt.Sprintf("%+.3f", st.Bias()),
+		)
+	}
+	b.WriteString(decomp.Render())
+	return b.String()
+}

@@ -426,12 +426,19 @@ func (s *Server) handleCompleteBatch(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleBackends(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, BackendsResponse{
+	resp := BackendsResponse{
 		Serving:    s.cfg.Backend,
 		Seed:       s.cfg.Seed,
 		Batch:      s.batch != nil,
 		Registered: s.cfg.Registered,
-	})
+	}
+	// A served voting panel describes itself; matched structurally so
+	// the daemon core stays endpoint-agnostic (like judge's generator
+	// interface).
+	if p, ok := s.cfg.LLM.(interface{ Describe() ([]string, string) }); ok {
+		resp.PanelMembers, resp.PanelStrategy = p.Describe()
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

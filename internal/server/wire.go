@@ -57,6 +57,14 @@ type BackendsResponse struct {
 	Seed       uint64   `json:"seed"`
 	Batch      bool     `json:"batch"`
 	Registered []string `json:"registered,omitempty"`
+
+	// PanelMembers and PanelStrategy describe the served voting panel
+	// when the daemon fronts an ensemble backend directly (empty for
+	// single-judge backends, and for panels hidden behind wrappers
+	// like the -cache memo — the Serving name still begins with
+	// "ensemble:" there).
+	PanelMembers  []string `json:"panel_members,omitempty"`
+	PanelStrategy string   `json:"panel_strategy,omitempty"`
 }
 
 // HealthResponse is the body of GET /healthz.

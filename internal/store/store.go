@@ -63,6 +63,13 @@ type Record struct {
 	// by prompt hash) so identical requests from many workers resolve
 	// to one completion.
 	Response string `json:"response,omitempty"`
+
+	// Votes holds the per-member panel votes for records written by
+	// ensemble (panel) phases, in the canonical encoding of
+	// internal/ensemble.EncodeVotes ("strategy member=verdict ...",
+	// panel order). It is what lets a resumed panel run reproduce its
+	// agreement metrics byte-identically without re-judging a file.
+	Votes string `json:"votes,omitempty"`
 }
 
 // Key returns the record's identity.
@@ -278,6 +285,23 @@ func (s *Store) Compact() (removed int, err error) {
 	s.lines = len(s.index)
 	s.dropped = 0
 	return removed, nil
+}
+
+// Records returns every live record under one (experiment, backend,
+// seed) configuration, sorted by file hash so callers iterate
+// deterministically — how the weighted voting strategy reads a
+// panel's calibration history back out of the store.
+func (s *Store) Records(experiment, backend string, seed uint64) []Record {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []Record
+	for k, rec := range s.index {
+		if k.Experiment == experiment && k.Backend == backend && k.Seed == seed {
+			out = append(out, rec)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].FileHash < out[j].FileHash })
+	return out
 }
 
 // Len reports how many distinct keys are stored.

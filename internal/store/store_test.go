@@ -160,3 +160,57 @@ func TestHashSourceDistinguishesContent(t *testing.T) {
 		t.Fatalf("hash length %d, want 64 hex chars", len(a))
 	}
 }
+
+// TestVotesRoundTripAndRecords: panel records carry their per-member
+// votes through persistence, and Records returns one configuration's
+// live records in deterministic (file-hash) order.
+func TestVotesRoundTripAndRecords(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(hash, verdict, votes string) Record {
+		rec := testRecord("panel/direct", hash, verdict)
+		rec.Votes = votes
+		return rec
+	}
+	want := []Record{
+		mk("aaa", "valid", "majority m0=valid m1=valid m2=invalid"),
+		mk("bbb", "invalid", "majority m0=invalid m1=error m2=invalid"),
+	}
+	// Interleave a record from another configuration; Records must
+	// filter it out.
+	other := testRecord("panel/direct", "ccc", "valid")
+	other.Backend = "other-backend"
+	for _, rec := range []Record{want[1], other, want[0]} {
+		if err := s.Put(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	got := s2.Records("panel/direct", "deepseek-sim", 33)
+	if len(got) != 2 {
+		t.Fatalf("Records returned %d records, want 2", len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("record %d = %+v, want %+v (sorted by hash)", i, got[i], want[i])
+		}
+	}
+	if _, err := s2.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	rec, ok := s2.Get(want[0].Key())
+	if !ok || rec.Votes != want[0].Votes {
+		t.Errorf("votes lost through Compact: %+v", rec)
+	}
+}

@@ -89,6 +89,18 @@ func WithEvalCache(on bool) Option {
 	return func(r *Runner) { r.evalCache = on }
 }
 
+// WithPanel sets the ensemble member spec — "a+b+c" with an optional
+// ":strategy" suffix (majority, unanimous, weighted) — the panel
+// experiment composes when the Runner's backend is not already an
+// ensemble or a remote daemon. The default (empty) seats three copies
+// of the Runner's backend, each under its own derived member seed, so
+// even a single registered backend yields a genuine three-judge
+// panel. The spec is validated when the panel experiment runs;
+// backends named in it resolve through the registry like any other.
+func WithPanel(spec string) Option {
+	return func(r *Runner) { r.panelSpec = spec }
+}
+
 // WithProgress installs a streaming progress callback. Experiments
 // invoke it once per completed file, from worker goroutines, as stages
 // finish — it must be safe for concurrent use and should return

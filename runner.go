@@ -37,6 +37,7 @@ type Runner struct {
 	storePath string
 	store     *store.Store
 	resume    bool
+	panelSpec string
 }
 
 // NewRunner builds a Runner from options, validating the backend name

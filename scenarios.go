@@ -32,6 +32,9 @@ func init() {
 	RegisterExperimentFunc("compare",
 		"cross-backend sweep: judge the same suites with every registered backend and render a metrics matrix",
 		runCompareScenario)
+	RegisterExperimentFunc("panel",
+		"ensemble judging: a voting panel of backends with inter-judge agreement metrics (Fleiss' kappa)",
+		runPanelScenario)
 }
 
 // Part1ScenarioResult carries the Part-One summaries per dialect.
