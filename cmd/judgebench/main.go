@@ -12,6 +12,7 @@
 //	judgebench -serve-addr HOST:PORT [...]
 //	judgebench -store PATH -compact
 //	judgebench -list
+//	judgebench ... [-cpuprofile cpu.out] [-memprofile mem.out]
 //
 // -show N prints N sample prompt/response transcripts. -experiment
 // dispatches any registered experiment through the same generic path
@@ -51,6 +52,11 @@
 // offline: the rewrite renames over the file, so another process
 // holding the same store (a running llm4vvd) would keep appending to
 // the orphaned inode and lose those records.
+//
+// -cpuprofile/-memprofile write pprof profiles of the run (the heap
+// profile is taken at exit, after a GC) so hot paths can be profiled
+// in the field against real workloads; profiles are also written when
+// the run ends in an error or a -timeout expiry.
 package main
 
 import (
@@ -66,6 +72,7 @@ import (
 	"repro/internal/agent"
 	"repro/internal/judge"
 	"repro/internal/metrics"
+	"repro/internal/perf"
 	"repro/internal/pipeline"
 	"repro/internal/remote"
 	"repro/internal/report"
@@ -92,7 +99,14 @@ func main() {
 	compact := flag.Bool("compact", false, "compact the run store (drop superseded duplicates), then exit (requires -store)")
 	shard := flag.Int("shard", 0, "scheduler shard / judge batch size (0 = automatic)")
 	list := flag.Bool("list", false, "list registered experiments and backends, then exit")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
+
+	stopProf, err := perf.StartProfiles(*cpuprofile, *memprofile)
+	fail(err)
+	stopProfiles = stopProf
+	defer func() { _ = stopProfiles() }()
 
 	if *list {
 		fmt.Println("registered experiments:")
@@ -327,8 +341,14 @@ func showTranscripts(ctx context.Context, d spec.Dialect, suiteSpec llm4vv.Suite
 		stats.Compiles, stats.Executions, stats.JudgeCalls)
 }
 
+// stopProfiles finalises -cpuprofile/-memprofile; fail routes through
+// it so profiles survive error exits (os.Exit skips defers), which is
+// exactly when a -timeout-bounded profiling run ends.
+var stopProfiles = func() error { return nil }
+
 func fail(err error) {
 	if err != nil {
+		_ = stopProfiles()
 		fmt.Fprintln(os.Stderr, "judgebench:", err)
 		os.Exit(1)
 	}

@@ -9,7 +9,7 @@
 //
 //	llm4vvd [-addr HOST:PORT] [-backend NAME] [-seed N] \
 //	        [-batch-max N] [-batch-delay D] [-queue N] \
-//	        [-store PATH] [-cache]
+//	        [-store PATH] [-cache] [-cpuprofile F] [-memprofile F]
 //
 // Concurrent single-prompt requests are coalesced by a dynamic
 // micro-batcher (-batch-max, -batch-delay) into one CompleteBatch
@@ -27,6 +27,11 @@
 // workers running `judgebench -panel -serve-addr` score agreement
 // metrics off the daemon exactly as they would in-process.
 // /v1/backends reports the panel members and strategy.
+//
+// -cpuprofile/-memprofile write pprof profiles covering the daemon's
+// lifetime (CPU from start to shutdown; heap at exit after a GC), the
+// field instrument for serving hot paths: start the daemon profiled,
+// drive the real workload, SIGINT, inspect.
 package main
 
 import (
@@ -42,6 +47,7 @@ import (
 
 	llm4vv "repro"
 	"repro/internal/judge"
+	"repro/internal/perf"
 	"repro/internal/server"
 	"repro/internal/store"
 )
@@ -55,7 +61,14 @@ func main() {
 	queue := flag.Int("queue", server.DefaultQueueLimit, "admission control: max prompts queued or in flight")
 	storePath := flag.String("store", "", "dedup identical requests through this JSONL run store")
 	cache := flag.Bool("cache", false, "memoise completions in memory with singleflight dedup")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file at shutdown")
 	flag.Parse()
+
+	stopProf, err := perf.StartProfiles(*cpuprofile, *memprofile)
+	fail(err)
+	stopProfiles = stopProf
+	defer func() { _ = stopProfiles() }()
 
 	llm, err := llm4vv.NewBackend(*backend, *seed)
 	fail(err)
@@ -109,8 +122,13 @@ func main() {
 		s.Requests, s.BatchRequests, s.EndpointCalls, s.EndpointPrompts, s.Coalesced, s.StoreHits, s.Rejected)
 }
 
+// stopProfiles finalises -cpuprofile/-memprofile; fail routes through
+// it so a daemon dying on an error still writes its profiles.
+var stopProfiles = func() error { return nil }
+
 func fail(err error) {
 	if err != nil {
+		_ = stopProfiles()
 		fmt.Fprintln(os.Stderr, "llm4vvd:", err)
 		os.Exit(1)
 	}

@@ -66,6 +66,22 @@
 // re-judge nothing, and reproduces byte-identical reports through a
 // daemon serving the ensemble — see DESIGN.md §9 and examples/panel.
 //
+// The hot paths are measured and gated: prompt assembly is
+// zero-allocation (precomputed per-dialect segments into pooled
+// buffers — one allocation per prompt, the returned string), the
+// eval cache and the daemon dedup key by 32-byte prompt content
+// hashes (judge.PromptKey), the run store is write-behind (buffered
+// appends, Flush checkpoints at batch and phase boundaries), the
+// daemon's micro-batcher adapts its gather delay to load, and the
+// Runner coalesces judge batches across shard boundaries so
+// resume-thinned sweeps still reach endpoints in full batches. The
+// BenchmarkThroughput* suite reports files/sec, allocs/op, and
+// p50/p99 stage latencies per path, and cmd/benchci gates the
+// throughput and allocation metrics in CI on ratio bands while
+// accuracy stays exact-gated; -cpuprofile/-memprofile on both
+// commands profile the same paths in the field. Every optimisation
+// is pinned byte-identical by parity tests — see DESIGN.md §10.
+//
 // The pre-redesign free functions (RunDirectProbing, RunPartTwo,
 // RunGenerationLoop, ...) remain as deprecated wrappers over a
 // default-configured Runner.

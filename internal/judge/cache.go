@@ -6,7 +6,8 @@ import (
 )
 
 // Cached wraps an LLM with a concurrency-safe memoisation layer keyed
-// on the full prompt text. It is sound for deterministic endpoints
+// on the prompt's content hash (PromptKey — 32 bytes per entry instead
+// of retaining every prompt string). It is sound for deterministic endpoints
 // (the simulated model's response is a pure function of seed and
 // prompt) and saves the repeated completions a record-all experiment
 // issues when several configurations judge the same file.
@@ -29,7 +30,7 @@ import (
 // prompts already being unique; failed completions are never cached
 // either.
 func Cached(llm LLM) LLM {
-	c := &cachedLLM{inner: llm, memo: map[string]string{}, inflight: map[string]*flight{}}
+	c := &cachedLLM{inner: llm, memo: map[PromptKey]string{}, inflight: map[PromptKey]*flight{}}
 	if g, ok := llm.(generator); ok {
 		return &cachedAuthor{cachedLLM: c, gen: g}
 	}
@@ -53,36 +54,36 @@ type flight struct {
 type cachedLLM struct {
 	inner    LLM
 	mu       sync.Mutex
-	memo     map[string]string
-	inflight map[string]*flight
+	memo     map[PromptKey]string
+	inflight map[PromptKey]*flight
 }
 
-// lead resolves a prompt through the memo and the in-flight table:
-// either the memoised response (resp, true, nil), an existing flight
-// to wait on (_, false, flight), or leadership of a new flight the
-// caller must complete via land (_, false, nil → the registered
+// lead resolves a prompt key through the memo and the in-flight
+// table: either the memoised response (resp, true, nil), an existing
+// flight to wait on (_, false, flight), or leadership of a new flight
+// the caller must complete via land (_, false, nil → the registered
 // flight is returned as leader).
-func (c *cachedLLM) lead(prompt string) (resp string, hit bool, waitOn, leader *flight) {
+func (c *cachedLLM) lead(key PromptKey) (resp string, hit bool, waitOn, leader *flight) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if resp, ok := c.memo[prompt]; ok {
+	if resp, ok := c.memo[key]; ok {
 		return resp, true, nil, nil
 	}
-	if f, ok := c.inflight[prompt]; ok {
+	if f, ok := c.inflight[key]; ok {
 		return "", false, f, nil
 	}
 	f := &flight{done: make(chan struct{})}
-	c.inflight[prompt] = f
+	c.inflight[key] = f
 	return "", false, nil, f
 }
 
 // land publishes a leader's outcome: the flight leaves the in-flight
 // table, successful responses are memoised, and waiters are released.
-func (c *cachedLLM) land(prompt string, f *flight, resp string, err error) {
+func (c *cachedLLM) land(key PromptKey, f *flight, resp string, err error) {
 	c.mu.Lock()
-	delete(c.inflight, prompt)
+	delete(c.inflight, key)
 	if err == nil {
-		c.memo[prompt] = resp
+		c.memo[key] = resp
 	}
 	c.mu.Unlock()
 	f.resp, f.err = resp, err
@@ -92,14 +93,15 @@ func (c *cachedLLM) land(prompt string, f *flight, resp string, err error) {
 // complete is the single-prompt singleflight path. call performs the
 // actual endpoint request when this caller wins leadership.
 func (c *cachedLLM) complete(ctx context.Context, prompt string, call func() (string, error)) (string, error) {
+	key := KeyOf(prompt)
 	for {
-		resp, hit, waitOn, leader := c.lead(prompt)
+		resp, hit, waitOn, leader := c.lead(key)
 		if hit {
 			return resp, nil
 		}
 		if leader != nil {
 			resp, err := call()
-			c.land(prompt, leader, resp, err)
+			c.land(key, leader, resp, err)
 			return resp, err
 		}
 		select {
@@ -153,8 +155,13 @@ func (c *cachedLLM) CompleteBatch(ctx context.Context, prompts []string) ([]stri
 		return nil, err
 	}
 	out := make([]string, len(prompts))
+	keys := make([]PromptKey, len(prompts))
+	for i, p := range prompts {
+		keys[i] = KeyOf(p)
+	}
 	var leadPrompts []string
-	leadFlights := map[string]*flight{}
+	var leadKeys []PromptKey
+	leadFlights := map[PromptKey]*flight{}
 	type waiter struct {
 		idx int
 		f   *flight
@@ -162,29 +169,30 @@ func (c *cachedLLM) CompleteBatch(ctx context.Context, prompts []string) ([]stri
 	var waiters []waiter
 	c.mu.Lock()
 	for i, p := range prompts {
-		if resp, ok := c.memo[p]; ok {
+		if resp, ok := c.memo[keys[i]]; ok {
 			out[i] = resp
 			continue
 		}
-		if f, ok := c.inflight[p]; ok {
+		if f, ok := c.inflight[keys[i]]; ok {
 			waiters = append(waiters, waiter{i, f})
 			continue
 		}
 		f := &flight{done: make(chan struct{})}
-		c.inflight[p] = f
-		leadFlights[p] = f
+		c.inflight[keys[i]] = f
+		leadFlights[keys[i]] = f
 		leadPrompts = append(leadPrompts, p)
+		leadKeys = append(leadKeys, keys[i])
 		waiters = append(waiters, waiter{i, f})
 	}
 	c.mu.Unlock()
 
 	if len(leadPrompts) > 0 {
 		resps, err := c.innerBatch(ctx, leadPrompts)
-		for k, p := range leadPrompts {
+		for k, key := range leadKeys {
 			if err != nil {
-				c.land(p, leadFlights[p], "", err)
+				c.land(key, leadFlights[key], "", err)
 			} else {
-				c.land(p, leadFlights[p], resps[k], nil)
+				c.land(key, leadFlights[key], resps[k], nil)
 			}
 		}
 		if err != nil {

@@ -185,3 +185,111 @@ func (b *batchCountLLM) CompleteBatch(ctx context.Context, prompts []string) ([]
 	}
 	return out, nil
 }
+
+// deterministicBatchLLM answers f(prompt) on both the single and the
+// batch path, counting prompts that reach the endpoint.
+type deterministicBatchLLM struct {
+	sent atomic.Int64
+}
+
+func (d *deterministicBatchLLM) respond(p string) string {
+	return "det:" + p + ":FINAL JUDGEMENT: valid"
+}
+
+func (d *deterministicBatchLLM) Complete(prompt string) string {
+	d.sent.Add(1)
+	return d.respond(prompt)
+}
+
+func (d *deterministicBatchLLM) CompleteBatch(ctx context.Context, prompts []string) ([]string, error) {
+	d.sent.Add(int64(len(prompts)))
+	out := make([]string, len(prompts))
+	for i, p := range prompts {
+		out[i] = d.respond(p)
+	}
+	return out, nil
+}
+
+// TestCachedHashKeyStress drives the hash-keyed cache with mixed
+// concurrent single and batch callers over an overlapping prompt set
+// — the singleflight + shard-dedup machinery under contention (run
+// in CI with -race). Every caller must see the serial answer, and
+// the endpoint must see each distinct prompt exactly once.
+func TestCachedHashKeyStress(t *testing.T) {
+	inner := &deterministicBatchLLM{}
+	llm := Cached(inner)
+	cl := llm.(ContextLLM)
+	bl := llm.(BatchLLM)
+
+	const distinct = 24
+	prompt := func(i int) string { return fmt.Sprintf("stress-prompt-%02d", i%distinct) }
+	want := func(i int) string { return inner.respond(prompt(i)) }
+
+	const workers = 12
+	const perWorker = 50
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				switch (w + i) % 3 {
+				case 0: // single blocking caller
+					if got := llm.Complete(prompt(w + i)); got != want(w+i) {
+						errs <- fmt.Errorf("Complete(%d) = %q, want %q", w+i, got, want(w+i))
+						return
+					}
+				case 1: // single context caller
+					got, err := cl.CompleteContext(context.Background(), prompt(w+i))
+					if err != nil {
+						errs <- err
+						return
+					}
+					if got != want(w+i) {
+						errs <- fmt.Errorf("CompleteContext(%d) = %q", w+i, got)
+						return
+					}
+				case 2: // batch caller with intra-shard duplicates
+					shard := []string{prompt(w + i), prompt(w + i + 7), prompt(w + i)}
+					got, err := bl.CompleteBatch(context.Background(), shard)
+					if err != nil {
+						errs <- err
+						return
+					}
+					for k, p := range shard {
+						if got[k] != inner.respond(p) {
+							errs <- fmt.Errorf("batch slot %d = %q, want %q", k, got[k], inner.respond(p))
+							return
+						}
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if sent := inner.sent.Load(); sent != distinct {
+		t.Errorf("endpoint saw %d prompts, want %d (each distinct prompt exactly once)", sent, distinct)
+	}
+
+	// Verdicts parsed through the cache equal a serial, uncached run.
+	j := &Judge{LLM: llm, Style: Direct}
+	evs, err := j.EvaluateBatch(context.Background(), []string{"code-a", "code-b"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial := &Judge{LLM: &deterministicBatchLLM{}, Style: Direct}
+	for i, code := range []string{"code-a", "code-b"} {
+		ref, err := serial.Evaluate(context.Background(), code, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if evs[i].Verdict != ref.Verdict || evs[i].Response != ref.Response {
+			t.Errorf("cached batch verdict %d diverged from serial: %v vs %v", i, evs[i].Verdict, ref.Verdict)
+		}
+	}
+}

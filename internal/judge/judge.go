@@ -6,8 +6,13 @@ package judge
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
+	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/spec"
 )
@@ -238,67 +243,178 @@ Logic: Verify that the logic of the test (e.g. performing the same computation i
 `, name)
 }
 
-// toolBlock renders the toolchain-information section of agent
-// prompts.
-func toolBlock(d spec.Dialect, info *ToolInfo) string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "When compiled with a compliant %s compiler, the below code causes the following outputs:\n", d)
-	fmt.Fprintf(&b, "Compiler return code: %d\n", info.CompileRC)
-	fmt.Fprintf(&b, "Compiler STDERR: %s\n", info.CompileStderr)
-	fmt.Fprintf(&b, "Compiler STDOUT: %s\n", info.CompileStdout)
-	switch {
-	case info.Ran:
-		b.WriteString("When the compiled code is run, it gives the following results:\n")
-		fmt.Fprintf(&b, "Return code: %d\n", info.RunRC)
-		fmt.Fprintf(&b, "STDERR: %s\n", info.RunStderr)
-		fmt.Fprintf(&b, "STDOUT: %s\n", info.RunStdout)
-	case info.CompileRC != 0:
-		b.WriteString("The code could not be executed because compilation failed.\n")
-	default:
-		b.WriteString("The compiled program was not executed.\n")
-	}
-	return b.String()
+// promptParts holds the static segments of every prompt template for
+// one dialect, rendered once. Prompt text only varies with the dialect
+// name, the tool outcomes, and the code under judgement; everything
+// else — the criteria, the judgement-phrase instructions, the section
+// framing — is computed here exactly as the templates spell it and
+// reused byte-for-byte by every BuildPrompt call
+// (TestBuildPromptParity pins the equivalence).
+type promptParts struct {
+	directHead   string // Direct: everything before the code
+	agentHead    string // AgentDirect: everything before the tool block
+	indirectHead string // AgentIndirect: everything before the tool block
+	indirectMid  string // AgentIndirect: between the tool block and the code
+	toolHead     string // tool block: the compiler-outputs framing line
 }
 
-// BuildPrompt renders the full prompt for a file.
-func (j *Judge) BuildPrompt(code string, info *ToolInfo) string {
-	d := j.Dialect
-	var b strings.Builder
-	switch j.Style {
-	case Direct:
-		fmt.Fprintf(&b, "Review the following %s code and evaluate it based on the following criteria:\n\n", d)
-		b.WriteString(criteria(d))
-		b.WriteString(`Based on these criteria, evaluate the code in a brief summary, then respond with precisely "FINAL JUDGEMENT: correct" (or incorrect).
+// Static (dialect-independent) prompt fragments.
+const (
+	directInstr = `Based on these criteria, evaluate the code in a brief summary, then respond with precisely "FINAL JUDGEMENT: correct" (or incorrect).
 You MUST include the exact phrase "FINAL JUDGEMENT: correct" in your evaluation if you believe the code is correct. Otherwise, you must include the phrase "FINAL JUDGEMENT: incorrect" in your evaluation.
-`)
-		b.WriteString("Here is the code:\n")
-		b.WriteString(code)
-	case AgentDirect:
-		b.WriteString(criteria(d))
-		b.WriteString(`Based on these criteria, evaluate the code and determine if it is a valid or invalid test. Think step by step.
+`
+	agentInstr = `Based on these criteria, evaluate the code and determine if it is a valid or invalid test. Think step by step.
 You MUST include the exact phrase, "FINAL JUDGEMENT: valid" in your response if you deem the test to be valid.
 If you deem the test to be invalid, include the exact phrase "FINAL JUDGEMENT: invalid" in your response instead.
 Here is some information about the code to help you.
-`)
-		if info != nil {
-			b.WriteString(toolBlock(d, info))
-		}
-		b.WriteString("Here is the code:\n")
-		b.WriteString(code)
-	case AgentIndirect:
-		fmt.Fprintf(&b, "Describe what the below %s program will do when run. Think step by step.\n", d)
-		b.WriteString("Here is some information about the code to help you; you do not have to compile or run the code yourself.\n")
-		if info != nil {
-			b.WriteString(toolBlock(d, info))
-		}
-		fmt.Fprintf(&b, `Using this information, describe in full detail how the below code works, what the below code will do when run, and suggest why the below code might have been written this way.
+`
+	indirectNoToolchain = "Here is some information about the code to help you; you do not have to compile or run the code yourself.\n"
+	hereIsTheCode       = "Here is the code:\n"
+	hereIsTheCodeIndir  = "Here is the code for you to analyze:\n"
+)
+
+var partsCache sync.Map // spec.Dialect -> *promptParts
+
+// partsFor renders (once per dialect, then cached) the static prompt
+// segments.
+func partsFor(d spec.Dialect) *promptParts {
+	if p, ok := partsCache.Load(d); ok {
+		return p.(*promptParts)
+	}
+	crit := criteria(d)
+	p := &promptParts{
+		directHead: fmt.Sprintf("Review the following %s code and evaluate it based on the following criteria:\n\n", d) +
+			crit + directInstr + hereIsTheCode,
+		agentHead: crit + agentInstr,
+		indirectHead: fmt.Sprintf("Describe what the below %s program will do when run. Think step by step.\n", d) +
+			indirectNoToolchain,
+		indirectMid: fmt.Sprintf(`Using this information, describe in full detail how the below code works, what the below code will do when run, and suggest why the below code might have been written this way.
 Then, based on that description, determine whether the described program would be a valid or invalid compiler test for %[1]s compilers.
 You MUST include the exact phrase "FINAL JUDGEMENT: valid" in your final response if you believe that your description of the below %[1]s code describes a valid compiler test; otherwise, your final response MUST include the exact phrase "FINAL JUDGEMENT: invalid".
-`, d)
-		b.WriteString("Here is the code for you to analyze:\n")
-		b.WriteString(code)
+`, d),
+		toolHead: fmt.Sprintf("When compiled with a compliant %s compiler, the below code causes the following outputs:\n", d),
 	}
-	return b.String()
+	actual, _ := partsCache.LoadOrStore(d, p)
+	return actual.(*promptParts)
+}
+
+// promptBufPool recycles assembly buffers between BuildPrompt calls;
+// promptSizeHint remembers the largest prompt assembled so far (capped
+// at maxPooledPromptBuf), so a pooled buffer is pre-grown to the
+// suite's working size and a steady-state BuildPrompt performs exactly
+// one allocation — the returned string. The cap bounds retention: one
+// pathological multi-megabyte prompt must not permanently inflate
+// every worker's pooled buffer, so outlier-sized buffers are dropped
+// instead of pooled and the hint never exceeds the cap.
+const maxPooledPromptBuf = 256 * 1024
+
+var (
+	promptBufPool  = sync.Pool{New: func() any { return new([]byte) }}
+	promptSizeHint atomic.Int64
+)
+
+func getPromptBuf() *[]byte {
+	buf := promptBufPool.Get().(*[]byte)
+	if hint := int(promptSizeHint.Load()); cap(*buf) < hint {
+		*buf = make([]byte, 0, hint)
+	}
+	return buf
+}
+
+func putPromptBuf(buf *[]byte, b []byte) {
+	if cap(b) > maxPooledPromptBuf {
+		return // outlier: let it be collected rather than retained
+	}
+	for {
+		old := promptSizeHint.Load()
+		if int64(len(b)) <= old || promptSizeHint.CompareAndSwap(old, int64(len(b))) {
+			break
+		}
+	}
+	*buf = b[:0]
+	promptBufPool.Put(buf)
+}
+
+// appendToolBlock appends the toolchain-information section of agent
+// prompts.
+func appendToolBlock(b []byte, p *promptParts, info *ToolInfo) []byte {
+	b = append(b, p.toolHead...)
+	b = append(b, "Compiler return code: "...)
+	b = strconv.AppendInt(b, int64(info.CompileRC), 10)
+	b = append(b, "\nCompiler STDERR: "...)
+	b = append(b, info.CompileStderr...)
+	b = append(b, "\nCompiler STDOUT: "...)
+	b = append(b, info.CompileStdout...)
+	b = append(b, '\n')
+	switch {
+	case info.Ran:
+		b = append(b, "When the compiled code is run, it gives the following results:\nReturn code: "...)
+		b = strconv.AppendInt(b, int64(info.RunRC), 10)
+		b = append(b, "\nSTDERR: "...)
+		b = append(b, info.RunStderr...)
+		b = append(b, "\nSTDOUT: "...)
+		b = append(b, info.RunStdout...)
+		b = append(b, '\n')
+	case info.CompileRC != 0:
+		b = append(b, "The code could not be executed because compilation failed.\n"...)
+	default:
+		b = append(b, "The compiled program was not executed.\n"...)
+	}
+	return b
+}
+
+// BuildPrompt renders the full prompt for a file. Assembly is
+// allocation-free apart from the returned string: the static template
+// segments are precomputed per dialect and the working buffer is
+// pooled, pre-sized to the largest prompt seen.
+func (j *Judge) BuildPrompt(code string, info *ToolInfo) string {
+	p := partsFor(j.Dialect)
+	buf := getPromptBuf()
+	b := *buf
+	switch j.Style {
+	case Direct:
+		b = append(b, p.directHead...)
+		b = append(b, code...)
+	case AgentDirect:
+		b = append(b, p.agentHead...)
+		if info != nil {
+			b = appendToolBlock(b, p, info)
+		}
+		b = append(b, hereIsTheCode...)
+		b = append(b, code...)
+	case AgentIndirect:
+		b = append(b, p.indirectHead...)
+		if info != nil {
+			b = appendToolBlock(b, p, info)
+		}
+		b = append(b, p.indirectMid...)
+		b = append(b, hereIsTheCodeIndir...)
+		b = append(b, code...)
+	}
+	s := string(b)
+	putPromptBuf(buf, b)
+	return s
+}
+
+// PromptKey is the 32-byte content hash judging caches key by: the
+// SHA-256 of the full prompt text. Keying the memo, the singleflight
+// table, and the service dedup maps by PromptKey instead of the prompt
+// string keeps map keys at a fixed 32 bytes — the multi-kilobyte
+// prompt text is not retained per entry — while remaining
+// collision-free for any realistic workload.
+type PromptKey [sha256.Size]byte
+
+// KeyOf hashes a prompt to its cache key.
+func KeyOf(prompt string) PromptKey {
+	return sha256.Sum256([]byte(prompt))
+}
+
+// Hex returns the key in lowercase hex — byte-identical to
+// store.HashSource of the same prompt, which is what lets the judging
+// daemon's store-mounted dedup records keep their pre-hash-key
+// FileHash encoding.
+func (k PromptKey) Hex() string {
+	return hex.EncodeToString(k[:])
 }
 
 // ParseVerdict extracts the FINAL JUDGEMENT phrase from a response.

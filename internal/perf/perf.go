@@ -1,0 +1,98 @@
+// Package perf is the throughput-measurement harness behind the
+// BenchmarkThroughput* suite (DESIGN.md §10): a concurrency-safe
+// recorder for per-stage latency samples with quantile extraction,
+// a rate helper for files/sec metrics, and the field-profiling hook
+// behind -cpuprofile/-memprofile. It deliberately has no
+// dependencies on the pipeline or judge packages — they expose plain
+// callback hooks (pipeline.Config.StageObserver) and the harness plugs
+// a Recorder in, so production runs without an observer pay a single
+// nil check per stage.
+package perf
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Recorder collects duration samples per named stage. The zero value
+// is not usable; construct with NewRecorder. All methods are safe for
+// concurrent use — stage workers observe from many goroutines.
+type Recorder struct {
+	mu      sync.Mutex
+	samples map[string][]time.Duration
+}
+
+// NewRecorder returns an empty Recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{samples: map[string][]time.Duration{}}
+}
+
+// Observe records one duration sample for a stage.
+func (r *Recorder) Observe(stage string, d time.Duration) {
+	r.mu.Lock()
+	r.samples[stage] = append(r.samples[stage], d)
+	r.mu.Unlock()
+}
+
+// Stages returns the recorded stage names, sorted.
+func (r *Recorder) Stages() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.samples))
+	for s := range r.samples {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Count reports how many samples a stage holds.
+func (r *Recorder) Count(stage string) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.samples[stage])
+}
+
+// Quantile returns the q-th quantile (0 <= q <= 1) of a stage's
+// samples by the nearest-rank method; 0 when the stage has no samples.
+// q outside [0, 1] is clamped.
+func (r *Recorder) Quantile(stage string, q float64) time.Duration {
+	r.mu.Lock()
+	samples := append([]time.Duration(nil), r.samples[stage]...)
+	r.mu.Unlock()
+	if len(samples) == 0 {
+		return 0
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int(q*float64(len(samples)) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(samples) {
+		rank = len(samples)
+	}
+	return samples[rank-1]
+}
+
+// P50 is Quantile(stage, 0.50).
+func (r *Recorder) P50(stage string) time.Duration { return r.Quantile(stage, 0.50) }
+
+// P99 is Quantile(stage, 0.99).
+func (r *Recorder) P99(stage string) time.Duration { return r.Quantile(stage, 0.99) }
+
+// Rate converts an item count and an elapsed duration (testing.B's
+// own timer) into an items-per-second metric; 0 for a degenerate
+// instant run rather than a division by zero.
+func Rate(items int, elapsed time.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(items) / elapsed.Seconds()
+}

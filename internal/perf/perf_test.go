@@ -1,0 +1,127 @@
+package perf
+
+import (
+	"os"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestQuantileNearestRank(t *testing.T) {
+	r := NewRecorder()
+	// 1..100ms, inserted out of order.
+	for i := 100; i >= 1; i-- {
+		r.Observe("judge", time.Duration(i)*time.Millisecond)
+	}
+	if got := r.P50("judge"); got != 50*time.Millisecond {
+		t.Errorf("p50 = %v, want 50ms", got)
+	}
+	if got := r.P99("judge"); got != 99*time.Millisecond {
+		t.Errorf("p99 = %v, want 99ms", got)
+	}
+	if got := r.Quantile("judge", 1); got != 100*time.Millisecond {
+		t.Errorf("q1.0 = %v, want 100ms", got)
+	}
+	if got := r.Quantile("judge", 0); got != 1*time.Millisecond {
+		t.Errorf("q0 = %v, want 1ms (nearest rank clamps to the first sample)", got)
+	}
+	// Out-of-range q is clamped, not a panic.
+	if got := r.Quantile("judge", 2); got != 100*time.Millisecond {
+		t.Errorf("q2.0 = %v, want clamp to max", got)
+	}
+	if got := r.Quantile("missing", 0.5); got != 0 {
+		t.Errorf("missing stage quantile = %v, want 0", got)
+	}
+	if got := r.Count("judge"); got != 100 {
+		t.Errorf("Count = %d, want 100", got)
+	}
+}
+
+func TestQuantileSingleSample(t *testing.T) {
+	r := NewRecorder()
+	r.Observe("exec", 7*time.Millisecond)
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := r.Quantile("exec", q); got != 7*time.Millisecond {
+			t.Errorf("Quantile(%v) = %v, want 7ms", q, got)
+		}
+	}
+}
+
+func TestRecorderConcurrent(t *testing.T) {
+	r := NewRecorder()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				r.Observe("compile", time.Millisecond)
+				r.Observe("exec", 2*time.Millisecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Count("compile"); got != 800 {
+		t.Errorf("Count(compile) = %d, want 800", got)
+	}
+	if got := r.Count("exec"); got != 800 {
+		t.Errorf("Count(exec) = %d, want 800", got)
+	}
+	stages := r.Stages()
+	if len(stages) != 2 || stages[0] != "compile" || stages[1] != "exec" {
+		t.Errorf("Stages = %v, want [compile exec]", stages)
+	}
+}
+
+func TestRate(t *testing.T) {
+	if got := Rate(100, 2*time.Second); got != 50 {
+		t.Errorf("Rate = %v, want 50", got)
+	}
+	if got := Rate(100, 0); got != 0 {
+		t.Errorf("Rate with zero elapsed = %v, want 0", got)
+	}
+}
+
+func TestStartProfilesWritesBoth(t *testing.T) {
+	dir := t.TempDir()
+	cpu := dir + "/cpu.out"
+	mem := dir + "/mem.out"
+	stop, err := StartProfiles(cpu, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Some work for the profiler to see.
+	sink := 0
+	for i := 0; i < 1_000_000; i++ {
+		sink += i % 7
+	}
+	_ = sink
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, mem} {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile %s missing: %v", p, err)
+		}
+		if fi.Size() == 0 {
+			t.Errorf("profile %s is empty", p)
+		}
+	}
+}
+
+func TestStartProfilesEmptyPathsNoop(t *testing.T) {
+	stop, err := StartProfiles("", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStartProfilesBadPath(t *testing.T) {
+	if _, err := StartProfiles(t.TempDir()+"/missing-dir/cpu.out", ""); err == nil {
+		t.Fatal("want error for uncreatable cpu profile path")
+	}
+}

@@ -1,0 +1,55 @@
+package perf
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartProfiles arms field profiling for a command: when cpuPath is
+// non-empty a CPU profile starts immediately, and when memPath is
+// non-empty the returned stop writes a heap profile (after a GC, so
+// it shows live memory rather than garbage) there. Either path may be
+// empty; stop is always safe to call exactly once. cmd/judgebench and
+// cmd/llm4vvd expose these as -cpuprofile/-memprofile so hot paths
+// can be profiled in the field against real workloads rather than
+// bench fixtures.
+func StartProfiles(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("perf: cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("perf: cpu profile: %w", err)
+		}
+		cpuFile = f
+	}
+	stop = func() error {
+		var firstErr error
+		keep := func(err error) {
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			keep(cpuFile.Close())
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				keep(fmt.Errorf("perf: mem profile: %w", err))
+			} else {
+				runtime.GC() // heap profile of live objects, not garbage
+				keep(pprof.WriteHeapProfile(f))
+				keep(f.Close())
+			}
+		}
+		return firstErr
+	}
+	return stop, nil
+}

@@ -18,6 +18,7 @@ import (
 	"context"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/agent"
 	"repro/internal/compiler"
@@ -62,6 +63,14 @@ type Config struct {
 	// completion order, not input order. It is called from stage
 	// worker goroutines and must be safe for concurrent use.
 	OnResult func(FileResult)
+	// StageObserver, when set, receives the wall-clock duration of
+	// every stage execution — "compile" and "exec" once per file,
+	// "judge" once per endpoint batch — which is how the throughput
+	// harness (internal/perf) extracts p50/p99 stage latencies. Called
+	// from stage worker goroutines; must be safe for concurrent use.
+	// When nil the stages pay a single predicate check and no clock
+	// reads.
+	StageObserver func(stage string, d time.Duration)
 }
 
 // FileResult is the pipeline's record for one file.
@@ -129,6 +138,19 @@ func Run(ctx context.Context, cfg Config, files []Input) ([]FileResult, Stats, e
 	}
 	aborted := func() bool { return failed.Load() || ctx.Err() != nil }
 
+	// timed wraps one stage execution with the optional observer; with
+	// no observer configured the stages skip the clock reads entirely.
+	observe := cfg.StageObserver
+	timed := func(stage string, work func()) {
+		if observe == nil {
+			work()
+			return
+		}
+		start := time.Now()
+		work()
+		observe(stage, time.Since(start))
+	}
+
 	type item struct {
 		idx     int
 		in      Input
@@ -163,7 +185,9 @@ func Run(ctx context.Context, cfg Config, files []Input) ([]FileResult, Stats, e
 					continue // drain without working
 				}
 				atomic.AddInt64(&stats.Compiles, 1)
-				it.compile = cfg.Tools.Personality.Compile(it.in.Name, it.in.Source, it.in.Lang)
+				timed("compile", func() {
+					it.compile = cfg.Tools.Personality.Compile(it.in.Name, it.in.Source, it.in.Lang)
+				})
 				r := &results[it.idx]
 				r.CompileRan = true
 				r.CompileOK = it.compile.OK
@@ -188,7 +212,9 @@ func Run(ctx context.Context, cfg Config, files []Input) ([]FileResult, Stats, e
 				r := &results[it.idx]
 				if it.compile.OK && it.compile.Object != nil {
 					atomic.AddInt64(&stats.Executions, 1)
-					it.run = machine.Run(it.compile.Object, cfg.Tools.MachineOpts)
+					timed("exec", func() {
+						it.run = machine.Run(it.compile.Object, cfg.Tools.MachineOpts)
+					})
 					r.ExecRan = true
 					r.ExecOK = it.run.ReturnCode == 0
 					if !r.ExecOK && !cfg.RecordAll {
@@ -251,7 +277,11 @@ func Run(ctx context.Context, cfg Config, files []Input) ([]FileResult, Stats, e
 					info := buildToolInfo(b.compile, b.run)
 					infos[i] = &info
 				}
-				evs, err := cfg.Judge.EvaluateBatch(ctx, codes, infos)
+				var evs []judge.Evaluation
+				var err error
+				timed("judge", func() {
+					evs, err = cfg.Judge.EvaluateBatch(ctx, codes, infos)
+				})
 				if err != nil {
 					fail(err) // backend or context failure; abort the run
 					continue

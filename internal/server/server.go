@@ -102,6 +102,15 @@ type Server struct {
 	queue    chan *pending
 	inflight atomic.Int64 // prompts admitted and not yet answered
 
+	// delay is the adaptive straggler-gather wait, retuned after every
+	// micro-batch between minDelay and Config.BatchMaxDelay: batches
+	// that fill without the timer halve it (the queue is saturated —
+	// waiting only adds latency), underfull timer-closed batches
+	// double it back toward the configured maximum (light load —
+	// waiting buys coalescing).
+	delay    atomic.Int64
+	minDelay int64
+
 	baseCtx context.Context
 	cancel  context.CancelFunc
 	wg      sync.WaitGroup
@@ -113,6 +122,42 @@ type Server struct {
 	endpointPrompts atomic.Int64
 	coalesced       atomic.Int64
 	storeHits       atomic.Int64
+}
+
+// batchPool recycles the micro-batcher's pending-slice backing arrays
+// across batches; promptsPool does the same for the prompt slices a
+// flush extracts. One batch forms every BatchMaxDelay under load, so
+// without pooling the collector allocates two slices per batch
+// forever.
+var (
+	batchPool   = sync.Pool{New: func() any { return new([]*pending) }}
+	promptsPool = sync.Pool{New: func() any { return new([]string) }}
+)
+
+func getBatchSlice() []*pending {
+	return (*batchPool.Get().(*[]*pending))[:0]
+}
+
+// putBatchSlice returns a batch's backing array to the pool, clearing
+// the pending pointers so pooled arrays don't pin answered requests.
+func putBatchSlice(batch []*pending) {
+	for i := range batch {
+		batch[i] = nil
+	}
+	b := batch[:0]
+	batchPool.Put(&b)
+}
+
+func getPromptsSlice() []string {
+	return (*promptsPool.Get().(*[]string))[:0]
+}
+
+func putPromptsSlice(prompts []string) {
+	for i := range prompts {
+		prompts[i] = ""
+	}
+	p := prompts[:0]
+	promptsPool.Put(&p)
 }
 
 // New builds a Server over cfg and starts its micro-batch collector.
@@ -136,6 +181,11 @@ func New(cfg Config) *Server {
 		cfg:   cfg,
 		queue: make(chan *pending, cfg.QueueLimit),
 	}
+	s.minDelay = int64(cfg.BatchMaxDelay / 16)
+	if s.minDelay < 1 {
+		s.minDelay = 1
+	}
+	s.delay.Store(int64(cfg.BatchMaxDelay))
 	s.batch, _ = cfg.LLM.(judge.BatchLLM)
 	s.baseCtx, s.cancel = context.WithCancel(context.Background())
 	s.wg.Add(1)
@@ -170,6 +220,7 @@ func (s *Server) Stats() Stats {
 		EndpointPrompts: s.endpointPrompts.Load(),
 		Coalesced:       s.coalesced.Load(),
 		StoreHits:       s.storeHits.Load(),
+		GatherDelayNS:   s.delay.Load(),
 	}
 }
 
@@ -184,9 +235,11 @@ func (s *Server) Handler() http.Handler {
 }
 
 // collect is the micro-batcher: it takes the first queued prompt,
-// gathers stragglers until the batch fills or BatchMaxDelay elapses,
-// and dispatches the coalesced shard on its own goroutine so the next
-// batch starts forming immediately.
+// claims everything already waiting without arming a timer (a queue
+// at BatchMaxSize pays zero gather delay), gathers stragglers for the
+// adaptive delay when the batch is still underfull, and dispatches
+// the coalesced shard on its own goroutine so the next batch starts
+// forming immediately. Batch slices are pooled; flush returns them.
 func (s *Server) collect() {
 	defer s.wg.Done()
 	for {
@@ -196,20 +249,34 @@ func (s *Server) collect() {
 		case <-s.baseCtx.Done():
 			return
 		}
-		batch := []*pending{first}
-		timer := time.NewTimer(s.cfg.BatchMaxDelay)
-	gather:
+		batch := append(getBatchSlice(), first)
+		// Fast path: drain the backlog. Under sustained load whole
+		// batches form here and the gather timer never runs.
+	drain:
 		for len(batch) < s.cfg.BatchMaxSize {
 			select {
 			case p := <-s.queue:
 				batch = append(batch, p)
-			case <-timer.C:
-				break gather
-			case <-s.baseCtx.Done():
-				break gather
+			default:
+				break drain
 			}
 		}
-		timer.Stop()
+		if len(batch) < s.cfg.BatchMaxSize {
+			timer := time.NewTimer(s.GatherDelay())
+		gather:
+			for len(batch) < s.cfg.BatchMaxSize {
+				select {
+				case p := <-s.queue:
+					batch = append(batch, p)
+				case <-timer.C:
+					break gather
+				case <-s.baseCtx.Done():
+					break gather
+				}
+			}
+			timer.Stop()
+		}
+		s.adapt(len(batch))
 		if len(batch) > 1 {
 			s.coalesced.Add(1)
 		}
@@ -218,6 +285,34 @@ func (s *Server) collect() {
 			defer s.wg.Done()
 			s.flush(batch)
 		}(batch)
+	}
+}
+
+// GatherDelay reports the micro-batcher's current adaptive straggler
+// wait (exposed in /healthz stats as gather_delay_ns).
+func (s *Server) GatherDelay() time.Duration {
+	return time.Duration(s.delay.Load())
+}
+
+// adapt retunes the gather delay from the size of the batch that just
+// formed: a full batch halves the wait (down to BatchMaxDelay/16),
+// a batch at half capacity or less doubles it (up to BatchMaxDelay).
+// Between the two thresholds the delay holds steady.
+func (s *Server) adapt(size int) {
+	cur := s.delay.Load()
+	switch {
+	case size >= s.cfg.BatchMaxSize:
+		if next := cur / 2; next >= s.minDelay {
+			s.delay.Store(next)
+		} else {
+			s.delay.Store(s.minDelay)
+		}
+	case size*2 <= s.cfg.BatchMaxSize:
+		next := cur * 2
+		if maxd := int64(s.cfg.BatchMaxDelay); next > maxd {
+			next = maxd
+		}
+		s.delay.Store(next)
 	}
 }
 
@@ -230,6 +325,7 @@ func (s *Server) collect() {
 // outstanding work even when requesters disconnect early.
 func (s *Server) flush(batch []*pending) {
 	defer s.inflight.Add(int64(-len(batch)))
+	defer putBatchSlice(batch)
 	live := batch[:0]
 	for _, p := range batch {
 		if err := p.ctx.Err(); err != nil {
@@ -241,9 +337,10 @@ func (s *Server) flush(batch []*pending) {
 	if len(live) == 0 {
 		return
 	}
-	prompts := make([]string, len(live))
-	for i, p := range live {
-		prompts[i] = p.prompt
+	prompts := getPromptsSlice()
+	defer func() { putPromptsSlice(prompts) }()
+	for _, p := range live {
+		prompts = append(prompts, p.prompt)
 	}
 	resps, err := s.resolve(s.baseCtx, prompts)
 	if err != nil && s.baseCtx.Err() != nil {
@@ -269,45 +366,46 @@ func (s *Server) dedupKey(hash string) store.Key {
 // duplicates cost nothing, and the remaining unique prompts go to the
 // endpoint in a single CompleteBatch call when it supports one.
 // Responses come back in prompt order, byte-identical to asking the
-// endpoint each prompt alone.
+// endpoint each prompt alone. Dedup maps are keyed by the 32-byte
+// prompt content hash (judge.PromptKey), not the prompt text, so a
+// shard of multi-kilobyte prompts costs fixed-size keys; the hex form
+// of the same hash is the store record's FileHash, exactly as
+// store.HashSource would render it.
 func (s *Server) resolve(ctx context.Context, prompts []string) ([]string, error) {
 	out := make([]string, len(prompts))
-	// resolved maps a prompt seen earlier in the shard to the slot
+	// resolved maps a prompt key seen earlier in the shard to the slot
 	// holding its response; missing are the unique prompts that still
 	// need the endpoint, each answering the slots in positions.
-	resolved := map[string]int{}
+	resolved := map[judge.PromptKey]int{}
 	var missing []string
-	positions := map[string][]int{}
-	var hashes map[string]string
-	if s.cfg.Store != nil {
-		hashes = make(map[string]string, len(prompts))
-	}
+	var missingKeys []judge.PromptKey
+	positions := map[judge.PromptKey][]int{}
 	for i, p := range prompts {
-		if j, dup := resolved[p]; dup {
+		k := judge.KeyOf(p)
+		if j, dup := resolved[k]; dup {
 			out[i] = out[j]
 			s.storeHits.Add(1)
 			continue
 		}
-		if idxs, dup := positions[p]; dup {
-			positions[p] = append(idxs, i)
+		if idxs, dup := positions[k]; dup {
+			positions[k] = append(idxs, i)
 			s.storeHits.Add(1)
 			continue
 		}
 		if s.cfg.Store != nil {
-			h := store.HashSource(p)
-			hashes[p] = h
 			// The serve/completions namespace holds only records this
 			// path wrote, so presence alone is the hit signal — an
 			// endpoint whose legitimate response is empty still dedups.
-			if rec, ok := s.cfg.Store.Get(s.dedupKey(h)); ok {
+			if rec, ok := s.cfg.Store.Get(s.dedupKey(k.Hex())); ok {
 				out[i] = rec.Response
-				resolved[p] = i
+				resolved[k] = i
 				s.storeHits.Add(1)
 				continue
 			}
 		}
-		positions[p] = []int{i}
+		positions[k] = []int{i}
 		missing = append(missing, p)
+		missingKeys = append(missingKeys, k)
 	}
 	if len(missing) == 0 {
 		return out, nil
@@ -316,16 +414,21 @@ func (s *Server) resolve(ctx context.Context, prompts []string) ([]string, error
 	if err != nil {
 		return nil, err
 	}
-	for k, p := range missing {
-		for _, i := range positions[p] {
-			out[i] = resps[k]
+	for m, k := range missingKeys {
+		for _, i := range positions[k] {
+			out[i] = resps[m]
 		}
 		if s.cfg.Store != nil {
 			_ = s.cfg.Store.Put(store.Record{
 				Experiment: dedupPhase, Backend: s.cfg.Backend, Seed: s.cfg.Seed,
-				FileHash: hashes[p], JudgeRan: true, Response: resps[k],
+				FileHash: k.Hex(), JudgeRan: true, Response: resps[m],
 			})
 		}
+	}
+	if s.cfg.Store != nil {
+		// The store is write-behind; one flush per resolved shard keeps
+		// dedup records durable at micro-batch granularity.
+		_ = s.cfg.Store.Flush()
 	}
 	return out, nil
 }

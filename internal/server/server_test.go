@@ -431,3 +431,60 @@ func TestEmptyAndMalformedRequests(t *testing.T) {
 		t.Errorf("GET /v1/complete: got %d want 405", resp.StatusCode)
 	}
 }
+
+// TestAdaptiveGatherDelay: the micro-batcher's straggler wait ramps
+// down while batches fill to BatchMaxSize and back up under light
+// load, always staying within [BatchMaxDelay/16, BatchMaxDelay].
+func TestAdaptiveGatherDelay(t *testing.T) {
+	const maxDelay = 8 * time.Millisecond
+	const batchMax = 4
+	srv, _, rb := startServer(t, server.Config{
+		LLM:           echoLLM{},
+		BatchMaxSize:  batchMax,
+		BatchMaxDelay: maxDelay,
+	})
+	if got := srv.GatherDelay(); got != maxDelay {
+		t.Fatalf("initial gather delay = %v, want %v", got, maxDelay)
+	}
+
+	// Saturating rounds: batchMax concurrent singles per round fill
+	// every batch, so the delay must ramp down from the maximum.
+	fullRound := func() {
+		var wg sync.WaitGroup
+		for i := 0; i < batchMax; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				if _, err := rb.CompleteContext(context.Background(), fmt.Sprintf("full-%d", i)); err != nil {
+					t.Error(err)
+				}
+			}(i)
+		}
+		wg.Wait()
+	}
+	rampedDown := false
+	for round := 0; round < 50 && !rampedDown; round++ {
+		fullRound()
+		rampedDown = srv.GatherDelay() < maxDelay
+	}
+	if !rampedDown {
+		t.Fatalf("gather delay never ramped down under sustained full batches (still %v)", srv.GatherDelay())
+	}
+	if floor := maxDelay / 16; srv.GatherDelay() < floor {
+		t.Fatalf("gather delay %v fell below the floor %v", srv.GatherDelay(), floor)
+	}
+
+	// Light load: lone sequential requests form batches of one, so the
+	// delay must ramp back to the configured maximum.
+	for i := 0; i < 16 && srv.GatherDelay() != maxDelay; i++ {
+		if _, err := rb.CompleteContext(context.Background(), fmt.Sprintf("lone-%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := srv.GatherDelay(); got != maxDelay {
+		t.Fatalf("gather delay = %v after light load, want ramp back to %v", got, maxDelay)
+	}
+	if st := srv.Stats(); st.GatherDelayNS != int64(maxDelay) {
+		t.Fatalf("stats gather_delay_ns = %d, want %d", st.GatherDelayNS, int64(maxDelay))
+	}
+}

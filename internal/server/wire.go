@@ -102,4 +102,9 @@ type Stats struct {
 	// (or deduplicated against an identical prompt in the same shard)
 	// without an endpoint call.
 	StoreHits int64 `json:"store_hits"`
+	// GatherDelayNS is the micro-batcher's current adaptive straggler
+	// wait in nanoseconds: it ramps down toward BatchMaxDelay/16 while
+	// batches fill to BatchMaxSize and back up toward BatchMaxDelay
+	// under light load.
+	GatherDelayNS int64 `json:"gather_delay_ns"`
 }

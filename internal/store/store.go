@@ -7,12 +7,17 @@
 // identical configuration is never judged twice.
 //
 // The format is one JSON object per line. Appends are atomic with
-// respect to the in-process index (a mutex serialises them) and each
-// record is written in a single Write call ending in '\n', so a crash
-// can corrupt at most the final line. Open tolerates exactly that:
-// unparsable or incomplete lines are counted (Dropped) and skipped,
-// and the records around them stay usable — recovery is "reopen and
-// keep going", with the lost tail simply re-judged.
+// respect to the in-process index (a mutex serialises them) and are
+// write-behind: records land in a buffered writer and reach the OS
+// when the buffer fills, on an explicit Flush (runs checkpoint at
+// shard and phase boundaries), and on Close — batching what used to
+// be one write syscall per record into one per buffer. The durability
+// contract is unchanged in kind, only in granularity: a crash loses
+// at most the un-flushed tail (plus at most one torn final line, the
+// signature of an interrupted flush), and Open tolerates exactly
+// that: unparsable or incomplete lines are counted (Dropped) and
+// skipped, the records around them stay usable, and recovery is
+// "reopen and keep going", with the lost tail simply re-judged.
 package store
 
 import (
@@ -84,12 +89,21 @@ func HashSource(source string) string {
 	return hex.EncodeToString(sum[:])
 }
 
+// writeBufSize is the write-behind buffer: appends accumulate here
+// and reach the OS one buffer — not one record — per syscall. At
+// typical record sizes (~200 bytes) that batches a few hundred
+// appends per write.
+const writeBufSize = 64 * 1024
+
 // Store is an open run store. It is safe for concurrent use; one
 // Store can absorb sealed results from every worker of a sharded run.
 type Store struct {
 	mu      sync.Mutex
 	path    string
 	f       *os.File
+	w       *bufio.Writer // write-behind append buffer over f
+	enc     *json.Encoder // bound to w; marshals records without an intermediate line slice
+	scratch *Record       // reused Encode argument; a plain rec would box into any per call
 	index   map[Key]Record
 	lines   int // physical lines in the file (valid, superseded, and corrupt)
 	dropped int
@@ -108,24 +122,35 @@ func Open(path string) (*Store, error) {
 		return nil, err
 	}
 	s := &Store{path: path, f: f, index: map[Key]Record{}}
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
-	for sc.Scan() {
-		line := sc.Bytes()
-		if len(line) == 0 {
-			continue
+	// Read with a plain buffered reader, not bufio.Scanner: Scanner
+	// enforces a maximum token size (64KiB by default), and a record
+	// whose response or transcript outgrew whatever cap was chosen
+	// would not degrade to one dropped line — ErrTooLong aborts the
+	// whole scan and the store would refuse to open. ReadBytes has no
+	// line-length ceiling, so arbitrarily large records round-trip and
+	// corruption stays line-local.
+	r := bufio.NewReaderSize(f, 64*1024)
+	for {
+		line, rerr := r.ReadBytes('\n')
+		if n := len(line); n > 0 && line[n-1] == '\n' {
+			line = line[:n-1]
 		}
-		s.lines++
-		var rec Record
-		if err := json.Unmarshal(line, &rec); err != nil || rec.FileHash == "" || rec.Experiment == "" {
-			s.dropped++
-			continue
+		if len(line) > 0 {
+			s.lines++
+			var rec Record
+			if err := json.Unmarshal(line, &rec); err != nil || rec.FileHash == "" || rec.Experiment == "" {
+				s.dropped++
+			} else {
+				s.index[rec.Key()] = rec
+			}
 		}
-		s.index[rec.Key()] = rec
-	}
-	if err := sc.Err(); err != nil {
-		f.Close()
-		return nil, fmt.Errorf("store: reading %s: %w", path, err)
+		if rerr == io.EOF {
+			break
+		}
+		if rerr != nil {
+			f.Close()
+			return nil, fmt.Errorf("store: reading %s: %w", path, rerr)
+		}
 	}
 	// Append from the true end regardless of where scanning stopped —
 	// and if the file ends in a torn line (no final newline, the crash
@@ -150,6 +175,9 @@ func Open(path string) (*Store, error) {
 			}
 		}
 	}
+	s.w = bufio.NewWriterSize(f, writeBufSize)
+	s.enc = json.NewEncoder(s.w)
+	s.scratch = new(Record)
 	return s, nil
 }
 
@@ -165,28 +193,71 @@ func (s *Store) Get(k Key) (Record, bool) {
 // already stored with identical contents is a no-op, which keeps
 // replayed runs from growing the log; a changed record for an
 // existing key is appended and wins (last-write-wins, as Open
-// replays). The first write failure is remembered and returned by
-// every subsequent Put and by Close, so a run on a full disk cannot
-// silently pretend to be durable.
+// replays). The append is write-behind: it lands in the buffer and
+// reaches the OS when the buffer fills, on Flush, or at Close — a
+// record is only durable past a crash once flushed. The first write
+// failure is remembered and returned by every subsequent Put, by
+// Flush, and by Close, so a run on a full disk cannot silently
+// pretend to be durable.
 func (s *Store) Put(rec Record) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.put(rec)
+}
+
+// PutAll appends a batch of records under one lock acquisition — the
+// natural sink for a shard of sealed verdicts. The first failure
+// poisons the store and stops the batch; records before it are
+// indexed and buffered as usual.
+func (s *Store) PutAll(recs []Record) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, rec := range recs {
+		if err := s.put(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// put is Put without the lock. The encoder writes the record and its
+// terminating '\n' straight into the write-behind buffer: no
+// intermediate marshal slice, no per-record syscall.
+func (s *Store) put(rec Record) error {
 	if s.werr != nil {
 		return s.werr
 	}
 	if old, ok := s.index[rec.Key()]; ok && old == rec {
 		return nil
 	}
-	line, err := json.Marshal(rec)
-	if err != nil {
-		return err
-	}
-	if _, err := s.f.Write(append(line, '\n')); err != nil {
+	*s.scratch = rec
+	if err := s.enc.Encode(s.scratch); err != nil {
 		s.werr = fmt.Errorf("store: append: %w", err)
 		return s.werr
 	}
 	s.lines++
 	s.index[rec.Key()] = rec
+	return nil
+}
+
+// Flush forces every buffered append down to the OS — the checkpoint
+// primitive: runs call it at shard and phase boundaries so an
+// interrupted run loses at most the records buffered since the last
+// checkpoint, and those are exactly the ones resume re-judges.
+func (s *Store) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.flushLocked()
+}
+
+func (s *Store) flushLocked() error {
+	if s.werr != nil {
+		return s.werr
+	}
+	if err := s.w.Flush(); err != nil {
+		s.werr = fmt.Errorf("store: flush: %w", err)
+		return s.werr
+	}
 	return nil
 }
 
@@ -281,6 +352,12 @@ func (s *Store) Compact() (removed int, err error) {
 	}
 	s.f.Close()
 	s.f = f
+	// Any appends still sitting in the write-behind buffer were
+	// captured by the index and therefore written into the compacted
+	// file above; re-arming the writer on the new handle discards
+	// those buffered bytes instead of appending them as duplicates.
+	s.w = bufio.NewWriterSize(f, writeBufSize)
+	s.enc = json.NewEncoder(s.w)
 	removed = s.lines - len(s.index)
 	s.lines = len(s.index)
 	s.dropped = 0
@@ -318,14 +395,20 @@ func (s *Store) Dropped() int {
 	return s.dropped
 }
 
-// Close flushes and closes the file, returning the first append
-// failure of the store's lifetime, if any.
+// Close flushes the write-behind buffer and closes the file,
+// returning the first append or flush failure of the store's
+// lifetime, if any.
 func (s *Store) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	err := s.f.Close()
-	if s.werr != nil {
+	ferr := s.flushLocked()
+	cerr := s.f.Close()
+	switch {
+	case s.werr != nil:
 		return s.werr
+	case ferr != nil:
+		return ferr
+	default:
+		return cerr
 	}
-	return err
 }

@@ -1,6 +1,7 @@
 package store
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -212,5 +213,145 @@ func TestVotesRoundTripAndRecords(t *testing.T) {
 	rec, ok := s2.Get(want[0].Key())
 	if !ok || rec.Votes != want[0].Votes {
 		t.Errorf("votes lost through Compact: %+v", rec)
+	}
+}
+
+// TestLargeRecordRoundTrip: a record whose response exceeds
+// bufio.Scanner's 64KiB default token cap (the old reader) must
+// survive a round-trip — the reader has no line-length ceiling, so a
+// stored multi-hundred-KiB transcript loads instead of silently
+// failing the open or dropping as a "torn" line.
+func TestLargeRecordRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := testRecord("serve/completions", "bighash", "valid")
+	big.Response = strings.Repeat("The quick brown fox jumps over the lazy dog. ", 8192) // ~360KiB
+	small := testRecord("serve/completions", "smallhash", "invalid")
+	for _, rec := range []Record{big, small} {
+		if err := s.Put(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(path)
+	if err != nil {
+		t.Fatalf("Open failed on a >64KiB record: %v", err)
+	}
+	defer s2.Close()
+	if s2.Dropped() != 0 {
+		t.Fatalf("Dropped = %d, want 0 (large record must not read as torn)", s2.Dropped())
+	}
+	got, ok := s2.Get(big.Key())
+	if !ok {
+		t.Fatal("large record missing after reopen")
+	}
+	if got.Response != big.Response {
+		t.Fatalf("large response truncated: got %d bytes, want %d", len(got.Response), len(big.Response))
+	}
+	if _, ok := s2.Get(small.Key()); !ok {
+		t.Fatal("record after the large one lost")
+	}
+}
+
+// TestWriteBehindFlushAndPutAll: appends are buffered (index-visible
+// immediately, file-visible after Flush), PutAll batches a whole
+// shard, and the flushed bytes are identical to the pre-write-behind
+// format — one compact JSON object per line, in append order.
+func TestWriteBehindFlushAndPutAll(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	recs := []Record{
+		testRecord("p", "h1", "valid"),
+		testRecord("p", "h2", "invalid"),
+		testRecord("p", "h3", "valid"),
+	}
+	if err := s.PutAll(recs); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d, want 3 (PutAll must index immediately)", s.Len())
+	}
+	if data, _ := os.ReadFile(path); len(data) != 0 {
+		t.Fatalf("file has %d bytes before Flush, want 0 (write-behind)", len(data))
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want strings.Builder
+	for _, rec := range recs {
+		line, err := json.Marshal(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want.Write(line)
+		want.WriteByte('\n')
+	}
+	if string(data) != want.String() {
+		t.Fatalf("flushed bytes diverge from the per-record marshal format:\n got %q\nwant %q", data, want.String())
+	}
+	// Flush is idempotent and a reopen sees exactly the three records.
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Len() != 3 || s2.Dropped() != 0 {
+		t.Fatalf("reopen after Flush: Len=%d Dropped=%d, want 3/0", s2.Len(), s2.Dropped())
+	}
+}
+
+// TestCompactDiscardsBufferedDuplicates: records still sitting in the
+// write-behind buffer are captured by Compact's index rewrite; the
+// re-armed writer must not append them again afterwards.
+func TestCompactDiscardsBufferedDuplicates(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(testRecord("p", "h1", "valid")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	// A post-compact append still works and lands once.
+	if err := s.Put(testRecord("p", "h2", "invalid")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(string(data), "\n"); lines != 2 {
+		t.Fatalf("file has %d lines after compact+append, want 2:\n%s", lines, data)
+	}
+	s2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Len() != 2 || s2.Dropped() != 0 {
+		t.Fatalf("Len=%d Dropped=%d, want 2/0", s2.Len(), s2.Dropped())
 	}
 }

@@ -70,49 +70,42 @@ func (r *Runner) PanelProbing(ctx context.Context, s SuiteSpec) (PanelDialectRes
 	verdicts := make([]judge.Verdict, len(suite))
 	votes := make([][]ensemble.Vote, len(suite))
 	strategies := make([]string, len(suite))
-	err = r.forEachShard(ctx, len(suite), func(start, end int) error {
-		var idx []int
-		var codes []string
-		for i := start; i < end; i++ {
-			if rec := prior[i]; rec != nil {
-				strat, vs, derr := ensemble.DecodeVotes(rec.Votes)
-				if derr != nil {
-					return fmt.Errorf("llm4vv: stored panel record for %s: %w", suite[i].Name, derr)
-				}
-				verdicts[i], votes[i], strategies[i] = verdictFromName(rec.Verdict), vs, strat
-				tr.file(suite[i].Name)
-				continue
+	err = r.judgeSharded(ctx, j, len(suite), false,
+		func(i int) (bool, error) {
+			rec := prior[i]
+			if rec == nil {
+				return false, nil
 			}
-			idx = append(idx, i)
-			codes = append(codes, suite[i].Source)
-		}
-		if len(idx) == 0 {
-			return nil
-		}
-		evs, err := j.EvaluateBatch(ctx, codes, nil)
-		if err != nil {
-			return err
-		}
-		for k, ev := range evs {
-			i := idx[k]
+			strat, vs, derr := ensemble.DecodeVotes(rec.Votes)
+			if derr != nil {
+				// A corrupt stored record fails the run right here —
+				// the scheduler stops before fanning further files out
+				// to the panel members.
+				return true, fmt.Errorf("llm4vv: stored panel record for %s: %w", suite[i].Name, derr)
+			}
+			verdicts[i], votes[i], strategies[i] = verdictFromName(rec.Verdict), vs, strat
+			tr.file(suite[i].Name)
+			return true, nil
+		},
+		func(i int) (string, *judge.ToolInfo) { return suite[i].Source, nil },
+		func(i int, ev judge.Evaluation) (*store.Record, error) {
 			strat, vs, ok := ensemble.ParseVotes(ev.Response)
 			if !ok {
-				return fmt.Errorf("llm4vv: backend %q returned a single-judge response for %s; the panel experiment needs an ensemble backend (ensemble:a+b+c) or a daemon serving one",
+				return nil, fmt.Errorf("llm4vv: backend %q returned a single-judge response for %s; the panel experiment needs an ensemble backend (ensemble:a+b+c) or a daemon serving one",
 					r.backend, suite[i].Name)
 			}
 			verdicts[i], votes[i], strategies[i] = ev.Verdict, vs, strat
-			if r.store != nil {
-				r.putRecord(store.Record{
-					Experiment: panelPhase, Backend: r.backend, Seed: r.seed,
-					FileHash: hashes[i], Name: suite[i].Name,
-					JudgeRan: true, Verdict: ev.Verdict.String(),
-					Votes: ensemble.EncodeVotes(strat, vs),
-				})
-			}
 			tr.file(suite[i].Name)
-		}
-		return nil
-	})
+			if r.store == nil {
+				return nil, nil
+			}
+			return &store.Record{
+				Experiment: panelPhase, Backend: r.backend, Seed: r.seed,
+				FileHash: hashes[i], Name: suite[i].Name,
+				JudgeRan: true, Verdict: ev.Verdict.String(),
+				Votes: ensemble.EncodeVotes(strat, vs),
+			}, nil
+		})
 	if err != nil {
 		return PanelDialectResult{}, err
 	}

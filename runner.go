@@ -147,6 +147,19 @@ func (r *Runner) shardSizeFor(n int) int {
 // boundaries never affect results: fn writes each file's outcome to
 // its own slot, so any schedule assembles the same output.
 func (r *Runner) forEachShard(ctx context.Context, n int, fn func(start, end int) error) error {
+	return r.forEachShardWorkers(ctx, n, func() (func(start, end int) error, func() error) {
+		return fn, nil
+	})
+}
+
+// forEachShardWorkers is forEachShard with per-worker state: each
+// scheduler worker calls newWorker once for its own (fn, flush) pair,
+// so fn can accumulate work across the shards that worker claims —
+// the mechanism behind cross-shard judge-batch coalescing — and flush
+// (optional) runs when the worker exhausts the cursor, submitting
+// whatever its accumulator still holds. flush is skipped on error or
+// cancellation: a stopping run must not submit new endpoint work.
+func (r *Runner) forEachShardWorkers(ctx context.Context, n int, newWorker func() (fn func(start, end int) error, flush func() error)) error {
 	if n == 0 {
 		return ctx.Err()
 	}
@@ -172,12 +185,21 @@ func (r *Runner) forEachShard(ctx context.Context, n int, fn func(start, end int
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			fn, flush := newWorker()
 			for {
 				if stop.Load() || ctx.Err() != nil {
 					return
 				}
 				start := int(cursor.Add(int64(shard))) - shard
 				if start >= n {
+					// Re-check for a concurrent failure or cancellation:
+					// flush submits new endpoint work, which a stopping
+					// run must not do.
+					if flush != nil && !stop.Load() && ctx.Err() == nil {
+						if err := flush(); err != nil {
+							fail(err)
+						}
+					}
 					return
 				}
 				end := start + shard
@@ -196,6 +218,102 @@ func (r *Runner) forEachShard(ctx context.Context, n int, fn func(start, end int
 		return firstErr
 	}
 	return ctx.Err()
+}
+
+// judgeSharded drives one judge over [0,n) with the sharded
+// scheduler, coalescing judge batches across shard boundaries: files
+// the skip filter passes over (resume hits) thin a shard out, and
+// instead of submitting the undersized remainder alone, each worker
+// carries it into the next shard it claims until a full batch of
+// shardSizeFor(n) files forms — so a heavily-resumed run still
+// reaches the endpoint in full CompleteBatch calls instead of a
+// trickle of fragments. The trailing partial batch is submitted by
+// the worker's flush. Batching never changes verdicts (judging is
+// per-prompt deterministic), only how prompts are grouped on the
+// wire.
+//
+// skip(i) reports whether file i needs no judging (sealing resumed
+// files itself); a skip error — a corrupt stored record — stops the
+// scheduler like any judging error, before further endpoint work.
+// input(i) supplies the code and optional tool info for file i
+// (infos are forwarded to EvaluateBatch only when withInfo is set);
+// seal(i, ev) seals file i's freshly judged evaluation and may return
+// a store record for it — the whole batch's records land in one
+// PutAll under one store lock, followed by one Flush checkpoint, so
+// a crash re-judges at most one batch per worker.
+func (r *Runner) judgeSharded(ctx context.Context, j *judge.Judge, n int, withInfo bool,
+	skip func(i int) (bool, error),
+	input func(i int) (code string, info *judge.ToolInfo),
+	seal func(i int, ev judge.Evaluation) (*store.Record, error)) error {
+	target := r.shardSizeFor(n)
+	return r.forEachShardWorkers(ctx, n, func() (func(start, end int) error, func() error) {
+		var idx []int
+		var codes []string
+		var infos []*judge.ToolInfo
+		var recs []store.Record
+		submit := func() error {
+			if len(idx) == 0 {
+				return nil
+			}
+			var infoArg []*judge.ToolInfo
+			if withInfo {
+				infoArg = infos
+			}
+			evs, err := j.EvaluateBatch(ctx, codes, infoArg)
+			if err != nil {
+				return err
+			}
+			recs = recs[:0]
+			for k, ev := range evs {
+				rec, err := seal(idx[k], ev)
+				if err != nil {
+					return err
+				}
+				if rec != nil {
+					recs = append(recs, *rec)
+				}
+			}
+			if r.store != nil && len(recs) > 0 {
+				// Sealed-batch append failures degrade like putRecord's:
+				// the store remembers them and Runner.Close surfaces
+				// them; the run itself keeps producing results.
+				_ = r.store.PutAll(recs)
+				r.flushStore()
+			}
+			idx, codes, infos = idx[:0], codes[:0], infos[:0]
+			return nil
+		}
+		fn := func(start, end int) error {
+			for i := start; i < end; i++ {
+				skipped, err := skip(i)
+				if err != nil {
+					return err
+				}
+				if skipped {
+					continue
+				}
+				code, info := input(i)
+				idx = append(idx, i)
+				codes = append(codes, code)
+				if withInfo {
+					infos = append(infos, info)
+				}
+			}
+			if len(idx) >= target {
+				return submit()
+			}
+			return nil
+		}
+		return fn, submit
+	})
+}
+
+// flushStore checkpoints the write-behind run store — called at phase
+// boundaries so a crash between phases loses nothing already sealed.
+func (r *Runner) flushStore() {
+	if r.store != nil {
+		_ = r.store.Flush()
+	}
 }
 
 // hashSources digests every input's source for store keys — skipped
@@ -254,53 +372,46 @@ func verdictFromName(s string) judge.Verdict {
 }
 
 // judgeDirect runs a judge over every suite file with the sharded
-// scheduler, submitting each shard's prompts in one batch (endpoints
-// implementing judge.BatchLLM receive them in a single call) and
-// streaming per-file progress per shard. With a store configured,
-// sealed verdicts append as each shard completes; with resume on,
-// files already stored under this phase are loaded instead of judged.
+// scheduler, submitting prompts in coalesced batches (endpoints
+// implementing judge.BatchLLM receive whole batches in single calls;
+// undersized shard remainders merge across shards — see judgeSharded)
+// and streaming per-file progress as verdicts seal. With a store
+// configured, sealed verdicts append as each batch completes; with
+// resume on, files already stored under this phase are loaded instead
+// of judged.
 func (r *Runner) judgeDirect(ctx context.Context, phase string, j *judge.Judge, suite []probe.ProbedFile, infoFor func(pf probe.ProbedFile) *judge.ToolInfo) ([]metrics.Outcome, error) {
 	tr := r.track(phase, len(suite))
 	hashes := r.hashSources(len(suite), func(i int) string { return suite[i].Source })
 	prior := r.storedRecords(phase, len(suite), hashes)
 	outcomes := make([]metrics.Outcome, len(suite))
-	err := r.forEachShard(ctx, len(suite), func(start, end int) error {
-		var idx []int
-		var codes []string
-		var infos []*judge.ToolInfo
-		for i := start; i < end; i++ {
-			if rec := prior[i]; rec != nil {
-				outcomes[i] = metrics.Outcome{Issue: suite[i].Issue, JudgedValid: verdictFromName(rec.Verdict) == judge.Valid}
-				tr.file(suite[i].Name)
-				continue
+	err := r.judgeSharded(ctx, j, len(suite), infoFor != nil,
+		func(i int) (bool, error) {
+			rec := prior[i]
+			if rec == nil {
+				return false, nil
 			}
-			idx = append(idx, i)
-			codes = append(codes, suite[i].Source)
-			if infoFor != nil {
-				infos = append(infos, infoFor(suite[i]))
-			}
-		}
-		if len(idx) == 0 {
-			return nil
-		}
-		evs, err := j.EvaluateBatch(ctx, codes, infos)
-		if err != nil {
-			return err
-		}
-		for k, ev := range evs {
-			i := idx[k]
-			outcomes[i] = metrics.Outcome{Issue: suite[i].Issue, JudgedValid: ev.Verdict == judge.Valid}
-			if r.store != nil {
-				r.putRecord(store.Record{
-					Experiment: phase, Backend: r.backend, Seed: r.seed,
-					FileHash: hashes[i], Name: suite[i].Name,
-					JudgeRan: true, Verdict: ev.Verdict.String(),
-				})
-			}
+			outcomes[i] = metrics.Outcome{Issue: suite[i].Issue, JudgedValid: verdictFromName(rec.Verdict) == judge.Valid}
 			tr.file(suite[i].Name)
-		}
-		return nil
-	})
+			return true, nil
+		},
+		func(i int) (string, *judge.ToolInfo) {
+			if infoFor != nil {
+				return suite[i].Source, infoFor(suite[i])
+			}
+			return suite[i].Source, nil
+		},
+		func(i int, ev judge.Evaluation) (*store.Record, error) {
+			outcomes[i] = metrics.Outcome{Issue: suite[i].Issue, JudgedValid: ev.Verdict == judge.Valid}
+			tr.file(suite[i].Name)
+			if r.store == nil {
+				return nil, nil
+			}
+			return &store.Record{
+				Experiment: phase, Backend: r.backend, Seed: r.seed,
+				FileHash: hashes[i], Name: suite[i].Name,
+				JudgeRan: true, Verdict: ev.Verdict.String(),
+			}, nil
+		})
 	if err != nil {
 		return nil, err
 	}
@@ -381,6 +492,9 @@ func (r *Runner) runPipeline(ctx context.Context, phase string, jd *judge.Judge,
 	stats.Executions = st.Executions
 	stats.JudgeCalls = st.JudgeCalls
 	stats.JudgeBatches = st.JudgeBatches
+	// Phase checkpoint: the write-behind store buffers OnResult
+	// appends (fills also auto-flush); settle them before returning.
+	r.flushStore()
 	return results, stats, err
 }
 

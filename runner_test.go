@@ -9,13 +9,17 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"path/filepath"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/judge"
+	"repro/internal/model"
 	"repro/internal/probe"
 	"repro/internal/spec"
+	"repro/internal/store"
 	"repro/internal/testlang"
 )
 
@@ -318,5 +322,115 @@ func TestDeprecatedWrappersMatchRunner(t *testing.T) {
 	if len(gOld.Candidates) != len(gNew.Candidates) {
 		t.Errorf("generation wrapper diverged: %d vs %d candidates",
 			len(gOld.Candidates), len(gNew.Candidates))
+	}
+}
+
+// batchCallCountingLLM wraps the simulated model counting endpoint
+// round-trips (CompleteBatch calls), not prompts — the probe for
+// cross-shard judge-batch coalescing.
+type batchCallCountingLLM struct {
+	inner      *model.Model
+	batchCalls atomic.Int64
+}
+
+func (c *batchCallCountingLLM) Complete(prompt string) string {
+	c.batchCalls.Add(1)
+	return c.inner.Complete(prompt)
+}
+
+func (c *batchCallCountingLLM) CompleteBatch(ctx context.Context, prompts []string) ([]string, error) {
+	c.batchCalls.Add(1)
+	return c.inner.CompleteBatch(ctx, prompts)
+}
+
+// TestCrossShardBatchCoalescing: on a resume-thinned run — most files
+// already stored, the rest scattered across shards — the scheduler
+// must merge each shard's undersized remainder into full endpoint
+// batches instead of submitting one fragment per shard, and the
+// resumed summary must stay identical to the all-fresh run.
+func TestCrossShardBatchCoalescing(t *testing.T) {
+	s := smallSpec()
+	suite, err := BuildSuite(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Ground-truth verdicts for pre-populating the store, computed the
+	// way any fresh run would.
+	j := &judge.Judge{LLM: model.New(DefaultModelSeed), Style: judge.Direct, Dialect: s.Dialect}
+	verdicts := make([]judge.Verdict, len(suite))
+	for i, pf := range suite {
+		ev, err := j.Evaluate(context.Background(), pf.Source, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		verdicts[i] = ev.Verdict
+	}
+
+	counting := &batchCallCountingLLM{}
+	name := fmt.Sprintf("test-batch-calls-%d", countingSerial.Add(1))
+	RegisterBackend(name, func(seed uint64) judge.LLM {
+		counting.inner = model.New(seed)
+		return counting
+	})
+
+	// Pre-populate three out of every four files, leaving one pending
+	// file per four — each shard of four holds a lone fragment, the
+	// worst case for per-shard batch submission.
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	st, err := store.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pending := 0
+	for i, pf := range suite {
+		if i%4 == 0 {
+			pending++
+			continue
+		}
+		err := st.Put(store.Record{
+			Experiment: "direct-probing", Backend: name, Seed: DefaultModelSeed,
+			FileHash: store.HashSource(pf.Source), Name: pf.Name,
+			JudgeRan: true, Verdict: verdicts[i].String(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	const shard = 4
+	r := mustRunner(t,
+		WithBackend(name), WithWorkers(1), WithShardSize(shard),
+		WithStore(path), WithResume(true))
+	sum, err := r.DirectProbing(context.Background(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Parity: resuming from stored verdicts reproduces the all-fresh
+	// summary exactly.
+	ref, err := RunDirectProbing(s, DefaultModelSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Accuracy() != ref.Accuracy() || sum.Mistakes != ref.Mistakes || sum.Total != ref.Total {
+		t.Errorf("resumed summary diverged: acc %v/%v mistakes %d/%d total %d/%d",
+			sum.Accuracy(), ref.Accuracy(), sum.Mistakes, ref.Mistakes, sum.Total, ref.Total)
+	}
+
+	// Coalescing: with one worker, the pending fragments accumulate
+	// into batches of at least the shard size before submission, so
+	// round-trips are bounded by ceil(pending/shard) — not by the
+	// number of shards holding a fragment (which is pending itself).
+	maxCalls := int64((pending + shard - 1) / shard)
+	if got := counting.batchCalls.Load(); got > maxCalls {
+		t.Errorf("endpoint saw %d batch calls for %d pending files (shard %d), want <= %d (cross-shard coalescing)",
+			got, pending, shard, maxCalls)
 	}
 }
