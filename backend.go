@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"repro/internal/ensemble"
+	"repro/internal/fleet"
 	"repro/internal/judge"
 	"repro/internal/model"
 	"repro/internal/remote"
@@ -155,6 +156,56 @@ func RegisterRemoteBackend(addr string) string {
 	return name
 }
 
+// fleetRouters memoizes one Router per address list: a Router owns a
+// background health loop, so resolving "fleet:<addrs>" twice must
+// share the instance rather than leak a second watcher.
+var fleetRouters = struct {
+	sync.Mutex
+	routers map[string]*fleet.Router
+}{routers: map[string]*fleet.Router{}}
+
+func fleetRouter(addrs string) (*fleet.Router, error) {
+	fleetRouters.Lock()
+	defer fleetRouters.Unlock()
+	if rt, ok := fleetRouters.routers[addrs]; ok {
+		return rt, nil
+	}
+	rt, err := fleet.Dial(addrs)
+	if err != nil {
+		return nil, err
+	}
+	fleetRouters.routers[addrs] = rt
+	return rt, nil
+}
+
+// RegisterFleetBackend concretely registers the judge fleet behind the
+// comma-separated daemon address list under the name "fleet:<addrs>"
+// and returns that name. Like RegisterRemoteBackend it is idempotent
+// and exists for flag handling; concrete registration admits the
+// fleet into Backends() and the compare sweep. The constructed router
+// hashes each prompt onto its owning replica, fails over on replica
+// death, and — replicas of one fleet serving the same backend and
+// seed — produces reports byte-identical to a single daemon. The
+// construction seed is inert, as for any remote endpoint.
+func RegisterFleetBackend(addrs string) (string, error) {
+	if _, err := fleetRouter(addrs); err != nil {
+		return "", err
+	}
+	name := "fleet:" + addrs
+	backendRegistry.Lock()
+	defer backendRegistry.Unlock()
+	if _, ok := backendRegistry.factories[name]; !ok {
+		backendRegistry.factories[name] = func(seed uint64) judge.LLM {
+			rt, err := fleetRouter(addrs)
+			if err != nil {
+				return nil
+			}
+			return rt
+		}
+	}
+	return name, nil
+}
+
 // NewPanel constructs a voting ensemble from a member spec
 // ("a+b+c[:strategy]", the argument of an "ensemble:" backend name):
 // each member backend is resolved through the registry — including
@@ -225,6 +276,15 @@ func RegisterEnsembleBackend(spec string) (string, error) {
 func init() {
 	RegisterBackend(DefaultBackend, func(seed uint64) judge.LLM { return model.New(seed) })
 	RegisterBackendScheme("remote", func(addr string, seed uint64) judge.LLM { return remote.New(addr) })
+	// "fleet:addr1,addr2,..." routes prompts across a replica set by
+	// consistent hashing with health-aware failover (internal/fleet).
+	RegisterBackendScheme("fleet", func(addrs string, seed uint64) judge.LLM {
+		rt, err := fleetRouter(addrs)
+		if err != nil {
+			return nil
+		}
+		return rt
+	})
 	// "ensemble:a+b+c[:strategy]" composes registered backends into a
 	// voting panel; the scheme contract reports construction failures
 	// as a nil endpoint, which NewBackend turns into an error (use

@@ -16,10 +16,12 @@ import (
 	"fmt"
 	"net/http/httptest"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
 	"repro/internal/agent"
+	"repro/internal/fleet"
 	"repro/internal/judge"
 	"repro/internal/perf"
 	"repro/internal/pipeline"
@@ -191,6 +193,48 @@ func BenchmarkThroughputServer(b *testing.B) {
 	}
 	if _, err := j.EvaluateBatch(context.Background(), codes, nil); err != nil {
 		b.Fatal(err) // warm the HTTP connection pool and the model tables
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	files := 0
+	for i := 0; i < b.N; i++ {
+		if _, err := j.EvaluateBatch(context.Background(), codes, nil); err != nil {
+			b.Fatal(err)
+		}
+		files += len(codes)
+	}
+	b.ReportMetric(perf.Rate(files, b.Elapsed()), "files/sec")
+}
+
+// BenchmarkThroughputFleetRouting — the fleet tier over loopback
+// HTTP: the suite judged through a consistent-hash router fanning
+// each batch out across two daemon replicas concurrently.
+func BenchmarkThroughputFleetRouting(b *testing.B) {
+	inputs := benchSuiteInputs(b)
+	addrs := make([]string, 2)
+	for i := range addrs {
+		llm, err := NewBackend(DefaultBackend, DefaultModelSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		srv := server.New(server.Config{LLM: llm, Backend: DefaultBackend, Seed: DefaultModelSeed})
+		defer srv.Close()
+		ts := httptest.NewServer(srv.Handler())
+		defer ts.Close()
+		addrs[i] = strings.TrimPrefix(ts.URL, "http://")
+	}
+	rt, err := fleet.Dial(strings.Join(addrs, ","), remote.WithBackoff(time.Millisecond))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer rt.Close()
+	j := &judge.Judge{LLM: rt, Style: judge.Direct, Dialect: spec.OpenACC}
+	codes := make([]string, len(inputs))
+	for i, in := range inputs {
+		codes[i] = in.Source
+	}
+	if _, err := j.EvaluateBatch(context.Background(), codes, nil); err != nil {
+		b.Fatal(err) // warm the HTTP connection pools and the model tables
 	}
 	b.ReportAllocs()
 	b.ResetTimer()

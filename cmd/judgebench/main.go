@@ -45,7 +45,10 @@
 // -serve-addr routes judging through a running llm4vvd daemon: the
 // address registers as the "remote:<addr>" backend and overrides
 // -backend (with -compare, the daemon joins the sweep alongside the
-// in-process backends). -timeout D cancels the run when the deadline
+// in-process backends). A comma-separated address list enrols a
+// replica set the client fails over across; for consistent-hash
+// routing over a fleet, point -serve-addr at a running llm4vv-router
+// or use -backend "fleet:addr1,addr2,...". -timeout D cancels the run when the deadline
 // passes, exactly like SIGINT. -store PATH -compact rewrites the run
 // store dropping superseded duplicate and corrupt lines, then exits —
 // maintenance for stores grown across many resumed runs. Compact
@@ -86,7 +89,7 @@ func main() {
 	scale := flag.Int("scale", 4, "divide suite sizes by this factor")
 	seed := flag.Uint64("seed", llm4vv.DefaultModelSeed, "model seed")
 	backend := flag.String("backend", llm4vv.DefaultBackend, "registered LLM backend")
-	serveAddr := flag.String("serve-addr", "", "judge through the llm4vvd daemon at this address (overrides -backend)")
+	serveAddr := flag.String("serve-addr", "", "judge through the llm4vvd daemon at this address (overrides -backend; a comma-separated list fails over across replicas)")
 	timeout := flag.Duration("timeout", 0, "cancel the whole run after this duration (0 = no deadline)")
 	show := flag.Int("show", 0, "print this many sample transcripts")
 	recordAll := flag.Bool("record-all", true, "run every stage for every file (false = short-circuit)")

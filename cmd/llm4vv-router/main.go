@@ -1,0 +1,125 @@
+// Command llm4vv-router is the fleet router: it fronts N llm4vvd
+// replicas behind one address speaking the same wire protocol, so a
+// worker pointed at it with -serve-addr (or -backend remote:<addr>)
+// judges through the whole fleet without knowing it is one.
+//
+// Usage:
+//
+//	llm4vv-router -replicas ADDR1,ADDR2,... [-addr HOST:PORT] \
+//	              [-id NAME] [-vnodes N] [-load-factor F] \
+//	              [-health-interval D] [-queue N] [-bulk-queue N] \
+//	              [-client-quota N] [-retry-after D] \
+//	              [-cpuprofile F] [-memprofile F]
+//
+// Prompts are placed by consistent hashing on their content key, so
+// each replica's dedup store and cache stay authoritative for its
+// share of the key space; bounded-load routing (-load-factor) spills
+// hot arcs, and a background health loop (-health-interval) evicts
+// dead replicas from the ring and readmits recoveries, with request
+// failures failing over to the key's next successor. With every
+// replica serving the same backend and seed, reports produced through
+// the router are byte-identical to a single daemon's — including
+// across a replica dying mid-sweep.
+//
+// Admission is priority-aware: requests carrying the X-LLM4VV-Priority
+// header are classed interactive or bulk (unlabelled batch requests
+// default to bulk — the sweep path), and bulk sheds with 429 +
+// Retry-After at a lower ceiling (-bulk-queue) than interactive
+// (-queue), so sweeps yield to humans under overload. -client-quota
+// caps one client's in-flight prompts (keyed by X-LLM4VV-Client).
+// /metrics serves the routing, admission, and per-replica counters in
+// Prometheus text format; /healthz reports per-replica health.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/fleet"
+	"repro/internal/perf"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8090", "listen address")
+	replicas := flag.String("replicas", "", "comma-separated llm4vvd replica addresses (required)")
+	id := flag.String("id", "", "router instance name in /healthz and /metrics labels (default: the listen address)")
+	vnodes := flag.Int("vnodes", fleet.DefaultVnodes, "virtual nodes per replica on the hash ring")
+	loadFactor := flag.Float64("load-factor", fleet.DefaultLoadFactor, "bounded-load spill threshold over the fair per-replica share")
+	healthInterval := flag.Duration("health-interval", fleet.DefaultHealthInterval, "background replica health-check period")
+	queue := flag.Int("queue", fleet.DefaultQueueLimit, "admission: max in-flight prompts (interactive ceiling)")
+	bulkQueue := flag.Int("bulk-queue", 0, "admission ceiling for bulk-class requests (default: half of -queue)")
+	clientQuota := flag.Int("client-quota", 0, "max in-flight prompts per client, 0 = unlimited")
+	retryAfter := flag.Duration("retry-after", fleet.DefaultRetryAfter, "back-off hint sent with 429 responses")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file at shutdown")
+	flag.Parse()
+
+	stopProf, err := perf.StartProfiles(*cpuprofile, *memprofile)
+	fail(err)
+	stopProfiles = stopProf
+	defer func() { _ = stopProfiles() }()
+
+	if *replicas == "" {
+		fail(fmt.Errorf("-replicas is required (comma-separated llm4vvd addresses)"))
+	}
+	if *id == "" {
+		*id = *addr
+	}
+	router, err := fleet.DialConfig(*replicas, fleet.Config{
+		Vnodes:         *vnodes,
+		LoadFactor:     *loadFactor,
+		HealthInterval: *healthInterval,
+	})
+	fail(err)
+	frontend := fleet.NewFrontend(fleet.FrontendConfig{
+		Router:      router,
+		ID:          *id,
+		QueueLimit:  *queue,
+		BulkLimit:   *bulkQueue,
+		ClientQuota: *clientQuota,
+		RetryAfter:  *retryAfter,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: frontend.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "llm4vv-router: routing over %s on %s\n", *replicas, *addr)
+
+	select {
+	case err := <-errc:
+		fail(err)
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(os.Stderr, "llm4vv-router: shutting down")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "llm4vv-router: shutdown:", err)
+	}
+	router.Close()
+	rs, fs := router.Stats(), frontend.Stats()
+	fmt.Fprintf(os.Stderr, "llm4vv-router: routed %d prompts (%d single + %d batch requests, %d failovers, %d spills; shed %d interactive + %d bulk, %d quota rejections)\n",
+		rs.RoutedPrompts, rs.Requests, rs.BatchRequests, rs.Failovers, rs.Spills, fs.ShedInteractive, fs.ShedBulk, fs.QuotaRejected)
+}
+
+// stopProfiles finalises -cpuprofile/-memprofile; fail routes through
+// it so a router dying on an error still writes its profiles.
+var stopProfiles = func() error { return nil }
+
+func fail(err error) {
+	if err != nil {
+		_ = stopProfiles()
+		fmt.Fprintln(os.Stderr, "llm4vv-router:", err)
+		os.Exit(1)
+	}
+}

@@ -27,7 +27,9 @@
 // the address registers as the "remote:<addr>" backend and overrides
 // -backend, so many worker processes can share one judging service
 // (the daemon's backend and seed govern; they are fixed at daemon
-// start). -timeout D wraps the whole run in a deadline — the run is
+// start). A comma-separated list fails over across replicas; a
+// llm4vv-router address or -backend "fleet:addr1,addr2,..." routes
+// by consistent hashing over a whole fleet. -timeout D wraps the whole run in a deadline — the run is
 // cancelled cleanly, exactly like SIGINT, when it expires.
 package main
 
@@ -46,7 +48,7 @@ func main() {
 	seed := flag.Uint64("seed", llm4vv.DefaultModelSeed, "model sampling seed")
 	scale := flag.Int("scale", 1, "divide suite sizes by this factor")
 	backend := flag.String("backend", llm4vv.DefaultBackend, "registered LLM backend")
-	serveAddr := flag.String("serve-addr", "", "judge through the llm4vvd daemon at this address (overrides -backend)")
+	serveAddr := flag.String("serve-addr", "", "judge through the llm4vvd daemon at this address (overrides -backend; a comma-separated list fails over across replicas)")
 	timeout := flag.Duration("timeout", 0, "cancel the whole run after this duration (0 = no deadline)")
 	workers := flag.Int("workers", 0, "per-stage workers (0 = GOMAXPROCS)")
 	shard := flag.Int("shard", 0, "scheduler shard / judge batch size (0 = automatic)")

@@ -9,7 +9,17 @@
 //
 //	llm4vvd [-addr HOST:PORT] [-backend NAME] [-seed N] \
 //	        [-batch-max N] [-batch-delay D] [-queue N] \
-//	        [-store PATH] [-cache] [-cpuprofile F] [-memprofile F]
+//	        [-replica-id NAME] [-store PATH] [-cache] \
+//	        [-cpuprofile F] [-memprofile F]
+//
+// -replica-id names the instance in /healthz, /v1/backends, and the
+// /metrics replica label (default: the listen address) so routers and
+// dashboards can tell fleet members apart; /metrics serves the serving
+// counters and per-stage latency summaries in Prometheus text format.
+// A fleet of llm4vvd replicas scales horizontally behind
+// cmd/llm4vv-router, which consistent-hash routes prompts so each
+// replica's dedup store and cache stay authoritative for its share of
+// the key space.
 //
 // Concurrent single-prompt requests are coalesced by a dynamic
 // micro-batcher (-batch-max, -batch-delay) into one CompleteBatch
@@ -59,6 +69,7 @@ func main() {
 	batchMax := flag.Int("batch-max", server.DefaultBatchMaxSize, "micro-batcher: max coalesced prompts per endpoint call")
 	batchDelay := flag.Duration("batch-delay", server.DefaultBatchMaxDelay, "micro-batcher: max wait for stragglers")
 	queue := flag.Int("queue", server.DefaultQueueLimit, "admission control: max prompts queued or in flight")
+	replicaID := flag.String("replica-id", "", "stable instance name in /healthz, /v1/backends, and /metrics labels (default: the listen address)")
 	storePath := flag.String("store", "", "dedup identical requests through this JSONL run store")
 	cache := flag.Bool("cache", false, "memoise completions in memory with singleflight dedup")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -76,10 +87,14 @@ func main() {
 		llm = judge.Cached(llm)
 	}
 
+	if *replicaID == "" {
+		*replicaID = *addr
+	}
 	cfg := server.Config{
 		LLM:           llm,
 		Backend:       *backend,
 		Seed:          *seed,
+		ReplicaID:     *replicaID,
 		Registered:    llm4vv.Backends(),
 		BatchMaxSize:  *batchMax,
 		BatchMaxDelay: *batchDelay,

@@ -54,6 +54,17 @@
 // running daemon with byte-identical metrics — see DESIGN.md §8 and
 // examples/service.
 //
+// Daemons scale horizontally as a fleet: cmd/llm4vv-router fronts N
+// replicas behind one address, consistent-hash routing each prompt to
+// the replica owning its content key (so per-replica stores and
+// caches stay authoritative), with bounded-load spill, health-watched
+// ring membership with request failover, priority-class load shedding
+// (bulk sweeps yield to interactive traffic), per-client quotas, and
+// Prometheus /metrics on both tiers. The "fleet:addr1,addr2,..."
+// backend (RegisterFleetBackend) routes in-process, and reports stay
+// byte-identical to a single daemon even across a replica killed
+// mid-sweep — see DESIGN.md §11 and examples/fleet.
+//
 // Backends compose into voting ensembles: "ensemble:a+b+c[:strategy]"
 // (NewPanel, RegisterEnsembleBackend) seats any registered backends —
 // remote daemons included — on one panel that fans every shard out

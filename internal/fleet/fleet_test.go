@@ -1,0 +1,356 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/judge"
+)
+
+// fakeReplica is an in-process Client: answers "<addr>:<prompt>",
+// records traffic, and can be killed and revived.
+type fakeReplica struct {
+	addr string
+	dead atomic.Bool
+	// gate, when set, blocks completions until released — for tests
+	// that need requests held in flight.
+	gate chan struct{}
+
+	mu      sync.Mutex
+	prompts []string
+}
+
+func newFakeReplica(addr string) *fakeReplica {
+	return &fakeReplica{addr: addr}
+}
+
+func (f *fakeReplica) record(ps ...string) {
+	f.mu.Lock()
+	f.prompts = append(f.prompts, ps...)
+	f.mu.Unlock()
+}
+
+func (f *fakeReplica) served() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]string(nil), f.prompts...)
+}
+
+func (f *fakeReplica) wait(ctx context.Context) error {
+	if f.gate == nil {
+		return nil
+	}
+	select {
+	case <-f.gate:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (f *fakeReplica) CompleteContext(ctx context.Context, prompt string) (string, error) {
+	if f.dead.Load() {
+		return "", fmt.Errorf("replica %s is down", f.addr)
+	}
+	if err := f.wait(ctx); err != nil {
+		return "", err
+	}
+	f.record(prompt)
+	return f.addr + ":" + prompt, nil
+}
+
+func (f *fakeReplica) CompleteBatch(ctx context.Context, prompts []string) ([]string, error) {
+	if f.dead.Load() {
+		return nil, fmt.Errorf("replica %s is down", f.addr)
+	}
+	if err := f.wait(ctx); err != nil {
+		return nil, err
+	}
+	f.record(prompts...)
+	out := make([]string, len(prompts))
+	for i, p := range prompts {
+		out[i] = f.addr + ":" + p
+	}
+	return out, nil
+}
+
+func (f *fakeReplica) Ping(ctx context.Context) error {
+	if f.dead.Load() {
+		return fmt.Errorf("replica %s is down", f.addr)
+	}
+	return nil
+}
+
+// testRouter builds a Router over fakes with the background health
+// loop disabled, so membership changes only when the test asks.
+func testRouter(t *testing.T, fakes ...*fakeReplica) *Router {
+	t.Helper()
+	cfg := Config{HealthInterval: -1}
+	for _, f := range fakes {
+		cfg.Replicas = append(cfg.Replicas, Replica{Addr: f.addr, Client: f})
+	}
+	rt, err := NewRouter(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Close)
+	return rt
+}
+
+func TestNewRouterValidation(t *testing.T) {
+	if _, err := NewRouter(Config{}); err == nil {
+		t.Fatal("empty config accepted")
+	}
+	f := newFakeReplica("a")
+	if _, err := NewRouter(Config{Replicas: []Replica{{Addr: "", Client: f}}}); err == nil {
+		t.Fatal("empty address accepted")
+	}
+	if _, err := NewRouter(Config{Replicas: []Replica{{Addr: "a", Client: nil}}}); err == nil {
+		t.Fatal("nil client accepted")
+	}
+	if _, err := NewRouter(Config{Replicas: []Replica{{Addr: "a", Client: f}, {Addr: "a", Client: f}}}); err == nil {
+		t.Fatal("duplicate address accepted")
+	}
+}
+
+// TestRouterStickiness: a prompt always lands on its ring owner, so
+// the owner's dedup store and cache see every repeat.
+func TestRouterStickiness(t *testing.T) {
+	a, b := newFakeReplica("a"), newFakeReplica("b")
+	rt := testRouter(t, a, b)
+	ctx := context.Background()
+	for i := 0; i < 40; i++ {
+		prompt := fmt.Sprintf("sticky-%d", i%5)
+		resp, err := rt.CompleteContext(ctx, prompt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		owner, _ := rt.ring.Owner(judge.KeyOf(prompt))
+		if want := owner + ":" + prompt; resp != want {
+			t.Fatalf("prompt %q answered by %q, ring owner is %q", prompt, resp, owner)
+		}
+	}
+}
+
+// TestRouterBatchSplitAndOrder: a mixed shard splits by ring owner,
+// fans out, and reassembles in prompt order.
+func TestRouterBatchSplitAndOrder(t *testing.T) {
+	a, b, c := newFakeReplica("a"), newFakeReplica("b"), newFakeReplica("c")
+	rt := testRouter(t, a, b, c)
+	prompts := make([]string, 60)
+	for i := range prompts {
+		prompts[i] = fmt.Sprintf("batch-%d", i)
+	}
+	resps, err := rt.CompleteBatch(context.Background(), prompts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resps) != len(prompts) {
+		t.Fatalf("got %d responses for %d prompts", len(resps), len(prompts))
+	}
+	for i, resp := range resps {
+		if !strings.HasSuffix(resp, ":"+prompts[i]) {
+			t.Fatalf("response %d out of order: %q for prompt %q", i, resp, prompts[i])
+		}
+	}
+	used := 0
+	for _, f := range []*fakeReplica{a, b, c} {
+		if len(f.served()) > 0 {
+			used++
+		}
+	}
+	if used < 2 {
+		t.Fatalf("60 prompts landed on %d replica(s); ring not splitting", used)
+	}
+	if got := rt.Stats().RoutedPrompts; got != int64(len(prompts)) {
+		t.Fatalf("RoutedPrompts = %d, want %d", got, len(prompts))
+	}
+	if empty, err := rt.CompleteBatch(context.Background(), nil); err != nil || len(empty) != 0 {
+		t.Fatalf("empty batch: %v %v", empty, err)
+	}
+}
+
+// TestRouterFailover: a dead replica's keys fail over to the next
+// ring successor without surfacing an error, and every response stays
+// correct for its prompt.
+func TestRouterFailover(t *testing.T) {
+	a, b := newFakeReplica("a"), newFakeReplica("b")
+	rt := testRouter(t, a, b)
+	b.dead.Store(true)
+	ctx := context.Background()
+	prompts := make([]string, 30)
+	for i := range prompts {
+		prompts[i] = fmt.Sprintf("fo-%d", i)
+	}
+	resps, err := rt.CompleteBatch(ctx, prompts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, resp := range resps {
+		if want := "a:" + prompts[i]; resp != want {
+			t.Fatalf("response %d = %q, want %q", i, resp, want)
+		}
+	}
+	if rt.Stats().Failovers == 0 {
+		t.Fatal("no failovers recorded despite a dead replica")
+	}
+	// All replicas dead: the error reports how many were tried.
+	a.dead.Store(true)
+	if _, err := rt.CompleteContext(ctx, "doomed"); err == nil {
+		t.Fatal("want error with every replica dead")
+	} else if !strings.Contains(err.Error(), "no replica served") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	if rt.Complete("doomed") != "" {
+		t.Fatal("error-free contract should map failure to empty response")
+	}
+}
+
+// TestRouterHealthEvictReadmit: CheckNow evicts a dead replica from
+// the ring (moving its keys) and readmits it on recovery (restoring
+// the original placement).
+func TestRouterHealthEvictReadmit(t *testing.T) {
+	a, b, c := newFakeReplica("a"), newFakeReplica("b"), newFakeReplica("c")
+	rt := testRouter(t, a, b, c)
+	keys := make([]judge.PromptKey, 300)
+	before := make([]string, len(keys))
+	for i := range keys {
+		keys[i] = judge.KeyOf(fmt.Sprintf("hm-%d", i))
+		before[i], _ = rt.ring.Owner(keys[i])
+	}
+	b.dead.Store(true)
+	rt.CheckNow()
+	st := rt.Replicas()
+	if st[0].Healthy != true || st[1].Healthy != false || st[2].Healthy != true {
+		t.Fatalf("health after eviction: %+v", st)
+	}
+	if rt.ring.Len() != 2 {
+		t.Fatalf("ring has %d members after eviction, want 2", rt.ring.Len())
+	}
+	for i, key := range keys {
+		owner, _ := rt.ring.Owner(key)
+		if owner == "b" {
+			t.Fatal("evicted replica still owns keys")
+		}
+		if before[i] != "b" && owner != before[i] {
+			t.Fatalf("survivor-owned key %d moved from %s to %s", i, before[i], owner)
+		}
+	}
+	b.dead.Store(false)
+	rt.CheckNow()
+	if rt.ring.Len() != 3 {
+		t.Fatalf("ring has %d members after readmission, want 3", rt.ring.Len())
+	}
+	for i, key := range keys {
+		if owner, _ := rt.ring.Owner(key); owner != before[i] {
+			t.Fatalf("key %d not restored after readmission", i)
+		}
+	}
+}
+
+// TestRouterRequestPathEviction: a request failure triggers an async
+// probe that evicts a genuinely dead replica without waiting for the
+// next health tick.
+func TestRouterRequestPathEviction(t *testing.T) {
+	a, b := newFakeReplica("a"), newFakeReplica("b")
+	rt := testRouter(t, a, b)
+	b.dead.Store(true)
+	// Route enough singles that some hit b and fail over.
+	for i := 0; i < 20; i++ {
+		if _, err := rt.CompleteContext(context.Background(), fmt.Sprintf("rp-%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for rt.ring.Len() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("dead replica not evicted by request-path probe")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// A success readmits: markUp runs on every successful route.
+	b.dead.Store(false)
+	rt.CheckNow()
+	if rt.ring.Len() != 2 {
+		t.Fatal("replica not readmitted after recovery")
+	}
+}
+
+// TestRouterBoundedLoadSpill: a replica pinned far above the load
+// bound stops receiving new keys; they spill to its ring successor.
+func TestRouterBoundedLoadSpill(t *testing.T) {
+	a, b := newFakeReplica("a"), newFakeReplica("b")
+	rt := testRouter(t, a, b)
+	// Pin a's in-flight count sky-high; every key owned by a must
+	// spill to b.
+	rt.byAddr["a"].inflight.Store(1000)
+	for i := 0; i < 30; i++ {
+		st := rt.pick(judge.KeyOf(fmt.Sprintf("spill-%d", i)), nil)
+		if st.addr != "b" {
+			t.Fatalf("key routed to overloaded replica %s", st.addr)
+		}
+	}
+	if rt.spills.Load() == 0 {
+		t.Fatal("no spills recorded")
+	}
+	// Both over the bound: fall back to the owner rather than failing.
+	rt.byAddr["b"].inflight.Store(1000)
+	if st := rt.pick(judge.KeyOf("spill-anyway"), nil); st == nil {
+		t.Fatal("pick returned nil with all replicas over bound")
+	}
+}
+
+// TestRouterHealthLoop: the background loop evicts and readmits
+// without explicit CheckNow calls.
+func TestRouterHealthLoop(t *testing.T) {
+	a, b := newFakeReplica("a"), newFakeReplica("b")
+	rt, err := NewRouter(Config{
+		Replicas:       []Replica{{Addr: "a", Client: a}, {Addr: "b", Client: b}},
+		HealthInterval: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	b.dead.Store(true)
+	deadline := time.Now().Add(2 * time.Second)
+	for rt.ring.Len() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("health loop never evicted the dead replica")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	b.dead.Store(false)
+	for rt.ring.Len() != 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("health loop never readmitted the recovered replica")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestDialParsesAddressList(t *testing.T) {
+	rt, err := Dial("127.0.0.1:9991, 127.0.0.1:9992 ,,127.0.0.1:9993")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	want := []string{"127.0.0.1:9991", "127.0.0.1:9992", "127.0.0.1:9993"}
+	got := rt.Addrs()
+	if len(got) != len(want) {
+		t.Fatalf("Addrs = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Addrs = %v, want %v", got, want)
+		}
+	}
+	if _, err := Dial(" ,, "); err == nil {
+		t.Fatal("blank address list accepted")
+	}
+}

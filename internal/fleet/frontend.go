@@ -1,0 +1,401 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/perf"
+	"repro/internal/remote"
+	"repro/internal/server"
+)
+
+// Defaults for FrontendConfig zero values.
+const (
+	DefaultQueueLimit = 1024
+	DefaultRetryAfter = 50 * time.Millisecond
+)
+
+// FrontendConfig configures the router daemon's HTTP face. Router is
+// the only required field.
+type FrontendConfig struct {
+	Router *Router
+	// ID names this router instance in /healthz and /metrics labels.
+	ID string
+	// QueueLimit bounds total admitted in-flight prompts; interactive
+	// requests are admitted up to it. Default DefaultQueueLimit.
+	QueueLimit int
+	// BulkLimit is the lower admission ceiling for bulk-class
+	// requests, so sweep traffic sheds (429) before interactive
+	// traffic under overload. Default QueueLimit/2.
+	BulkLimit int
+	// ClientQuota caps one client's in-flight prompts (keyed by the
+	// X-LLM4VV-Client header, falling back to the remote address) so a
+	// single runaway sweep cannot starve the fleet. 0 disables.
+	ClientQuota int
+	// RetryAfter is the back-off hint sent with 429 responses.
+	// Default DefaultRetryAfter.
+	RetryAfter time.Duration
+}
+
+// Frontend is the HTTP admission layer over a Router: the daemon wire
+// protocol plus priority-class load shedding, per-client quotas, and
+// Prometheus metrics. Construct with NewFrontend and mount Handler.
+//
+// A request's priority class comes from the X-LLM4VV-Priority header
+// ("interactive" or "bulk"); absent the header, single-prompt
+// requests default to interactive and batch requests to bulk — the
+// batch path is the sweep path, and overload should shed sweeps
+// before humans.
+type Frontend struct {
+	cfg FrontendConfig
+	rec *perf.Recorder
+
+	inflight atomic.Int64
+	mu       sync.Mutex
+	clients  map[string]int64
+
+	admittedInteractive atomic.Int64
+	admittedBulk        atomic.Int64
+	shedInteractive     atomic.Int64
+	shedBulk            atomic.Int64
+	quotaRejected       atomic.Int64
+}
+
+// NewFrontend builds the HTTP face over a Router.
+func NewFrontend(cfg FrontendConfig) *Frontend {
+	if cfg.Router == nil {
+		panic("fleet: FrontendConfig.Router is required")
+	}
+	if cfg.QueueLimit <= 0 {
+		cfg.QueueLimit = DefaultQueueLimit
+	}
+	if cfg.BulkLimit <= 0 || cfg.BulkLimit > cfg.QueueLimit {
+		cfg.BulkLimit = cfg.QueueLimit / 2
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = DefaultRetryAfter
+	}
+	return &Frontend{cfg: cfg, rec: perf.NewRecorder(), clients: map[string]int64{}}
+}
+
+// Stats is a snapshot of the admission counters.
+func (f *Frontend) Stats() FrontendStats {
+	return FrontendStats{
+		AdmittedInteractive: f.admittedInteractive.Load(),
+		AdmittedBulk:        f.admittedBulk.Load(),
+		ShedInteractive:     f.shedInteractive.Load(),
+		ShedBulk:            f.shedBulk.Load(),
+		QuotaRejected:       f.quotaRejected.Load(),
+	}
+}
+
+// Handler returns the router daemon's route table — the same paths a
+// replica serves, so clients are none the wiser.
+func (f *Frontend) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/complete", f.handleComplete)
+	mux.HandleFunc("/v1/complete_batch", f.handleCompleteBatch)
+	mux.HandleFunc("/v1/backends", f.handleBackends)
+	mux.HandleFunc("/healthz", f.handleHealthz)
+	mux.HandleFunc("/metrics", f.handleMetrics)
+	return mux
+}
+
+// classOf resolves a request's priority class: the explicit header
+// wins, otherwise batch requests are bulk and singles interactive.
+func classOf(r *http.Request, batch bool) string {
+	switch r.Header.Get(remote.PriorityHeader) {
+	case remote.PriorityBulk:
+		return remote.PriorityBulk
+	case remote.PriorityInteractive:
+		return remote.PriorityInteractive
+	}
+	if batch {
+		return remote.PriorityBulk
+	}
+	return remote.PriorityInteractive
+}
+
+// clientOf names the requesting client for quota accounting.
+func clientOf(r *http.Request) string {
+	if c := r.Header.Get(remote.ClientHeader); c != "" {
+		return c
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
+// admit reserves n prompt slots under the class ceiling and the
+// client quota, answering the 429 itself on refusal. The returned
+// release must run when the prompts resolve.
+func (f *Frontend) admit(w http.ResponseWriter, class, client string, n int) (release func(), ok bool) {
+	limit := int64(f.cfg.QueueLimit)
+	if class == remote.PriorityBulk {
+		limit = int64(f.cfg.BulkLimit)
+	}
+	if f.inflight.Add(int64(n)) > limit {
+		f.inflight.Add(int64(-n))
+		if class == remote.PriorityBulk {
+			f.shedBulk.Add(1)
+		} else {
+			f.shedInteractive.Add(1)
+		}
+		f.reject(w, fmt.Sprintf("router overloaded (%s class), retry later", class))
+		return nil, false
+	}
+	if q := int64(f.cfg.ClientQuota); q > 0 {
+		if f.clientAdd(client, int64(n)) > q {
+			f.clientAdd(client, int64(-n))
+			f.inflight.Add(int64(-n))
+			f.quotaRejected.Add(1)
+			f.reject(w, fmt.Sprintf("client %q exceeds its in-flight quota of %d prompts, retry later", client, q))
+			return nil, false
+		}
+	}
+	if class == remote.PriorityBulk {
+		f.admittedBulk.Add(int64(n))
+	} else {
+		f.admittedInteractive.Add(int64(n))
+	}
+	return func() {
+		f.inflight.Add(int64(-n))
+		if f.cfg.ClientQuota > 0 {
+			f.clientAdd(client, int64(-n))
+		}
+	}, true
+}
+
+// clientAdd adjusts one client's in-flight count, dropping zeroed
+// entries so the table tracks only active clients.
+func (f *Frontend) clientAdd(client string, n int64) int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	v := f.clients[client] + n
+	if v <= 0 {
+		delete(f.clients, client)
+		return v
+	}
+	f.clients[client] = v
+	return v
+}
+
+// reject answers a shed request: 429 with the fractional Retry-After
+// hint the remote client's backoff honours.
+func (f *Frontend) reject(w http.ResponseWriter, msg string) {
+	w.Header().Set("Retry-After", strconv.FormatFloat(f.cfg.RetryAfter.Seconds(), 'f', -1, 64))
+	writeError(w, http.StatusTooManyRequests, msg)
+}
+
+// statusFor maps a routing error: the requester's own context ending
+// is 504, a fleet with no replica able to serve is 502 — a true
+// gateway failure, transient to retrying clients.
+func statusFor(err error) int {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return http.StatusGatewayTimeout
+	}
+	return http.StatusBadGateway
+}
+
+func (f *Frontend) handleComplete(w http.ResponseWriter, r *http.Request) {
+	var req server.CompleteRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	if req.Prompt == "" {
+		writeError(w, http.StatusBadRequest, "empty prompt")
+		return
+	}
+	release, ok := f.admit(w, classOf(r, false), clientOf(r), 1)
+	if !ok {
+		return
+	}
+	defer release()
+	start := time.Now()
+	resp, err := f.cfg.Router.CompleteContext(r.Context(), req.Prompt)
+	f.rec.Observe("route", time.Since(start))
+	if err != nil {
+		writeError(w, statusFor(err), err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, server.CompleteResponse{Response: resp})
+}
+
+func (f *Frontend) handleCompleteBatch(w http.ResponseWriter, r *http.Request) {
+	var req server.CompleteBatchRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	if len(req.Prompts) == 0 {
+		writeJSON(w, http.StatusOK, server.CompleteBatchResponse{Responses: []string{}})
+		return
+	}
+	class := classOf(r, true)
+	if len(req.Prompts) > f.cfg.QueueLimit {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("batch of %d prompts exceeds the router queue limit %d; lower the client shard size or raise -queue", len(req.Prompts), f.cfg.QueueLimit))
+		return
+	}
+	release, ok := f.admit(w, class, clientOf(r), len(req.Prompts))
+	if !ok {
+		return
+	}
+	defer release()
+	start := time.Now()
+	resps, err := f.cfg.Router.CompleteBatch(r.Context(), req.Prompts)
+	f.rec.Observe("route_batch", time.Since(start))
+	if err != nil {
+		writeError(w, statusFor(err), err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, server.CompleteBatchResponse{Responses: resps})
+}
+
+// handleBackends answers /v1/backends on the fleet's behalf: the
+// first healthy replica that can describe itself does (replicas of one
+// fleet serve the same backend by construction), decorated with the
+// router's ID and the replica list. A fleet with no describable
+// replica still reports its shape.
+func (f *Frontend) handleBackends(w http.ResponseWriter, r *http.Request) {
+	resp := server.BackendsResponse{
+		Serving:   "fleet:" + strings.Join(f.cfg.Router.Addrs(), ","),
+		Batch:     true,
+		ReplicaID: f.cfg.ID,
+		Replicas:  f.cfg.Router.Addrs(),
+	}
+	type describer interface {
+		Info(ctx context.Context) (server.BackendsResponse, error)
+	}
+	for _, st := range f.cfg.Router.replicas {
+		if !st.healthy.Load() {
+			continue
+		}
+		d, ok := st.client.(describer)
+		if !ok {
+			break
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), 2*time.Second)
+		info, err := d.Info(ctx)
+		cancel()
+		if err != nil {
+			continue
+		}
+		info.ReplicaID = f.cfg.ID
+		info.Replicas = f.cfg.Router.Addrs()
+		resp = info
+		break
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (f *Frontend) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	replicas := f.cfg.Router.Replicas()
+	ok := false
+	for _, rs := range replicas {
+		if rs.Healthy {
+			ok = true
+			break
+		}
+	}
+	status := http.StatusOK
+	if !ok {
+		// No healthy replica: report unhealthy so load balancers and
+		// the remote client's Ping fail over to another router.
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, HealthResponse{
+		OK:       ok,
+		RouterID: f.cfg.ID,
+		Replicas: replicas,
+		Routing:  f.cfg.Router.Stats(),
+		Serving:  f.Stats(),
+	})
+}
+
+// handleMetrics serves the router's Prometheus exposition: admission
+// counters by priority class, routing counters, per-replica health and
+// traffic, and the route-stage latency summaries.
+func (f *Frontend) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	router := perf.Label("router", f.cfg.ID)
+	rs := f.cfg.Router.Stats()
+	fs := f.Stats()
+	var buf bytes.Buffer
+	p := perf.NewProm(&buf)
+	p.Family("llm4vv_router_admitted_total", "counter", "Prompts admitted, by priority class.",
+		perf.Sample{Labels: [][2]string{router, perf.Label("priority", remote.PriorityInteractive)}, Value: float64(fs.AdmittedInteractive)},
+		perf.Sample{Labels: [][2]string{router, perf.Label("priority", remote.PriorityBulk)}, Value: float64(fs.AdmittedBulk)},
+	)
+	p.Family("llm4vv_router_shed_total", "counter", "Requests refused with 429 at the class admission ceilings.",
+		perf.Sample{Labels: [][2]string{router, perf.Label("priority", remote.PriorityInteractive)}, Value: float64(fs.ShedInteractive)},
+		perf.Sample{Labels: [][2]string{router, perf.Label("priority", remote.PriorityBulk)}, Value: float64(fs.ShedBulk)},
+	)
+	p.Counter("llm4vv_router_quota_rejected_total", "Requests refused for exceeding a per-client quota.", float64(fs.QuotaRejected), router)
+	p.Counter("llm4vv_router_requests_total", "Single-prompt routing requests.", float64(rs.Requests), router)
+	p.Counter("llm4vv_router_batch_requests_total", "Batch routing requests.", float64(rs.BatchRequests), router)
+	p.Counter("llm4vv_router_routed_prompts_total", "Prompts delivered to replicas.", float64(rs.RoutedPrompts), router)
+	p.Counter("llm4vv_router_failovers_total", "Requests moved to a ring successor after a replica failure.", float64(rs.Failovers), router)
+	p.Counter("llm4vv_router_spills_total", "Bounded-load placements past an overloaded owner.", float64(rs.Spills), router)
+	p.Gauge("llm4vv_router_inflight_prompts", "Prompts admitted and not yet answered.", float64(f.inflight.Load()), router)
+	replicas := f.cfg.Router.Replicas()
+	healthy := make([]perf.Sample, len(replicas))
+	prompts := make([]perf.Sample, len(replicas))
+	failures := make([]perf.Sample, len(replicas))
+	for i, st := range replicas {
+		labels := [][2]string{router, perf.Label("replica", st.Addr)}
+		v := 0.0
+		if st.Healthy {
+			v = 1
+		}
+		healthy[i] = perf.Sample{Labels: labels, Value: v}
+		prompts[i] = perf.Sample{Labels: labels, Value: float64(st.Prompts)}
+		failures[i] = perf.Sample{Labels: labels, Value: float64(st.Failures)}
+	}
+	p.Family("llm4vv_router_replica_healthy", "gauge", "Replica ring membership: 1 healthy, 0 evicted.", healthy...)
+	p.Family("llm4vv_router_replica_prompts_total", "counter", "Prompts answered per replica.", prompts...)
+	p.Family("llm4vv_router_replica_failures_total", "counter", "Failed requests per replica.", failures...)
+	p.Summaries("llm4vv_router_stage_seconds", "Routing latency quantiles (route = one prompt, route_batch = one shard).", f.rec.Snapshot(), router)
+	if err := p.Err(); err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = w.Write(buf.Bytes())
+}
+
+// readJSON / writeJSON / writeError mirror the daemon's handlers so
+// the router speaks the identical wire protocol, ErrorResponse bodies
+// included.
+func readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return false
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20))
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, server.ErrorResponse{Error: msg})
+}

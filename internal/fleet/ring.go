@@ -1,0 +1,154 @@
+package fleet
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+	"strconv"
+	"sync"
+
+	"repro/internal/judge"
+)
+
+// DefaultVnodes is how many virtual nodes each replica contributes to
+// the ring. More vnodes smooth the key-space split (the std-dev of the
+// per-replica share shrinks like 1/sqrt(vnodes)) at the cost of a
+// larger sorted point table; 64 keeps a three-replica fleet within a
+// few percent of even.
+const DefaultVnodes = 64
+
+// Ring is a consistent-hash ring over replica names with virtual
+// nodes. Keys are judge.PromptKey content hashes, so placement is a
+// pure function of the prompt text: every worker, router, and resumed
+// sweep agrees on which replica owns a prompt's dedup/cache entry, and
+// membership changes move only the departed replica's share of the key
+// space (~1/N) instead of reshuffling everything. Safe for concurrent
+// use.
+type Ring struct {
+	mu     sync.RWMutex
+	vnodes int
+	points []point // sorted by hash; the ring, flattened
+	nodes  map[string]struct{}
+}
+
+// point is one virtual node: a position on the ring and the replica
+// that owns the arc ending there.
+type point struct {
+	hash uint64
+	node string
+}
+
+// NewRing returns an empty ring with the given virtual-node count per
+// replica (<= 0 means DefaultVnodes).
+func NewRing(vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVnodes
+	}
+	return &Ring{vnodes: vnodes, nodes: map[string]struct{}{}}
+}
+
+// Add inserts a replica's virtual nodes; adding a member twice is a
+// no-op, so health readmission needs no membership bookkeeping.
+func (r *Ring) Add(node string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.nodes[node]; ok {
+		return
+	}
+	r.nodes[node] = struct{}{}
+	for i := 0; i < r.vnodes; i++ {
+		r.points = append(r.points, point{hash: vnodeHash(node, i), node: node})
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].hash < r.points[j].hash })
+}
+
+// Remove evicts a replica's virtual nodes; removing a non-member is a
+// no-op. Only arcs the departed replica owned change hands — the
+// surviving replicas' points are untouched, which is the whole reason
+// resume sweeps stay cache-hot across membership churn.
+func (r *Ring) Remove(node string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.nodes[node]; !ok {
+		return
+	}
+	delete(r.nodes, node)
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.node != node {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+}
+
+// Len reports the current member count.
+func (r *Ring) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.nodes)
+}
+
+// Nodes returns the current members, sorted.
+func (r *Ring) Nodes() []string {
+	r.mu.RLock()
+	out := make([]string, 0, len(r.nodes))
+	for n := range r.nodes {
+		out = append(out, n)
+	}
+	r.mu.RUnlock()
+	sort.Strings(out)
+	return out
+}
+
+// Owner returns the replica owning a key — the first virtual node at
+// or clockwise of the key's position — and false on an empty ring.
+func (r *Ring) Owner(key judge.PromptKey) (string, bool) {
+	owners := r.Successors(key, 1)
+	if len(owners) == 0 {
+		return "", false
+	}
+	return owners[0], true
+}
+
+// Successors returns up to max distinct replicas in clockwise order
+// from a key's position: the owner first, then the failover order a
+// router walks when the owner is down or at its load bound. Every
+// caller sees the same order for the same key and membership.
+func (r *Ring) Successors(key judge.PromptKey, max int) []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.points) == 0 || max <= 0 {
+		return nil
+	}
+	if max > len(r.nodes) {
+		max = len(r.nodes)
+	}
+	h := keyHash(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]string, 0, max)
+	seen := make(map[string]struct{}, max)
+	for i := 0; i < len(r.points) && len(out) < max; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if _, dup := seen[p.node]; dup {
+			continue
+		}
+		seen[p.node] = struct{}{}
+		out = append(out, p.node)
+	}
+	return out
+}
+
+// keyHash folds a prompt key onto the ring: the first 8 bytes of the
+// SHA-256 already are a uniform 64-bit value.
+func keyHash(key judge.PromptKey) uint64 {
+	return binary.BigEndian.Uint64(key[:8])
+}
+
+// vnodeHash positions one virtual node, hashing the replica name and
+// the vnode index together so each replica's points scatter
+// independently of every other's.
+func vnodeHash(node string, i int) uint64 {
+	sum := sha256.Sum256([]byte(node + "#" + strconv.Itoa(i)))
+	return binary.BigEndian.Uint64(sum[:8])
+}

@@ -1,0 +1,151 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/judge"
+)
+
+func testKeys(n int) []judge.PromptKey {
+	keys := make([]judge.PromptKey, n)
+	for i := range keys {
+		keys[i] = judge.KeyOf(fmt.Sprintf("prompt-%d", i))
+	}
+	return keys
+}
+
+func TestRingOwnerDeterministic(t *testing.T) {
+	a := NewRing(0)
+	b := NewRing(0)
+	for _, n := range []string{"r1", "r2", "r3"} {
+		a.Add(n)
+		b.Add(n)
+	}
+	for _, key := range testKeys(200) {
+		oa, ok := a.Owner(key)
+		if !ok {
+			t.Fatal("owner not found on populated ring")
+		}
+		ob, _ := b.Owner(key)
+		if oa != ob {
+			t.Fatalf("independently built rings disagree: %s vs %s", oa, ob)
+		}
+		again, _ := a.Owner(key)
+		if again != oa {
+			t.Fatalf("owner changed between calls: %s vs %s", oa, again)
+		}
+	}
+}
+
+func TestRingEmptyAndIdempotent(t *testing.T) {
+	r := NewRing(8)
+	if _, ok := r.Owner(judge.KeyOf("x")); ok {
+		t.Fatal("empty ring reported an owner")
+	}
+	if got := r.Successors(judge.KeyOf("x"), 3); got != nil {
+		t.Fatalf("empty ring returned successors %v", got)
+	}
+	r.Add("a")
+	r.Add("a")
+	if r.Len() != 1 {
+		t.Fatalf("double Add produced %d members", r.Len())
+	}
+	r.Remove("missing")
+	r.Remove("a")
+	r.Remove("a")
+	if r.Len() != 0 {
+		t.Fatalf("ring not empty after removes: %d members", r.Len())
+	}
+}
+
+// TestRingRemoveMovesOnlyDepartedShare is the consistent-hashing
+// contract: evicting one of three replicas re-homes only the keys the
+// departed replica owned, and readmitting it restores the original
+// placement exactly.
+func TestRingRemoveMovesOnlyDepartedShare(t *testing.T) {
+	r := NewRing(0)
+	nodes := []string{"r1", "r2", "r3"}
+	for _, n := range nodes {
+		r.Add(n)
+	}
+	keys := testKeys(3000)
+	before := make(map[int]string, len(keys))
+	for i, key := range keys {
+		before[i], _ = r.Owner(key)
+	}
+	const victim = "r2"
+	r.Remove(victim)
+	moved := 0
+	for i, key := range keys {
+		after, ok := r.Owner(key)
+		if !ok {
+			t.Fatal("owner lost after removal")
+		}
+		if after == victim {
+			t.Fatalf("key %d still owned by removed replica", i)
+		}
+		if before[i] == victim {
+			moved++
+			continue
+		}
+		if after != before[i] {
+			t.Fatalf("key %d owned by survivor %s moved to %s", i, before[i], after)
+		}
+	}
+	// The departed replica's share should be near 1/3; vnode variance
+	// allows a wide band.
+	if moved < len(keys)/6 || moved > len(keys)/2 {
+		t.Fatalf("removal moved %d of %d keys; want roughly 1/3", moved, len(keys))
+	}
+	r.Add(victim)
+	for i, key := range keys {
+		after, _ := r.Owner(key)
+		if after != before[i] {
+			t.Fatalf("key %d not restored after readmission: %s vs %s", i, after, before[i])
+		}
+	}
+}
+
+func TestRingDistribution(t *testing.T) {
+	r := NewRing(0)
+	counts := map[string]int{}
+	for _, n := range []string{"r1", "r2", "r3"} {
+		r.Add(n)
+	}
+	keys := testKeys(6000)
+	for _, key := range keys {
+		o, _ := r.Owner(key)
+		counts[o]++
+	}
+	for n, c := range counts {
+		share := float64(c) / float64(len(keys))
+		if share < 0.15 || share > 0.55 {
+			t.Fatalf("replica %s owns %.1f%% of keys; ring badly unbalanced (%v)", n, 100*share, counts)
+		}
+	}
+}
+
+func TestRingSuccessorsDistinctAndOrdered(t *testing.T) {
+	r := NewRing(0)
+	for _, n := range []string{"r1", "r2", "r3"} {
+		r.Add(n)
+	}
+	for _, key := range testKeys(50) {
+		succ := r.Successors(key, 10)
+		if len(succ) != 3 {
+			t.Fatalf("want 3 distinct successors, got %v", succ)
+		}
+		seen := map[string]bool{}
+		for _, s := range succ {
+			if seen[s] {
+				t.Fatalf("duplicate successor in %v", succ)
+			}
+			seen[s] = true
+		}
+		owner, _ := r.Owner(key)
+		if succ[0] != owner {
+			t.Fatalf("successor walk does not start at the owner: %v vs %s", succ, owner)
+		}
+	}
+}

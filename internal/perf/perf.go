@@ -87,6 +87,59 @@ func (r *Recorder) P50(stage string) time.Duration { return r.Quantile(stage, 0.
 // P99 is Quantile(stage, 0.99).
 func (r *Recorder) P99(stage string) time.Duration { return r.Quantile(stage, 0.99) }
 
+// StageStats is one stage's aggregate view at Snapshot time: the
+// sample count plus the p50/p99 latency quantiles the /metrics
+// exposition exports. Count is the monotone series Prometheus derives
+// stage rates from.
+type StageStats struct {
+	Stage string
+	Count int
+	P50   time.Duration
+	P99   time.Duration
+}
+
+// Snapshot returns the aggregate stats of every recorded stage, sorted
+// by stage name — one consistent cut across all stages, safe against
+// concurrent Observe calls. The samples are copied under the lock and
+// the quantiles computed outside it, so a scrape never blocks stage
+// workers for longer than the copy.
+func (r *Recorder) Snapshot() []StageStats {
+	r.mu.Lock()
+	copies := make(map[string][]time.Duration, len(r.samples))
+	for stage, samples := range r.samples {
+		copies[stage] = append([]time.Duration(nil), samples...)
+	}
+	r.mu.Unlock()
+	out := make([]StageStats, 0, len(copies))
+	for stage, samples := range copies {
+		sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+		out = append(out, StageStats{
+			Stage: stage,
+			Count: len(samples),
+			P50:   nearestRank(samples, 0.50),
+			P99:   nearestRank(samples, 0.99),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Stage < out[j].Stage })
+	return out
+}
+
+// nearestRank is the quantile method of Quantile over an already
+// sorted sample slice.
+func nearestRank(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(q*float64(len(sorted)) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
 // Rate converts an item count and an elapsed duration (testing.B's
 // own timer) into an items-per-second metric; 0 for a degenerate
 // instant run rather than a division by zero.

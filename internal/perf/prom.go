@@ -1,0 +1,129 @@
+package perf
+
+// Prometheus text exposition (format version 0.0.4), written by hand:
+// the daemon and router /metrics endpoints export a handful of
+// counters, gauges, and latency summaries, which does not justify a
+// client-library dependency. Prom builds one scrape body family by
+// family — each family emits its # HELP / # TYPE header exactly once,
+// label values are escaped per the format, and float rendering uses
+// the shortest exact form — so the output parses in any Prometheus
+// scraper and in the format checks the fleet tests run against it.
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Sample is one time series of a family: a label set and a value.
+type Sample struct {
+	Labels [][2]string
+	Value  float64
+}
+
+// Label is a convenience constructor for a Sample label pair.
+func Label(name, value string) [2]string { return [2]string{name, value} }
+
+// Prom writes one text-exposition scrape body. Errors are sticky: the
+// first write failure is kept and every later call is a no-op, so a
+// family-by-family caller checks Err once at the end.
+type Prom struct {
+	w   io.Writer
+	err error
+}
+
+// NewProm returns a Prom writing to w.
+func NewProm(w io.Writer) *Prom { return &Prom{w: w} }
+
+// Err reports the first write error, if any.
+func (p *Prom) Err() error { return p.err }
+
+// Counter writes a single-series counter family.
+func (p *Prom) Counter(name, help string, value float64, labels ...[2]string) {
+	p.Family(name, "counter", help, Sample{Labels: labels, Value: value})
+}
+
+// Gauge writes a single-series gauge family.
+func (p *Prom) Gauge(name, help string, value float64, labels ...[2]string) {
+	p.Family(name, "gauge", help, Sample{Labels: labels, Value: value})
+}
+
+// Family writes one metric family: the HELP/TYPE header followed by
+// every sample. A family with no samples writes nothing — a scrape
+// never contains headers for series that do not exist.
+func (p *Prom) Family(name, typ, help string, samples ...Sample) {
+	if len(samples) == 0 {
+		return
+	}
+	p.printf("# HELP %s %s\n", name, escapeHelp(help))
+	p.printf("# TYPE %s %s\n", name, typ)
+	for _, s := range samples {
+		p.printf("%s%s %s\n", name, renderLabels(s.Labels), formatValue(s.Value))
+	}
+}
+
+// Summaries writes one summary family from Recorder stage snapshots:
+// for every stage, the p50 and p99 quantile series plus the _count
+// series, each labelled stage="<name>" alongside the shared labels.
+// Latencies are exported in seconds, the Prometheus base unit.
+func (p *Prom) Summaries(name, help string, stages []StageStats, labels ...[2]string) {
+	if len(stages) == 0 {
+		return
+	}
+	p.printf("# HELP %s %s\n", name, escapeHelp(help))
+	p.printf("# TYPE %s summary\n", name)
+	for _, st := range stages {
+		base := append(append([][2]string(nil), labels...), Label("stage", st.Stage))
+		p.printf("%s%s %s\n", name,
+			renderLabels(append(base, Label("quantile", "0.5"))), formatValue(st.P50.Seconds()))
+		p.printf("%s%s %s\n", name,
+			renderLabels(append(base, Label("quantile", "0.99"))), formatValue(st.P99.Seconds()))
+		p.printf("%s_count%s %d\n", name, renderLabels(base), st.Count)
+	}
+}
+
+func (p *Prom) printf(format string, args ...any) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = fmt.Fprintf(p.w, format, args...)
+}
+
+// renderLabels formats a label set as {a="x",b="y"}; empty sets render
+// as nothing, matching bare-series syntax.
+func renderLabels(labels [][2]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(l[0])
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabel(l[1]))
+		sb.WriteByte('"')
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// escapeLabel escapes a label value per the exposition format:
+// backslash, double quote, and newline.
+func escapeLabel(v string) string {
+	return strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`).Replace(v)
+}
+
+// escapeHelp escapes a HELP string: backslash and newline (quotes are
+// legal there).
+func escapeHelp(v string) string {
+	return strings.NewReplacer(`\`, `\\`, "\n", `\n`).Replace(v)
+}
+
+// formatValue renders a float in the shortest exact form.
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

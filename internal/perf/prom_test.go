@@ -1,0 +1,149 @@
+package perf
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSnapshotAggregates(t *testing.T) {
+	r := NewRecorder()
+	for i := 100; i >= 1; i-- {
+		r.Observe("judge", time.Duration(i)*time.Millisecond)
+	}
+	r.Observe("compile", 3*time.Millisecond)
+	snap := r.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("Snapshot returned %d stages, want 2", len(snap))
+	}
+	if snap[0].Stage != "compile" || snap[1].Stage != "judge" {
+		t.Fatalf("stages not sorted: %v, %v", snap[0].Stage, snap[1].Stage)
+	}
+	j := snap[1]
+	if j.Count != 100 || j.P50 != 50*time.Millisecond || j.P99 != 99*time.Millisecond {
+		t.Errorf("judge stats = %+v, want count=100 p50=50ms p99=99ms", j)
+	}
+	c := snap[0]
+	if c.Count != 1 || c.P50 != 3*time.Millisecond || c.P99 != 3*time.Millisecond {
+		t.Errorf("compile stats = %+v, want count=1 p50=p99=3ms", c)
+	}
+	if got := NewRecorder().Snapshot(); len(got) != 0 {
+		t.Errorf("empty recorder Snapshot = %v, want empty", got)
+	}
+}
+
+func TestSnapshotConcurrentWithObserve(t *testing.T) {
+	r := NewRecorder()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 1000; i++ {
+			r.Observe("judge", time.Duration(i))
+		}
+	}()
+	for i := 0; i < 50; i++ {
+		for _, s := range r.Snapshot() {
+			if s.Count > 0 && s.P99 < s.P50 {
+				t.Fatalf("inconsistent snapshot: p99 %v < p50 %v", s.P99, s.P50)
+			}
+		}
+	}
+	<-done
+}
+
+func TestPromExposition(t *testing.T) {
+	var sb strings.Builder
+	p := NewProm(&sb)
+	p.Counter("llm4vv_requests_total", "Admitted requests.", 42, Label("replica", "127.0.0.1:1"))
+	p.Gauge(`llm4vv_healthy`, `Healthy flag with "quotes" and \slash`, 1,
+		Label("replica", `a"b\c`+"\n"))
+	p.Family("llm4vv_routed_total", "counter", "Per-replica routed prompts.",
+		Sample{Labels: [][2]string{Label("replica", "a")}, Value: 1},
+		Sample{Labels: [][2]string{Label("replica", "b")}, Value: 2},
+	)
+	p.Family("llm4vv_empty_total", "counter", "Never emitted.")
+	p.Summaries("llm4vv_stage_seconds", "Stage latency.", []StageStats{
+		{Stage: "resolve", Count: 7, P50: 1500 * time.Microsecond, P99: 20 * time.Millisecond},
+	})
+	if err := p.Err(); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	checkPromText(t, out)
+	for _, want := range []string{
+		`llm4vv_requests_total{replica="127.0.0.1:1"} 42`,
+		`llm4vv_healthy{replica="a\"b\\c\n"} 1`,
+		`llm4vv_routed_total{replica="b"} 2`,
+		`llm4vv_stage_seconds{stage="resolve",quantile="0.5"} 0.0015`,
+		`llm4vv_stage_seconds{stage="resolve",quantile="0.99"} 0.02`,
+		`llm4vv_stage_seconds_count{stage="resolve"} 7`,
+		"# TYPE llm4vv_stage_seconds summary",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "llm4vv_empty_total") {
+		t.Errorf("sample-less family leaked a header:\n%s", out)
+	}
+}
+
+// checkPromText is a line-level validity check of a text-exposition
+// body: every non-comment line is `name[{labels}] value` with a
+// parseable float value, quotes in label blocks balance, and every
+// series name was introduced by a preceding # TYPE header. The fleet
+// and server /metrics tests share it via exported test hooks.
+func checkPromText(t *testing.T, body string) {
+	t.Helper()
+	typed := map[string]bool{}
+	for ln, line := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
+		if line == "" {
+			t.Fatalf("line %d: empty line inside exposition", ln+1)
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			fields := strings.Fields(line)
+			if len(fields) != 4 {
+				t.Fatalf("line %d: malformed TYPE header %q", ln+1, line)
+			}
+			typed[fields[2]] = true
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("line %d: no value separator in %q", ln+1, line)
+		}
+		series, value := line[:sp], line[sp+1:]
+		if _, err := strconv.ParseFloat(value, 64); err != nil {
+			t.Fatalf("line %d: unparsable value %q: %v", ln+1, value, err)
+		}
+		name := series
+		if i := strings.IndexByte(series, '{'); i >= 0 {
+			if !strings.HasSuffix(series, "}") {
+				t.Fatalf("line %d: unterminated label block in %q", ln+1, series)
+			}
+			quotes, escaped := 0, false
+			for _, c := range series {
+				switch {
+				case escaped:
+					escaped = false
+				case c == '\\':
+					escaped = true
+				case c == '"':
+					quotes++
+				}
+			}
+			if quotes%2 != 0 {
+				t.Fatalf("line %d: unbalanced quotes in %q", ln+1, series)
+			}
+			name = series[:i]
+		}
+		family := strings.TrimSuffix(strings.TrimSuffix(name, "_count"), "_sum")
+		if !typed[name] && !typed[family] {
+			t.Fatalf("line %d: series %q has no TYPE header", ln+1, name)
+		}
+	}
+}

@@ -9,10 +9,20 @@
 // The client is built for flaky networks and busy daemons: transient
 // failures (connection errors, 429 overload rejections, 5xx) are
 // retried with jittered exponential backoff — honouring the daemon's
-// Retry-After hint when one comes back — while permanent 4xx errors
-// and context cancellation fail immediately. Connections are reused
+// Retry-After hint when one comes back, including an explicit zero
+// meaning "retry immediately" — while permanent 4xx errors and
+// context cancellation fail immediately. Connections are reused
 // across requests via a shared keep-alive transport sized for the
 // Runner's worker fan-out.
+//
+// The address may be a comma-separated replica list ("a:1,b:1,c:1"):
+// the client sticks to one preferred replica — so its dedup/cache
+// entries stay warm — and rotates to the next on connection errors
+// and 5xx failures, which is how `judgebench -serve-addr` survives a
+// replica dying mid-sweep with or without an llm4vv-router tier in
+// front. (429 overload does not rotate: the replica is alive and its
+// Retry-After hint is respected in place.) Consistent-hash routing
+// across replicas is the router's job — see internal/fleet.
 package remote
 
 import (
@@ -26,6 +36,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/server"
@@ -46,13 +57,33 @@ var transport = &http.Transport{
 	IdleConnTimeout:     90 * time.Second,
 }
 
-// Backend is a remote judging endpoint. Construct with New; the zero
-// value is not usable.
+// Request headers the routing tier reads; the class names are the
+// values PriorityHeader carries.
+const (
+	// PriorityHeader carries a request's priority class to the
+	// llm4vv-router admission layer: interactive requests survive
+	// overload longest, bulk-sweep traffic is shed first.
+	PriorityHeader = "X-LLM4VV-Priority"
+	// ClientHeader names the requesting client for the router's
+	// per-client admission quotas; absent, the router falls back to
+	// the connection's remote address.
+	ClientHeader = "X-LLM4VV-Client"
+
+	PriorityInteractive = "interactive"
+	PriorityBulk        = "bulk"
+)
+
+// Backend is a remote judging endpoint — one daemon, or a preferred-
+// plus-fallback replica list. Construct with New; the zero value is
+// not usable.
 type Backend struct {
-	base    string
-	hc      *http.Client
-	retries int
-	backoff time.Duration
+	bases    []string
+	cur      atomic.Uint64 // index (mod len(bases)) of the preferred replica
+	hc       *http.Client
+	retries  int
+	backoff  time.Duration
+	priority string
+	client   string
 
 	mu     sync.Mutex
 	jitter *rand.Rand
@@ -75,15 +106,35 @@ func WithBackoff(d time.Duration) Option { return func(b *Backend) { b.backoff =
 // httptest clients; production code keeps the shared transport).
 func WithHTTPClient(hc *http.Client) Option { return func(b *Backend) { b.hc = hc } }
 
+// WithPriority stamps every request with a priority class
+// (PriorityInteractive or PriorityBulk) for the router's load
+// shedding; daemons ignore the header.
+func WithPriority(class string) Option { return func(b *Backend) { b.priority = class } }
+
+// WithClientID stamps every request with a client name for the
+// router's per-client admission quotas.
+func WithClientID(id string) Option { return func(b *Backend) { b.client = id } }
+
 // New returns a client for the daemon at addr ("host:port" or a full
-// http:// URL).
+// http:// URL), or for a comma-separated replica list with failover
+// across its members.
 func New(addr string, opts ...Option) *Backend {
-	base := strings.TrimSuffix(addr, "/")
-	if !strings.Contains(base, "://") {
-		base = "http://" + base
+	var bases []string
+	for _, a := range strings.Split(addr, ",") {
+		a = strings.TrimSuffix(strings.TrimSpace(a), "/")
+		if a == "" {
+			continue
+		}
+		if !strings.Contains(a, "://") {
+			a = "http://" + a
+		}
+		bases = append(bases, a)
+	}
+	if len(bases) == 0 {
+		bases = []string{"http://" + addr}
 	}
 	b := &Backend{
-		base:    base,
+		bases:   bases,
 		hc:      &http.Client{Transport: transport},
 		retries: DefaultRetries,
 		backoff: DefaultBackoff,
@@ -93,6 +144,23 @@ func New(addr string, opts ...Option) *Backend {
 		opt(b)
 	}
 	return b
+}
+
+// Addrs reports the configured base URLs in their configured order
+// (the preferred replica rotates separately).
+func (b *Backend) Addrs() []string { return append([]string(nil), b.bases...) }
+
+// pick returns the currently preferred replica's URL and the
+// preference counter it was read at, for rotate.
+func (b *Backend) pick() (string, uint64) {
+	idx := b.cur.Load()
+	return b.bases[idx%uint64(len(b.bases))], idx
+}
+
+// rotate moves the preference off a replica that just failed, unless a
+// concurrent request already did (the counter moved past idx).
+func (b *Backend) rotate(idx uint64) {
+	b.cur.CompareAndSwap(idx, idx+1)
 }
 
 // Complete implements judge.LLM. The error-free contract has nowhere
@@ -131,51 +199,77 @@ func (b *Backend) CompleteBatch(ctx context.Context, prompts []string) ([]string
 	return out.Responses, nil
 }
 
-// Info fetches the daemon's /v1/backends description: what backend it
+// Info fetches a daemon's /v1/backends description: what backend it
 // serves under which seed, whether it batches, and — when it fronts a
 // voting ensemble — the panel members and strategy. Front-ends use it
 // to fail fast when an experiment needs a panel but the daemon serves
-// a single judge.
+// a single judge. With a replica list, the first reachable replica
+// answers — replicas of one fleet serve the same backend by
+// construction.
 func (b *Backend) Info(ctx context.Context) (server.BackendsResponse, error) {
 	var out server.BackendsResponse
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.base+"/v1/backends", nil)
-	if err != nil {
-		return out, err
+	var lastErr error
+	for range b.bases {
+		base, idx := b.pick()
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/backends", nil)
+		if err != nil {
+			return out, err
+		}
+		resp, err := b.hc.Do(req)
+		if err != nil {
+			lastErr = fmt.Errorf("remote: daemon at %s unreachable: %w", base, err)
+			b.rotate(idx)
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			lastErr = fmt.Errorf("remote: daemon at %s: %s", base, resp.Status)
+			drain(resp)
+			b.rotate(idx)
+			continue
+		}
+		err = json.NewDecoder(resp.Body).Decode(&out)
+		drain(resp)
+		if err != nil {
+			return out, fmt.Errorf("remote: daemon at %s: decoding /v1/backends: %w", base, err)
+		}
+		return out, nil
 	}
-	resp, err := b.hc.Do(req)
-	if err != nil {
-		return out, fmt.Errorf("remote: daemon at %s unreachable: %w", b.base, err)
-	}
-	defer drain(resp)
-	if resp.StatusCode != http.StatusOK {
-		return out, fmt.Errorf("remote: daemon at %s: %s", b.base, resp.Status)
-	}
-	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
-		return out, fmt.Errorf("remote: daemon at %s: decoding /v1/backends: %w", b.base, err)
-	}
-	return out, nil
+	return out, lastErr
 }
 
 // Ping checks daemon liveness via /healthz — how front-ends fail fast
-// on a bad -serve-addr before starting a sweep.
+// on a bad -serve-addr before starting a sweep. With a replica list,
+// any one healthy replica answers.
 func (b *Backend) Ping(ctx context.Context) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.base+"/healthz", nil)
-	if err != nil {
-		return err
+	var lastErr error
+	for range b.bases {
+		base, idx := b.pick()
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/healthz", nil)
+		if err != nil {
+			return err
+		}
+		resp, err := b.hc.Do(req)
+		if err != nil {
+			lastErr = fmt.Errorf("remote: daemon at %s unreachable: %w", base, err)
+			b.rotate(idx)
+			continue
+		}
+		drain(resp)
+		if resp.StatusCode != http.StatusOK {
+			lastErr = fmt.Errorf("remote: daemon at %s unhealthy: %s", base, resp.Status)
+			b.rotate(idx)
+			continue
+		}
+		return nil
 	}
-	resp, err := b.hc.Do(req)
-	if err != nil {
-		return fmt.Errorf("remote: daemon at %s unreachable: %w", b.base, err)
-	}
-	defer drain(resp)
-	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("remote: daemon at %s unhealthy: %s", b.base, resp.Status)
-	}
-	return nil
+	return lastErr
 }
 
 // post submits one JSON request with retry-on-transient-failure
-// semantics and decodes the success body into out.
+// semantics and decodes the success body into out. Connection errors
+// and 5xx responses rotate the preferred replica before the retry;
+// 429 overload stays put — the replica is alive, and moving a busy
+// fleet's load around only spreads the overload.
 func (b *Backend) post(ctx context.Context, path string, in, out any) error {
 	body, err := json.Marshal(in)
 	if err != nil {
@@ -183,13 +277,21 @@ func (b *Backend) post(ctx context.Context, path string, in, out any) error {
 	}
 	var lastErr error
 	for attempt := 0; ; attempt++ {
-		req, err := http.NewRequestWithContext(ctx, http.MethodPost, b.base+path, bytes.NewReader(body))
+		base, idx := b.pick()
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+path, bytes.NewReader(body))
 		if err != nil {
 			return err
 		}
 		req.Header.Set("Content-Type", "application/json")
+		if b.priority != "" {
+			req.Header.Set(PriorityHeader, b.priority)
+		}
+		if b.client != "" {
+			req.Header.Set(ClientHeader, b.client)
+		}
 		resp, err := b.hc.Do(req)
 		var retryAfter time.Duration
+		var hasHint bool
 		switch {
 		case err != nil:
 			// Connection-level failure. The request context's own end
@@ -198,14 +300,18 @@ func (b *Backend) post(ctx context.Context, path string, in, out any) error {
 				return ctx.Err()
 			}
 			lastErr = err
+			b.rotate(idx)
 		case resp.StatusCode == http.StatusOK:
 			err := json.NewDecoder(resp.Body).Decode(out)
 			drain(resp)
 			return err
 		case resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode >= 500:
 			lastErr = httpError(resp)
-			retryAfter = parseRetryAfter(resp.Header.Get("Retry-After"))
+			retryAfter, hasHint = parseRetryAfter(resp.Header.Get("Retry-After"))
 			drain(resp)
+			if resp.StatusCode >= 500 {
+				b.rotate(idx)
+			}
 		default:
 			err := httpError(resp)
 			drain(resp)
@@ -214,7 +320,7 @@ func (b *Backend) post(ctx context.Context, path string, in, out any) error {
 		if attempt >= b.retries {
 			return fmt.Errorf("remote: %s failed after %d attempts: %w", path, attempt+1, lastErr)
 		}
-		if err := b.sleep(ctx, attempt, retryAfter); err != nil {
+		if err := b.sleep(ctx, attempt, retryAfter, hasHint); err != nil {
 			return err
 		}
 	}
@@ -222,8 +328,13 @@ func (b *Backend) post(ctx context.Context, path string, in, out any) error {
 
 // sleep waits out one backoff period — jittered exponential from the
 // attempt number, floored by the daemon's Retry-After hint — or
-// returns early with the context's error.
-func (b *Backend) sleep(ctx context.Context, attempt int, retryAfter time.Duration) error {
+// returns early with the context's error. An explicit Retry-After of
+// zero means the daemon wants the retry immediately (its queue just
+// drained); only an absent header falls back to pure backoff.
+func (b *Backend) sleep(ctx context.Context, attempt int, retryAfter time.Duration, hasHint bool) error {
+	if hasHint && retryAfter == 0 {
+		return ctx.Err()
+	}
 	// Cap the exponent before shifting: a large retry budget must not
 	// overflow the shift into a negative duration.
 	d := maxBackoff
@@ -262,16 +373,18 @@ func httpError(resp *http.Response) error {
 }
 
 // parseRetryAfter reads the Retry-After header; the daemon writes
-// fractional seconds, and plain integer seconds parse too.
-func parseRetryAfter(v string) time.Duration {
+// fractional seconds, and plain integer seconds parse too. The second
+// return distinguishes a parsed hint — zero included — from an absent
+// or malformed header.
+func parseRetryAfter(v string) (time.Duration, bool) {
 	if v == "" {
-		return 0
+		return 0, false
 	}
 	secs, err := strconv.ParseFloat(v, 64)
 	if err != nil || secs < 0 {
-		return 0
+		return 0, false
 	}
-	return time.Duration(secs * float64(time.Second))
+	return time.Duration(secs * float64(time.Second)), true
 }
 
 // drain discards any unread body so the keep-alive connection is

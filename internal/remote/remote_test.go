@@ -81,6 +81,32 @@ func TestRetries429WithRetryAfter(t *testing.T) {
 	}
 }
 
+func TestRetryAfterZeroRetriesImmediately(t *testing.T) {
+	// An explicit "Retry-After: 0" is the daemon saying "now", not "no
+	// hint": the client must retry immediately instead of falling back
+	// to full exponential backoff.
+	h := &scripted{script: []int{http.StatusTooManyRequests, http.StatusTooManyRequests}, retryHdr: "0"}
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+	b := remote.New(ts.URL, remote.WithRetries(2), remote.WithBackoff(500*time.Millisecond))
+	start := time.Now()
+	resp, err := b.CompleteContext(context.Background(), "p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp != "ok:p" {
+		t.Fatalf("got %q", resp)
+	}
+	// With backoff 500ms, ignoring the zero hint would take >= 1s for
+	// the two retries; honouring it finishes in milliseconds.
+	if elapsed := time.Since(start); elapsed > 400*time.Millisecond {
+		t.Errorf("took %v; an explicit Retry-After: 0 should retry immediately", elapsed)
+	}
+	if got := h.attempts.Load(); got != 3 {
+		t.Errorf("made %d attempts, want 3", got)
+	}
+}
+
 func TestPermanent4xxFailsImmediately(t *testing.T) {
 	h := &scripted{script: []int{http.StatusBadRequest, http.StatusBadRequest, http.StatusBadRequest}}
 	ts := httptest.NewServer(h)
@@ -155,6 +181,98 @@ func TestZeroBackoffRetriesImmediately(t *testing.T) {
 	}
 	if got := h.attempts.Load(); got != 3 {
 		t.Errorf("made %d attempts, want 3", got)
+	}
+}
+
+func TestMultiAddressFailover(t *testing.T) {
+	// Replica one answers until "killed", then the client must rotate
+	// to replica two and finish the run there — without exhausting its
+	// retry budget on the corpse.
+	var oneDead atomic.Bool
+	one := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if oneDead.Load() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		var req server.CompleteRequest
+		_ = json.NewDecoder(r.Body).Decode(&req)
+		_ = json.NewEncoder(w).Encode(server.CompleteResponse{Response: "one:" + req.Prompt})
+	}))
+	defer one.Close()
+	var twoRequests atomic.Int64
+	two := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		twoRequests.Add(1)
+		var req server.CompleteRequest
+		_ = json.NewDecoder(r.Body).Decode(&req)
+		_ = json.NewEncoder(w).Encode(server.CompleteResponse{Response: "two:" + req.Prompt})
+	}))
+	defer two.Close()
+
+	b := remote.New(one.URL+","+two.URL, remote.WithRetries(3), remote.WithBackoff(time.Millisecond))
+	if got := len(b.Addrs()); got != 2 {
+		t.Fatalf("Addrs reports %d bases, want 2", got)
+	}
+	resp, err := b.CompleteContext(context.Background(), "a")
+	if err != nil || resp != "one:a" {
+		t.Fatalf("healthy preferred replica: got %q, %v", resp, err)
+	}
+	oneDead.Store(true)
+	resp, err = b.CompleteContext(context.Background(), "b")
+	if err != nil || resp != "two:b" {
+		t.Fatalf("failover: got %q, %v", resp, err)
+	}
+	// Preference sticks to the survivor: no further traffic probes the
+	// dead replica.
+	before := twoRequests.Load()
+	for i := 0; i < 3; i++ {
+		if resp, err := b.CompleteContext(context.Background(), "c"); err != nil || resp != "two:c" {
+			t.Fatalf("post-failover request %d: got %q, %v", i, resp, err)
+		}
+	}
+	if got := twoRequests.Load() - before; got != 3 {
+		t.Errorf("survivor served %d of 3 post-failover requests", got)
+	}
+	if err := b.Ping(context.Background()); err != nil {
+		t.Errorf("Ping with one live replica: %v", err)
+	}
+}
+
+func TestMultiAddressAllDead(t *testing.T) {
+	b := remote.New("127.0.0.1:1,127.0.0.1:1", remote.WithRetries(2), remote.WithBackoff(time.Millisecond))
+	if _, err := b.CompleteContext(context.Background(), "p"); err == nil {
+		t.Fatal("expected an error with every replica dead")
+	}
+	if err := b.Ping(context.Background()); err == nil {
+		t.Fatal("expected Ping to fail with every replica dead")
+	}
+}
+
+func TestPriorityAndClientHeaders(t *testing.T) {
+	var gotPriority, gotClient atomic.Value
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		gotPriority.Store(r.Header.Get(remote.PriorityHeader))
+		gotClient.Store(r.Header.Get(remote.ClientHeader))
+		_ = json.NewEncoder(w).Encode(server.CompleteResponse{Response: "ok"})
+	}))
+	defer ts.Close()
+	b := remote.New(ts.URL, remote.WithPriority(remote.PriorityBulk), remote.WithClientID("sweep-7"))
+	if _, err := b.CompleteContext(context.Background(), "p"); err != nil {
+		t.Fatal(err)
+	}
+	if got := gotPriority.Load(); got != remote.PriorityBulk {
+		t.Errorf("priority header = %v, want %q", got, remote.PriorityBulk)
+	}
+	if got := gotClient.Load(); got != "sweep-7" {
+		t.Errorf("client header = %v, want sweep-7", got)
+	}
+	// Without the options the headers stay absent, so daemons see the
+	// exact requests older clients sent.
+	plain := remote.New(ts.URL)
+	if _, err := plain.CompleteContext(context.Background(), "p"); err != nil {
+		t.Fatal(err)
+	}
+	if got := gotPriority.Load(); got != "" {
+		t.Errorf("unconfigured client sent priority %q", got)
 	}
 }
 

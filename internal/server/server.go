@@ -1,6 +1,7 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -12,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/judge"
+	"repro/internal/perf"
 	"repro/internal/store"
 )
 
@@ -55,6 +57,11 @@ type Config struct {
 	// are reported by /v1/backends and key the dedup store records.
 	Backend string
 	Seed    uint64
+	// ReplicaID is this instance's stable name in /healthz,
+	// /v1/backends, and the /metrics replica label — how router logs
+	// and failover tests tell fleet members apart. llm4vvd defaults it
+	// to the listen address.
+	ReplicaID string
 	// Registered is the backend-registry listing reported by
 	// /v1/backends (the server does not import the registry itself).
 	Registered []string
@@ -114,6 +121,11 @@ type Server struct {
 	baseCtx context.Context
 	cancel  context.CancelFunc
 	wg      sync.WaitGroup
+
+	// rec collects per-stage latency samples ("resolve" per shard,
+	// "endpoint" per fronted-endpoint call) for the /metrics summary
+	// series.
+	rec *perf.Recorder
 
 	requests        atomic.Int64
 	batchRequests   atomic.Int64
@@ -180,6 +192,7 @@ func New(cfg Config) *Server {
 	s := &Server{
 		cfg:   cfg,
 		queue: make(chan *pending, cfg.QueueLimit),
+		rec:   perf.NewRecorder(),
 	}
 	s.minDelay = int64(cfg.BatchMaxDelay / 16)
 	if s.minDelay < 1 {
@@ -231,6 +244,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/complete_batch", s.handleCompleteBatch)
 	mux.HandleFunc("/v1/backends", s.handleBackends)
 	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
 	return mux
 }
 
@@ -372,6 +386,7 @@ func (s *Server) dedupKey(hash string) store.Key {
 // of the same hash is the store record's FileHash, exactly as
 // store.HashSource would render it.
 func (s *Server) resolve(ctx context.Context, prompts []string) ([]string, error) {
+	defer func(start time.Time) { s.rec.Observe("resolve", time.Since(start)) }(time.Now())
 	out := make([]string, len(prompts))
 	// resolved maps a prompt key seen earlier in the shard to the slot
 	// holding its response; missing are the unique prompts that still
@@ -443,6 +458,7 @@ func (s *Server) completeEndpoint(ctx context.Context, prompts []string) ([]stri
 		s.endpointCalls.Add(int64(len(prompts)))
 	}
 	s.endpointPrompts.Add(int64(len(prompts)))
+	defer func(start time.Time) { s.rec.Observe("endpoint", time.Since(start)) }(time.Now())
 	return judge.CompleteAll(ctx, s.cfg.LLM, prompts)
 }
 
@@ -534,6 +550,7 @@ func (s *Server) handleBackends(w http.ResponseWriter, r *http.Request) {
 		Seed:       s.cfg.Seed,
 		Batch:      s.batch != nil,
 		Registered: s.cfg.Registered,
+		ReplicaID:  s.cfg.ReplicaID,
 	}
 	// A served voting panel describes itself; matched structurally so
 	// the daemon core stays endpoint-agnostic (like judge's generator
@@ -546,11 +563,39 @@ func (s *Server) handleBackends(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, HealthResponse{
-		OK:      true,
-		Backend: s.cfg.Backend,
-		Seed:    s.cfg.Seed,
-		Stats:   s.Stats(),
+		OK:        true,
+		Backend:   s.cfg.Backend,
+		Seed:      s.cfg.Seed,
+		ReplicaID: s.cfg.ReplicaID,
+		Stats:     s.Stats(),
 	})
+}
+
+// handleMetrics serves GET /metrics: the serving counters and the
+// per-stage latency summaries in Prometheus text exposition, every
+// series labelled with this instance's replica ID so a fleet's scrapes
+// aggregate without relabelling.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	st := s.Stats()
+	replica := perf.Label("replica", s.cfg.ReplicaID)
+	var buf bytes.Buffer
+	p := perf.NewProm(&buf)
+	p.Counter("llm4vv_requests_total", "Admitted single-prompt requests.", float64(st.Requests), replica)
+	p.Counter("llm4vv_batch_requests_total", "Admitted batch requests.", float64(st.BatchRequests), replica)
+	p.Counter("llm4vv_rejected_total", "Requests refused with 429 by admission control.", float64(st.Rejected), replica)
+	p.Counter("llm4vv_endpoint_calls_total", "Calls made to the fronted endpoint.", float64(st.EndpointCalls), replica)
+	p.Counter("llm4vv_endpoint_prompts_total", "Prompts submitted to the fronted endpoint.", float64(st.EndpointPrompts), replica)
+	p.Counter("llm4vv_coalesced_batches_total", "Micro-batches that merged two or more requests.", float64(st.Coalesced), replica)
+	p.Counter("llm4vv_store_hits_total", "Prompts resolved from the run store or intra-shard dedup.", float64(st.StoreHits), replica)
+	p.Gauge("llm4vv_gather_delay_seconds", "Current adaptive micro-batch straggler wait.", time.Duration(st.GatherDelayNS).Seconds(), replica)
+	p.Gauge("llm4vv_inflight_prompts", "Prompts admitted and not yet answered.", float64(s.inflight.Load()), replica)
+	p.Summaries("llm4vv_stage_seconds", "Per-stage latency quantiles (resolve = one shard, endpoint = one fronted call).", s.rec.Snapshot(), replica)
+	if err := p.Err(); err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = w.Write(buf.Bytes())
 }
 
 // readJSON decodes a POST body, answering 405/400 itself on failure.

@@ -10,7 +10,9 @@ package server_test
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"path/filepath"
@@ -397,6 +399,79 @@ func TestBackendsAndHealthz(t *testing.T) {
 	}
 	if st := srv.Stats(); st.Requests != 1 || st.EndpointCalls != 1 {
 		t.Errorf("stats after one request: %+v", st)
+	}
+}
+
+// TestReplicaIDInWire: the -replica-id satellite — the stable instance
+// name configured on the daemon comes back in /healthz and
+// /v1/backends, so router logs and failover tests can name replicas.
+func TestReplicaIDInWire(t *testing.T) {
+	_, ts, rb := startServer(t, server.Config{
+		LLM: echoLLM{}, Backend: "echo", Seed: 7, ReplicaID: "replica-a",
+	})
+	info, err := rb.Info(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.ReplicaID != "replica-a" {
+		t.Errorf("/v1/backends replica_id = %q, want replica-a", info.ReplicaID)
+	}
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var health server.HealthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	if health.ReplicaID != "replica-a" {
+		t.Errorf("/healthz replica_id = %q, want replica-a", health.ReplicaID)
+	}
+}
+
+// TestMetricsExposition: /metrics serves Prometheus text with the
+// serving counters and the per-stage latency summaries, labelled by
+// replica.
+func TestMetricsExposition(t *testing.T) {
+	_, ts, rb := startServer(t, server.Config{
+		LLM: echoLLM{}, Backend: "echo", Seed: 7, ReplicaID: "replica-m",
+	})
+	if _, err := rb.CompleteContext(context.Background(), "warm"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rb.CompleteBatch(context.Background(), []string{"a", "b"}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics: %s", resp.Status)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("/metrics content type %q, want text/plain exposition", ct)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(data)
+	for _, want := range []string{
+		`llm4vv_requests_total{replica="replica-m"} 1`,
+		`llm4vv_batch_requests_total{replica="replica-m"} 1`,
+		`llm4vv_endpoint_prompts_total{replica="replica-m"} 3`,
+		`llm4vv_stage_seconds{replica="replica-m",stage="resolve",quantile="0.5"}`,
+		`llm4vv_stage_seconds{replica="replica-m",stage="endpoint",quantile="0.99"}`,
+		`llm4vv_stage_seconds_count{replica="replica-m",stage="resolve"} 2`,
+		"# TYPE llm4vv_stage_seconds summary",
+		"# TYPE llm4vv_gather_delay_seconds gauge",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, body)
+		}
 	}
 }
 

@@ -5,6 +5,7 @@
 //	POST /v1/complete_batch  {"prompts": [...]} -> {"responses": [...]}
 //	GET  /v1/backends                           -> what is served and registered
 //	GET  /healthz                               -> liveness plus serving stats
+//	GET  /metrics                               -> Prometheus text exposition
 //
 // The server's core is a dynamic micro-batcher: concurrent single-
 // prompt requests are coalesced — up to Config.BatchMaxSize prompts,
@@ -58,6 +59,14 @@ type BackendsResponse struct {
 	Batch      bool     `json:"batch"`
 	Registered []string `json:"registered,omitempty"`
 
+	// ReplicaID names the answering daemon instance (Config.ReplicaID;
+	// llm4vvd defaults it to its listen address) so fleet logs, metric
+	// labels, and failover tests can tell replicas apart.
+	ReplicaID string `json:"replica_id,omitempty"`
+	// Replicas lists the fleet members behind an llm4vv-router
+	// answering on a daemon's behalf; empty for a bare daemon.
+	Replicas []string `json:"replicas,omitempty"`
+
 	// PanelMembers and PanelStrategy describe the served voting panel
 	// when the daemon fronts an ensemble backend directly (empty for
 	// single-judge backends, and for panels hidden behind wrappers
@@ -72,7 +81,10 @@ type HealthResponse struct {
 	OK      bool   `json:"ok"`
 	Backend string `json:"backend"`
 	Seed    uint64 `json:"seed"`
-	Stats   Stats  `json:"stats"`
+	// ReplicaID is the stable instance name (see
+	// BackendsResponse.ReplicaID).
+	ReplicaID string `json:"replica_id,omitempty"`
+	Stats     Stats  `json:"stats"`
 }
 
 // ErrorResponse is the body of every non-2xx response.
