@@ -134,6 +134,60 @@ func BenchmarkThroughputStoreWrite(b *testing.B) {
 	b.ReportMetric(perf.Rate(recs, b.Elapsed()), "files/sec")
 }
 
+// BenchmarkThroughputStoreLookup — point lookups against a million-
+// record segmented store: Get resolves each key through the segment
+// Bloom filters and sparse indexes (one bounded block read per hit),
+// never a scan — the property that lets the store outgrow memory
+// (DESIGN.md §12, docs/STORE.md). The store is built outside the
+// timer; the timed loop is pure Get traffic across the whole keyspace.
+func BenchmarkThroughputStoreLookup(b *testing.B) {
+	const total = 1 << 20
+	path := filepath.Join(b.TempDir(), "run.jsonl")
+	// Seal roughly every 16 MiB and skip background merging: the point
+	// is lookups against many sealed segments, not merge throughput.
+	s, err := store.OpenWith(path, store.Options{SealBytes: 16 << 20, MergeThreshold: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	hashes := make([]string, total)
+	for i := range hashes {
+		hashes[i] = fmt.Sprintf("%08x-hash", i)
+	}
+	for i := 0; i < total; i++ {
+		rec := store.Record{
+			Experiment: "bench/lookup", Backend: "deepseek-sim", Seed: uint64(i >> 16),
+			FileHash: hashes[i], Name: "t.c",
+			JudgeRan: true, Verdict: "valid", Valid: true,
+		}
+		if err := s.Put(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := s.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	if s.Stats().SegmentCount() == 0 {
+		b.Fatal("store did not seal any segments; lookups would only hit the in-memory active set")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	lookups := 0
+	for i := 0; i < b.N; i++ {
+		// A multiplicative stride walks the keyspace in a scattered
+		// order without per-iteration randomness.
+		k := (uint64(i) * 2654435761) % total
+		key := store.Key{Experiment: "bench/lookup", Backend: "deepseek-sim",
+			Seed: k >> 16, FileHash: hashes[k]}
+		rec, ok := s.Get(key)
+		if !ok || rec.FileHash != hashes[k] {
+			b.Fatalf("lookup %d: key %v missing or wrong record", i, key)
+		}
+		lookups++
+	}
+	b.ReportMetric(perf.Rate(lookups, b.Elapsed()), "files/sec")
+}
+
 // BenchmarkThroughputPipeline — the staged compile → execute → judge
 // pipeline end to end in record-all mode, with per-stage p50/p99
 // latencies extracted through the perf recorder (reported as *-ns

@@ -11,6 +11,7 @@
 //	judgebench -panel [-panel-members a+b+c[:strategy]] [...]
 //	judgebench -serve-addr HOST:PORT [...]
 //	judgebench -store PATH -compact
+//	judgebench -store PATH -store-stats
 //	judgebench -list
 //	judgebench ... [-cpuprofile cpu.out] [-memprofile mem.out]
 //
@@ -50,11 +51,15 @@
 // routing over a fleet, point -serve-addr at a running llm4vv-router
 // or use -backend "fleet:addr1,addr2,...". -timeout D cancels the run when the deadline
 // passes, exactly like SIGINT. -store PATH -compact rewrites the run
-// store dropping superseded duplicate and corrupt lines, then exits —
-// maintenance for stores grown across many resumed runs. Compact
-// offline: the rewrite renames over the file, so another process
-// holding the same store (a running llm4vvd) would keep appending to
-// the orphaned inode and lose those records.
+// store back to a single canonical file, dropping superseded duplicate
+// and corrupt lines and folding away sealed segments — maintenance for
+// stores grown across many resumed runs. Compact offline: the rewrite
+// renames over the file, so another process holding the same store (a
+// running llm4vvd) would keep appending to the orphaned inode and lose
+// those records. -store PATH -store-stats prints the store's segment
+// layout (active size, sealed segments, index entries, dropped lines)
+// without modifying anything — see docs/OPERATIONS.md for how to read
+// it.
 //
 // -cpuprofile/-memprofile write pprof profiles of the run (the heap
 // profile is taken at exit, after a GC) so hot paths can be profiled
@@ -100,6 +105,7 @@ func main() {
 	storePath := flag.String("store", "", "append sealed verdicts to this JSONL run store")
 	resume := flag.Bool("resume", false, "skip files already recorded in the run store (requires -store)")
 	compact := flag.Bool("compact", false, "compact the run store (drop superseded duplicates), then exit (requires -store)")
+	storeStats := flag.Bool("store-stats", false, "print the run store's segment layout and exit (requires -store)")
 	shard := flag.Int("shard", 0, "scheduler shard / judge batch size (0 = automatic)")
 	list := flag.Bool("list", false, "list registered experiments and backends, then exit")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -142,6 +148,29 @@ func main() {
 		fail(err)
 		fail(st.Close())
 		fmt.Printf("compacted %s: %d records kept, %d lines removed\n", *storePath, st.Len(), removed)
+		return
+	}
+	if *storeStats {
+		if *storePath == "" {
+			fmt.Fprintln(os.Stderr, "judgebench: -store-stats requires -store")
+			os.Exit(2)
+		}
+		if _, err := os.Stat(*storePath); err != nil {
+			fail(fmt.Errorf("-store-stats: %w", err))
+		}
+		st, err := store.Open(*storePath)
+		fail(err)
+		stats := st.Stats()
+		fail(st.Close())
+		fmt.Printf("%s: %d keys, %d dropped lines\n", stats.Path, stats.Keys, stats.Dropped)
+		fmt.Printf("  active: %d live records, %d lines, %d bytes\n", stats.ActiveRecords, stats.ActiveLines, stats.ActiveBytes)
+		fmt.Printf("  sealed: %d segments, %d records\n", stats.SegmentCount(), stats.SegmentRecords())
+		for _, sg := range stats.Segments {
+			fmt.Printf("    %s: %d records, %d bytes, %d index entries\n", sg.Path, sg.Records, sg.Bytes, sg.IndexEntries)
+		}
+		if stats.MergeErr != "" {
+			fmt.Printf("  last merge error: %s\n", stats.MergeErr)
+		}
 		return
 	}
 

@@ -20,7 +20,8 @@
 //
 //   - Runner: constructed with functional options (WithBackend,
 //     WithWorkers, WithShardSize, WithRecordAll, WithEvalCache,
-//     WithProgress, WithStore, WithResume), its context-aware methods
+//     WithProgress, WithStore, WithStoreOptions, WithResume), its
+//     context-aware methods
 //     run every experiment cancellably and can stream per-file
 //     progress. Work is scheduled in shards by a chunked
 //     work-stealing scheduler, and each shard's prompts reach the
@@ -37,14 +38,19 @@
 //     cmd/judgebench enumerate and run any registered scenario
 //     generically.
 //
-// Runs are durable and resumable: WithStore attaches an append-only
-// JSONL run store keyed by (experiment, backend, seed, file content
-// hash) to which every sealed verdict is appended as it lands, and
-// WithResume makes experiments skip files a previous run already
-// completed — an interrupted sweep restarted under the same
-// configuration re-judges nothing it finished and reproduces the
-// uninterrupted metrics exactly. See DESIGN.md §5 for the record
-// schema and resume semantics.
+// Runs are durable and resumable: WithStore attaches a persistent run
+// store keyed by (experiment, backend, seed, file content hash) to
+// which every sealed verdict is appended as it lands, and WithResume
+// makes experiments skip files a previous run already completed — an
+// interrupted sweep restarted under the same configuration re-judges
+// nothing it finished and reproduces the uninterrupted metrics
+// exactly. The store is a segmented log built for millions of
+// records: the active JSONL file seals into sorted immutable segments
+// with sparse indexes and Bloom filters (point lookups never scan),
+// sealed segments merge in the background, and streaming filtered
+// scans feed analytics and panel calibration — see DESIGN.md §5/§12,
+// docs/STORE.md for the format and crash contract, and
+// examples/store.
 //
 // Judging also runs as a service: cmd/llm4vvd fronts any registered
 // backend over HTTP with dynamic micro-batching, bounded admission
@@ -99,5 +105,8 @@
 //
 // Every experiment is deterministic given its seeds. See DESIGN.md for
 // the system inventory, the Runner/Backend/Experiment architecture,
-// and the reproduced result shapes.
+// and the reproduced result shapes; docs/OPERATIONS.md is the
+// operator runbook for the service tier (deployment, priority and
+// quota headers, overload semantics, the complete Prometheus metrics
+// reference, and run-store maintenance).
 package llm4vv

@@ -1,0 +1,55 @@
+package llm4vv
+
+// The docs layer is tested like code: the CI docs job runs this link
+// check (plus go vet over examples/ and the metric-registry diff in
+// internal/perf) so a renamed file or section cannot silently strand a
+// reference in the runbook or the design doc.
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// mdLink matches an inline markdown link and captures its target.
+var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// TestMarkdownLinksResolve walks every markdown file at the repo root
+// and under docs/ and requires each relative link target to exist on
+// disk. External URLs and pure in-page anchors are out of scope —
+// they cannot be checked hermetically.
+func TestMarkdownLinksResolve(t *testing.T) {
+	var files []string
+	for _, pattern := range []string{"*.md", "docs/*.md"} {
+		matched, err := filepath.Glob(pattern)
+		if err != nil {
+			t.Fatal(err)
+		}
+		files = append(files, matched...)
+	}
+	if len(files) == 0 {
+		t.Fatal("no markdown files found; the test is running from the wrong directory")
+	}
+	for _, file := range files {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
+				continue // external
+			}
+			target, _, _ = strings.Cut(target, "#")
+			if target == "" {
+				continue // in-page anchor
+			}
+			resolved := filepath.Join(filepath.Dir(file), target)
+			if _, err := os.Stat(resolved); err != nil {
+				t.Errorf("%s links to %q, which does not resolve (%v)", file, m[1], err)
+			}
+		}
+	}
+}

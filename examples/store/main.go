@@ -1,0 +1,115 @@
+// Store: resume an interrupted sweep from the persistent run store,
+// then query the same store directly — the segmented log behind every
+// resumable run (format: docs/STORE.md). Three things to notice:
+//
+//  1. Resume is free: re-running an experiment against the same store
+//     under the same configuration re-judges zero files and reproduces
+//     the report — the second run is pure store reads.
+//  2. The store scales past memory: sealed segments (forced small here
+//     with WithStoreOptions so the demo grows some) serve point
+//     lookups through sparse indexes, and Stats shows the layout that
+//     `judgebench -store-stats` prints.
+//  3. The query layer feeds calibration: Scan streams a panel's stored
+//     vote history, and WeightsFromVotes turns it into the per-member
+//     weights the weighted voting strategy uses.
+//
+// Run it: go run ./examples/store
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	llm4vv "repro"
+	"repro/internal/ensemble"
+	"repro/internal/judge"
+	"repro/internal/spec"
+	"repro/internal/store"
+)
+
+func main() {
+	ctx := context.Background()
+	dir, err := os.MkdirTemp("", "llm4vv-store-example")
+	check(err)
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "runs.jsonl")
+
+	// Tiny thresholds so even this small sweep seals segments; real
+	// deployments keep the defaults (8 MiB seals).
+	opts := store.Options{SealBytes: 4 << 10, MergeThreshold: 4}
+
+	// 1. First run: a panel sweep recording every verdict and the
+	// per-member votes into the store.
+	run := func() string {
+		r, err := llm4vv.NewRunner(
+			llm4vv.WithStore(path),
+			llm4vv.WithStoreOptions(opts),
+			llm4vv.WithResume(true),
+		)
+		check(err)
+		defer r.Close()
+		res, err := llm4vv.RunExperiment(ctx, r, "panel", llm4vv.ExperimentParams{
+			Dialects: []spec.Dialect{spec.OpenACC},
+			Scale:    8,
+		})
+		check(err)
+		return res.Report()
+	}
+	first := run()
+
+	// 2. Second run, same configuration: every key is already stored,
+	// so nothing is re-judged and the report reproduces exactly.
+	second := run()
+	fmt.Printf("resumed report identical: %v\n", first == second)
+
+	// 3. Open the store directly and look at its segmented shape.
+	st, err := store.Open(path)
+	check(err)
+	defer st.Close()
+	stats := st.Stats()
+	fmt.Printf("store: %d keys, %d sealed segments, active %d bytes\n",
+		stats.Keys, stats.SegmentCount(), stats.ActiveBytes)
+
+	// 4. Calibration query: stream the panel phase's vote history and
+	// compute each member's agreement weight. This is exactly what a
+	// weighted panel does at construction (see panelLLM in panel.go).
+	// The filter is a key prefix — experiment, then backend, then seed
+	// — so this scan reads one contiguous range per segment.
+	var members []string
+	var history [][]ensemble.Vote
+	var verdicts []judge.Verdict
+	err = st.Scan(store.Filter{Experiment: "panel/direct"},
+		func(rec store.Record) bool {
+			if _, votes, err := ensemble.DecodeVotes(rec.Votes); err == nil {
+				if members == nil {
+					for _, v := range votes {
+						members = append(members, v.Member)
+					}
+				}
+				history = append(history, votes)
+				v := judge.Unparsable
+				switch rec.Verdict {
+				case "valid":
+					v = judge.Valid
+				case "invalid":
+					v = judge.Invalid
+				}
+				verdicts = append(verdicts, v)
+			}
+			return true
+		})
+	check(err)
+	weights := ensemble.WeightsFromVotes(members, history, verdicts)
+	fmt.Printf("calibration from %d stored panel records:\n", len(history))
+	for i, m := range members {
+		fmt.Printf("  %-14s weight %.3f\n", m, weights[i])
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

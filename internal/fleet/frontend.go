@@ -326,28 +326,30 @@ func (f *Frontend) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 // handleMetrics serves the router's Prometheus exposition: admission
 // counters by priority class, routing counters, per-replica health and
-// traffic, and the route-stage latency summaries.
+// traffic, and the route-stage latency summaries. Families come from
+// the perf registry (perf.Families), which docs/OPERATIONS.md
+// documents one for one.
 func (f *Frontend) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	router := perf.Label("router", f.cfg.ID)
 	rs := f.cfg.Router.Stats()
 	fs := f.Stats()
 	var buf bytes.Buffer
 	p := perf.NewProm(&buf)
-	p.Family("llm4vv_router_admitted_total", "counter", "Prompts admitted, by priority class.",
+	p.Emit(perf.FamRouterAdmitted,
 		perf.Sample{Labels: [][2]string{router, perf.Label("priority", remote.PriorityInteractive)}, Value: float64(fs.AdmittedInteractive)},
 		perf.Sample{Labels: [][2]string{router, perf.Label("priority", remote.PriorityBulk)}, Value: float64(fs.AdmittedBulk)},
 	)
-	p.Family("llm4vv_router_shed_total", "counter", "Requests refused with 429 at the class admission ceilings.",
+	p.Emit(perf.FamRouterShed,
 		perf.Sample{Labels: [][2]string{router, perf.Label("priority", remote.PriorityInteractive)}, Value: float64(fs.ShedInteractive)},
 		perf.Sample{Labels: [][2]string{router, perf.Label("priority", remote.PriorityBulk)}, Value: float64(fs.ShedBulk)},
 	)
-	p.Counter("llm4vv_router_quota_rejected_total", "Requests refused for exceeding a per-client quota.", float64(fs.QuotaRejected), router)
-	p.Counter("llm4vv_router_requests_total", "Single-prompt routing requests.", float64(rs.Requests), router)
-	p.Counter("llm4vv_router_batch_requests_total", "Batch routing requests.", float64(rs.BatchRequests), router)
-	p.Counter("llm4vv_router_routed_prompts_total", "Prompts delivered to replicas.", float64(rs.RoutedPrompts), router)
-	p.Counter("llm4vv_router_failovers_total", "Requests moved to a ring successor after a replica failure.", float64(rs.Failovers), router)
-	p.Counter("llm4vv_router_spills_total", "Bounded-load placements past an overloaded owner.", float64(rs.Spills), router)
-	p.Gauge("llm4vv_router_inflight_prompts", "Prompts admitted and not yet answered.", float64(f.inflight.Load()), router)
+	p.EmitValue(perf.FamRouterQuotaRejected, float64(fs.QuotaRejected), router)
+	p.EmitValue(perf.FamRouterRequests, float64(rs.Requests), router)
+	p.EmitValue(perf.FamRouterBatchRequests, float64(rs.BatchRequests), router)
+	p.EmitValue(perf.FamRouterRoutedPrompts, float64(rs.RoutedPrompts), router)
+	p.EmitValue(perf.FamRouterFailovers, float64(rs.Failovers), router)
+	p.EmitValue(perf.FamRouterSpills, float64(rs.Spills), router)
+	p.EmitValue(perf.FamRouterInflight, float64(f.inflight.Load()), router)
 	replicas := f.cfg.Router.Replicas()
 	healthy := make([]perf.Sample, len(replicas))
 	prompts := make([]perf.Sample, len(replicas))
@@ -362,10 +364,10 @@ func (f *Frontend) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		prompts[i] = perf.Sample{Labels: labels, Value: float64(st.Prompts)}
 		failures[i] = perf.Sample{Labels: labels, Value: float64(st.Failures)}
 	}
-	p.Family("llm4vv_router_replica_healthy", "gauge", "Replica ring membership: 1 healthy, 0 evicted.", healthy...)
-	p.Family("llm4vv_router_replica_prompts_total", "counter", "Prompts answered per replica.", prompts...)
-	p.Family("llm4vv_router_replica_failures_total", "counter", "Failed requests per replica.", failures...)
-	p.Summaries("llm4vv_router_stage_seconds", "Routing latency quantiles (route = one prompt, route_batch = one shard).", f.rec.Snapshot(), router)
+	p.Emit(perf.FamRouterReplicaHealthy, healthy...)
+	p.Emit(perf.FamRouterReplicaPrompts, prompts...)
+	p.Emit(perf.FamRouterReplicaFailures, failures...)
+	p.EmitSummaries(perf.FamRouterStageSeconds, f.rec.Snapshot(), router)
 	if err := p.Err(); err != nil {
 		writeError(w, http.StatusInternalServerError, err.Error())
 		return

@@ -1,0 +1,70 @@
+package perf
+
+import (
+	"os"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+func TestFamilyRegistrySane(t *testing.T) {
+	seen := map[string]bool{}
+	for _, d := range Families() {
+		if d.Name == "" || d.Help == "" {
+			t.Errorf("family %+v: empty name or help", d)
+		}
+		if !strings.HasPrefix(d.Name, "llm4vv_") {
+			t.Errorf("family %q: not in the llm4vv_ namespace", d.Name)
+		}
+		switch d.Type {
+		case "counter", "gauge", "summary":
+		default:
+			t.Errorf("family %q: unknown type %q", d.Name, d.Type)
+		}
+		if strings.HasSuffix(d.Name, "_total") && d.Type != "counter" {
+			t.Errorf("family %q: _total name with type %q", d.Name, d.Type)
+		}
+		if seen[d.Name] {
+			t.Errorf("family %q registered twice", d.Name)
+		}
+		seen[d.Name] = true
+	}
+}
+
+// TestOperationsDocCoversRegistry diffs the metric registry against
+// docs/OPERATIONS.md in both directions: every registered family must
+// be documented in the runbook, and every llm4vv_* token the runbook
+// mentions must exist in the registry — so the docs can neither lag a
+// new metric nor advertise a phantom one.
+func TestOperationsDocCoversRegistry(t *testing.T) {
+	data, err := os.ReadFile("../../docs/OPERATIONS.md")
+	if err != nil {
+		t.Fatalf("reading runbook: %v", err)
+	}
+	doc := string(data)
+
+	registered := map[string]FamilyDef{}
+	for _, d := range Families() {
+		registered[d.Name] = d
+	}
+
+	for name := range registered {
+		if !strings.Contains(doc, "`"+name+"`") {
+			t.Errorf("registered family %q is not documented in docs/OPERATIONS.md", name)
+		}
+	}
+
+	for _, tok := range regexp.MustCompile(`llm4vv_[a-z0-9_]+`).FindAllString(doc, -1) {
+		if _, ok := registered[tok]; ok {
+			continue
+		}
+		// Summaries also expose a _count series per family; the docs
+		// may reference it.
+		if base, found := strings.CutSuffix(tok, "_count"); found {
+			if d, ok := registered[base]; ok && d.Type == "summary" {
+				continue
+			}
+		}
+		t.Errorf("docs/OPERATIONS.md mentions %q, which is not a registered family", tok)
+	}
+}

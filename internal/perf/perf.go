@@ -1,12 +1,18 @@
-// Package perf is the throughput-measurement harness behind the
-// BenchmarkThroughput* suite (DESIGN.md §10): a concurrency-safe
-// recorder for per-stage latency samples with quantile extraction,
-// a rate helper for files/sec metrics, and the field-profiling hook
-// behind -cpuprofile/-memprofile. It deliberately has no
-// dependencies on the pipeline or judge packages — they expose plain
-// callback hooks (pipeline.Config.StageObserver) and the harness plugs
-// a Recorder in, so production runs without an observer pay a single
-// nil check per stage.
+// Package perf is the measurement substrate shared by the benchmark
+// suite and the service tier: a concurrency-safe recorder for
+// per-stage latency samples with quantile extraction (behind the
+// BenchmarkThroughput* suite, DESIGN.md §10), the field-profiling
+// hook behind -cpuprofile/-memprofile, and the hand-rolled Prometheus
+// text exposition (Prom, prom.go) that the llm4vvd and llm4vv-router
+// /metrics endpoints serve. Every exported metric family is declared
+// once in the registry (FamilyDef, Families in families.go) that both
+// emission sites draw from — docs/OPERATIONS.md documents exactly
+// that list, and a test in this package diffs the two. The package
+// deliberately has no dependencies on the pipeline or judge packages
+// — they expose plain callback hooks
+// (pipeline.Config.StageObserver) and the harness plugs a Recorder
+// in, so production runs without an observer pay a single nil check
+// per stage.
 package perf
 
 import (

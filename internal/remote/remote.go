@@ -23,6 +23,11 @@
 // front. (429 overload does not rotate: the replica is alive and its
 // Retry-After hint is respected in place.) Consistent-hash routing
 // across replicas is the router's job — see internal/fleet.
+//
+// Requests carry the fleet admission headers: WithPriority tags the
+// priority class (PriorityHeader; batch calls default to bulk, the
+// class routers shed first under overload) and WithClientID the
+// quota identity (ClientHeader) — semantics in docs/OPERATIONS.md.
 package remote
 
 import (

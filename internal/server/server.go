@@ -574,22 +574,30 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // handleMetrics serves GET /metrics: the serving counters and the
 // per-stage latency summaries in Prometheus text exposition, every
 // series labelled with this instance's replica ID so a fleet's scrapes
-// aggregate without relabelling.
+// aggregate without relabelling. Families come from the perf registry
+// (perf.Families), which docs/OPERATIONS.md documents one for one.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	st := s.Stats()
 	replica := perf.Label("replica", s.cfg.ReplicaID)
 	var buf bytes.Buffer
 	p := perf.NewProm(&buf)
-	p.Counter("llm4vv_requests_total", "Admitted single-prompt requests.", float64(st.Requests), replica)
-	p.Counter("llm4vv_batch_requests_total", "Admitted batch requests.", float64(st.BatchRequests), replica)
-	p.Counter("llm4vv_rejected_total", "Requests refused with 429 by admission control.", float64(st.Rejected), replica)
-	p.Counter("llm4vv_endpoint_calls_total", "Calls made to the fronted endpoint.", float64(st.EndpointCalls), replica)
-	p.Counter("llm4vv_endpoint_prompts_total", "Prompts submitted to the fronted endpoint.", float64(st.EndpointPrompts), replica)
-	p.Counter("llm4vv_coalesced_batches_total", "Micro-batches that merged two or more requests.", float64(st.Coalesced), replica)
-	p.Counter("llm4vv_store_hits_total", "Prompts resolved from the run store or intra-shard dedup.", float64(st.StoreHits), replica)
-	p.Gauge("llm4vv_gather_delay_seconds", "Current adaptive micro-batch straggler wait.", time.Duration(st.GatherDelayNS).Seconds(), replica)
-	p.Gauge("llm4vv_inflight_prompts", "Prompts admitted and not yet answered.", float64(s.inflight.Load()), replica)
-	p.Summaries("llm4vv_stage_seconds", "Per-stage latency quantiles (resolve = one shard, endpoint = one fronted call).", s.rec.Snapshot(), replica)
+	p.EmitValue(perf.FamRequests, float64(st.Requests), replica)
+	p.EmitValue(perf.FamBatchRequests, float64(st.BatchRequests), replica)
+	p.EmitValue(perf.FamRejected, float64(st.Rejected), replica)
+	p.EmitValue(perf.FamEndpointCalls, float64(st.EndpointCalls), replica)
+	p.EmitValue(perf.FamEndpointPrompts, float64(st.EndpointPrompts), replica)
+	p.EmitValue(perf.FamCoalescedBatches, float64(st.Coalesced), replica)
+	p.EmitValue(perf.FamStoreHits, float64(st.StoreHits), replica)
+	p.EmitValue(perf.FamGatherDelay, time.Duration(st.GatherDelayNS).Seconds(), replica)
+	p.EmitValue(perf.FamInflight, float64(s.inflight.Load()), replica)
+	p.EmitSummaries(perf.FamStageSeconds, s.rec.Snapshot(), replica)
+	if s.cfg.Store != nil {
+		sst := s.cfg.Store.Stats()
+		p.EmitValue(perf.FamStoreKeys, float64(sst.Keys), replica)
+		p.EmitValue(perf.FamStoreSegments, float64(sst.SegmentCount()), replica)
+		p.EmitValue(perf.FamStoreActiveBytes, float64(sst.ActiveBytes), replica)
+		p.EmitValue(perf.FamStoreDropped, float64(sst.Dropped), replica)
+	}
 	if err := p.Err(); err != nil {
 		writeError(w, http.StatusInternalServerError, err.Error())
 		return

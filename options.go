@@ -1,5 +1,7 @@
 package llm4vv
 
+import "repro/internal/store"
+
 // Option configures a Runner at construction time.
 type Option func(*Runner)
 
@@ -47,15 +49,26 @@ func WithShardSize(n int) Option {
 	}
 }
 
-// WithStore attaches a persistent run store: an append-only JSONL
-// file (created on first use) to which every sealed per-file verdict
-// is appended, keyed by (experiment phase, backend, seed, file
-// content hash). NewRunner opens the store — and recovers it,
-// skipping any torn final line from an interrupted run — so path
-// problems fail fast; Close the Runner to release it. Combine with
-// WithResume to skip work recorded in previous runs.
+// WithStore attaches a persistent run store: a segmented JSONL log
+// (created on first use) to which every sealed per-file verdict is
+// appended, keyed by (experiment phase, backend, seed, file content
+// hash). NewRunner opens the store — and recovers it, skipping any
+// torn final line from an interrupted run — so path problems fail
+// fast; Close the Runner to release it. Combine with WithResume to
+// skip work recorded in previous runs, and WithStoreOptions to tune
+// the segmented log.
 func WithStore(path string) Option {
 	return func(r *Runner) { r.storePath = path }
+}
+
+// WithStoreOptions tunes the run store's segmented log — the seal
+// threshold, sparse-index granularity, and background-merge trigger
+// (see store.Options). The zero value is the production default;
+// only runs with unusual shapes (huge sweeps on small machines, tests
+// forcing many segments) need to change it. Takes effect only
+// together with WithStore.
+func WithStoreOptions(opts store.Options) Option {
+	return func(r *Runner) { r.storeOpts = opts }
 }
 
 // WithResume makes experiments consult the run store before judging:

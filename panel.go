@@ -116,26 +116,32 @@ func (r *Runner) PanelProbing(ctx context.Context, s SuiteSpec) (PanelDialectRes
 // Weighted in-process panel from run-store history when one exists:
 // prior records under this exact (phase, backend, seed) provide each
 // member's agreement rate with the stored panel verdict, which
-// becomes its vote weight (ensemble.WeightsFromVotes). Without
-// history — or through wrappers (eval cache) and remote daemons that
-// hide the panel — the constructed weights stand.
+// becomes its vote weight (ensemble.WeightsFromVotes). The history
+// streams out of the store's segment scan — votes decode record by
+// record, so a calibration corpus of millions of panel records never
+// materialises as a slice of store records. Without history — or
+// through wrappers (eval cache) and remote daemons that hide the
+// panel — the constructed weights stand.
 func (r *Runner) panelLLM() judge.LLM {
 	llm := r.newLLM()
 	p, ok := llm.(*ensemble.Panel)
 	if !ok || p.Strategy() != ensemble.Weighted || r.store == nil {
 		return llm
 	}
-	recs := r.store.Records(panelPhase, r.backend, r.seed)
-	if len(recs) == 0 {
-		return llm
-	}
+	seed := r.seed
+	seen := 0
 	var history [][]ensemble.Vote
 	var panelVerdicts []judge.Verdict
-	for _, rec := range recs {
+	_ = r.store.Scan(store.Filter{Experiment: panelPhase, Backend: r.backend, Seed: &seed}, func(rec store.Record) bool {
+		seen++
 		if _, vs, err := ensemble.DecodeVotes(rec.Votes); err == nil {
 			history = append(history, vs)
 			panelVerdicts = append(panelVerdicts, verdictFromName(rec.Verdict))
 		}
+		return true
+	})
+	if seen == 0 {
+		return llm
 	}
 	weights := ensemble.WeightsFromVotes(p.Members(), history, panelVerdicts)
 	if rp, err := p.Reweighted(weights); err == nil {

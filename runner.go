@@ -35,6 +35,7 @@ type Runner struct {
 	evalCache bool
 	progress  ProgressFunc
 	storePath string
+	storeOpts store.Options
 	store     *store.Store
 	resume    bool
 	panelSpec string
@@ -57,7 +58,7 @@ func NewRunner(opts ...Option) (*Runner, error) {
 		return nil, err
 	}
 	if r.storePath != "" {
-		st, err := store.Open(r.storePath)
+		st, err := store.OpenWith(r.storePath, r.storeOpts)
 		if err != nil {
 			return nil, err
 		}
