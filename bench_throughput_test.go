@@ -14,6 +14,7 @@ package llm4vv
 import (
 	"context"
 	"fmt"
+	"io"
 	"net/http/httptest"
 	"path/filepath"
 	"strings"
@@ -29,6 +30,7 @@ import (
 	"repro/internal/server"
 	"repro/internal/spec"
 	"repro/internal/store"
+	"repro/internal/trace"
 )
 
 // benchSink keeps prompt assembly from being optimised away.
@@ -224,6 +226,40 @@ func BenchmarkThroughputPipeline(b *testing.B) {
 		b.ReportMetric(float64(rec.P50(stage).Nanoseconds()), stage+"-p50-ns")
 		b.ReportMetric(float64(rec.P99(stage).Nanoseconds()), stage+"-p99-ns")
 	}
+}
+
+// BenchmarkThroughputPipelineTraced — the same staged pipeline with
+// distributed tracing on (per-file trace roots, stage spans, batch
+// carriers), fragments serialised to a discarded writer. Gated as its
+// own files/sec band next to the untraced pipeline's, so tracing
+// overhead cannot silently grow — and the untraced benchmark's
+// allocs/op band is the proof that a nil tracer stays free.
+func BenchmarkThroughputPipelineTraced(b *testing.B) {
+	inputs := benchSuiteInputs(b)
+	llm, err := NewBackend(DefaultBackend, DefaultModelSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := pipeline.Config{
+		Tools:          agent.NewTools(spec.OpenACC),
+		Judge:          &judge.Judge{LLM: llm, Style: judge.AgentDirect, Dialect: spec.OpenACC},
+		CompileWorkers: 4,
+		ExecWorkers:    4,
+		JudgeWorkers:   4,
+		JudgeBatch:     16,
+		RecordAll:      true,
+		Tracer:         trace.New(trace.WithWriter(io.Discard), trace.WithProcess("bench")),
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	files := 0
+	for i := 0; i < b.N; i++ {
+		if _, _, err := pipeline.Run(context.Background(), cfg, inputs); err != nil {
+			b.Fatal(err)
+		}
+		files += len(inputs)
+	}
+	b.ReportMetric(perf.Rate(files, b.Elapsed()), "files/sec")
 }
 
 // BenchmarkThroughputServer — the judging daemon over loopback HTTP:

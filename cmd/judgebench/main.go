@@ -12,8 +12,9 @@
 //	judgebench -serve-addr HOST:PORT [...]
 //	judgebench -store PATH -compact
 //	judgebench -store PATH -store-stats
+//	judgebench -trace-view FILE
 //	judgebench -list
-//	judgebench ... [-cpuprofile cpu.out] [-memprofile mem.out]
+//	judgebench ... [-trace DIR] [-cpuprofile cpu.out] [-memprofile mem.out]
 //
 // -show N prints N sample prompt/response transcripts. -experiment
 // dispatches any registered experiment through the same generic path
@@ -61,6 +62,17 @@
 // without modifying anything — see docs/OPERATIONS.md for how to read
 // it.
 //
+// -trace DIR enables distributed tracing: every judged file opens its
+// own trace, stage/cache/batch/remote spans land under it, and each
+// completed trace appends one JSONL fragment to
+// DIR/judgebench-trace.jsonl (created with the directory as needed).
+// Judging through a daemon or router started with their own -trace
+// flags, the remote processes' fragments share the same trace IDs —
+// stitch them by concatenating the files. -trace-view FILE renders a
+// JSONL trace file (any process's) as a terminal waterfall: one block
+// per trace, spans indented under their parents with proportional
+// duration bars.
+//
 // -cpuprofile/-memprofile write pprof profiles of the run (the heap
 // profile is taken at exit, after a GC) so hot paths can be profiled
 // in the field against real workloads; profiles are also written when
@@ -73,6 +85,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"strings"
 
@@ -86,6 +99,7 @@ import (
 	"repro/internal/report"
 	"repro/internal/spec"
 	"repro/internal/store"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -107,6 +121,8 @@ func main() {
 	compact := flag.Bool("compact", false, "compact the run store (drop superseded duplicates), then exit (requires -store)")
 	storeStats := flag.Bool("store-stats", false, "print the run store's segment layout and exit (requires -store)")
 	shard := flag.Int("shard", 0, "scheduler shard / judge batch size (0 = automatic)")
+	traceDir := flag.String("trace", "", "write JSONL trace fragments to DIR/judgebench-trace.jsonl")
+	traceView := flag.String("trace-view", "", "render a JSONL trace file as a terminal waterfall, then exit")
 	list := flag.Bool("list", false, "list registered experiments and backends, then exit")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
@@ -126,6 +142,10 @@ func main() {
 		for _, name := range llm4vv.Backends() {
 			fmt.Printf("  %s\n", name)
 		}
+		return
+	}
+	if *traceView != "" {
+		fail(viewTraces(os.Stdout, *traceView))
 		return
 	}
 	if *resume && *storePath == "" {
@@ -273,6 +293,13 @@ func main() {
 	}
 	if *storePath != "" {
 		opts = append(opts, llm4vv.WithStore(*storePath), llm4vv.WithResume(*resume))
+	}
+	if *traceDir != "" {
+		fail(os.MkdirAll(*traceDir, 0o755))
+		tf, err := os.OpenFile(filepath.Join(*traceDir, "judgebench-trace.jsonl"), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		fail(err)
+		defer tf.Close()
+		opts = append(opts, llm4vv.WithTracer(trace.New(trace.WithWriter(tf), trace.WithProcess("judgebench"))))
 	}
 	runner, err := llm4vv.NewRunner(opts...)
 	fail(err)

@@ -1,0 +1,181 @@
+package main
+
+// The -trace-view renderer: a JSONL trace file (fragments written by
+// any process's -trace flag, or several files concatenated) rendered
+// as a terminal waterfall — one block per trace, spans indented under
+// their parents, each with a duration bar proportional to its share
+// of the trace's wall-clock window. Fragments from different
+// processes that share a trace ID merge into one block, each span
+// tagged with the process that recorded it.
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// barWidth is the width of the waterfall gutter in cells; a span's
+// bar is its [start, start+dur) window scaled into it.
+const barWidth = 32
+
+// viewSpan is one span joined with the process name of the fragment
+// that carried it.
+type viewSpan struct {
+	trace.SpanRecord
+	process string
+}
+
+// viewTrace is one trace assembled from every fragment sharing its ID,
+// in file order (fragments flush as their roots end, so file order
+// approximates completion order).
+type viewTrace struct {
+	id    string
+	spans []viewSpan
+}
+
+// viewTraces reads a JSONL trace file and writes its waterfall to w.
+// Unparsable lines fail the view — a trace file is machine-written,
+// so a bad line means the wrong file, not noise to skip.
+func viewTraces(w io.Writer, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	byID := map[string]*viewTrace{}
+	var order []string
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(strings.TrimSpace(sc.Text())) == 0 {
+			continue
+		}
+		var rec trace.Record
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			return fmt.Errorf("%s:%d: %w", path, line, err)
+		}
+		vt := byID[rec.Trace]
+		if vt == nil {
+			vt = &viewTrace{id: rec.Trace}
+			byID[rec.Trace] = vt
+			order = append(order, rec.Trace)
+		}
+		for _, sp := range rec.Spans {
+			vt.spans = append(vt.spans, viewSpan{SpanRecord: sp, process: rec.Process})
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if len(order) == 0 {
+		fmt.Fprintf(w, "%s: no traces\n", path)
+		return nil
+	}
+	for _, id := range order {
+		renderTrace(w, byID[id])
+	}
+	fmt.Fprintf(w, "%d trace(s)\n", len(order))
+	return nil
+}
+
+// renderTrace prints one trace block: header, then the span tree.
+// Spans nest under their parent when the parent span is present in
+// the assembled trace; orphans (parents recorded by a process whose
+// fragments are not in this file) render as additional roots.
+func renderTrace(w io.Writer, vt *viewTrace) {
+	if len(vt.spans) == 0 {
+		return
+	}
+	start, end := vt.spans[0].StartNS, vt.spans[0].StartNS
+	present := make(map[string]bool, len(vt.spans))
+	procs := map[string]bool{}
+	for _, sp := range vt.spans {
+		if sp.StartNS < start {
+			start = sp.StartNS
+		}
+		if e := sp.StartNS + sp.DurNS; e > end {
+			end = e
+		}
+		present[sp.ID] = true
+		procs[sp.process] = true
+	}
+	window := end - start
+	if window <= 0 {
+		window = 1
+	}
+
+	children := map[string][]viewSpan{}
+	var roots []viewSpan
+	for _, sp := range vt.spans {
+		if sp.Parent != "" && present[sp.Parent] {
+			children[sp.Parent] = append(children[sp.Parent], sp)
+		} else {
+			roots = append(roots, sp)
+		}
+	}
+	byStart := func(s []viewSpan) {
+		sort.SliceStable(s, func(i, j int) bool { return s[i].StartNS < s[j].StartNS })
+	}
+	byStart(roots)
+
+	fmt.Fprintf(w, "trace %s  %s  %d span(s), %d process(es)\n",
+		vt.id, time.Duration(window), len(vt.spans), len(procs))
+	var walk func(sp viewSpan, depth int)
+	walk = func(sp viewSpan, depth int) {
+		fmt.Fprintln(w, renderSpan(sp, depth, start, window))
+		kids := children[sp.ID]
+		byStart(kids)
+		for _, k := range kids {
+			walk(k, depth+1)
+		}
+	}
+	for _, r := range roots {
+		walk(r, 1)
+	}
+	fmt.Fprintln(w)
+}
+
+// renderSpan formats one waterfall row: indented name, the duration
+// bar positioned inside the trace window, duration, process, and any
+// attributes.
+func renderSpan(sp viewSpan, depth int, traceStart, window int64) string {
+	label := strings.Repeat("  ", depth) + sp.Name
+	if len(label) > 30 {
+		label = label[:27] + "..."
+	}
+
+	lo := int((sp.StartNS - traceStart) * barWidth / window)
+	hi := int((sp.StartNS - traceStart + sp.DurNS) * barWidth / window)
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > barWidth {
+		hi = barWidth
+	}
+	if hi <= lo {
+		hi = lo + 1 // every span shows at least one cell
+		if hi > barWidth {
+			lo, hi = barWidth-1, barWidth
+		}
+	}
+	bar := strings.Repeat(" ", lo) + strings.Repeat("#", hi-lo) + strings.Repeat(" ", barWidth-hi)
+
+	row := fmt.Sprintf("  %-30s [%s] %10s", label, bar, time.Duration(sp.DurNS).Round(time.Microsecond))
+	if sp.process != "" {
+		row += "  " + sp.process
+	}
+	for _, a := range sp.Attrs {
+		row += fmt.Sprintf("  %s=%s", a.Key, a.Value)
+	}
+	return row
+}

@@ -8,7 +8,7 @@
 //	llm4vv-router -replicas ADDR1,ADDR2,... [-addr HOST:PORT] \
 //	              [-id NAME] [-vnodes N] [-load-factor F] \
 //	              [-health-interval D] [-queue N] [-bulk-queue N] \
-//	              [-client-quota N] [-retry-after D] \
+//	              [-client-quota N] [-retry-after D] [-trace F] \
 //	              [-cpuprofile F] [-memprofile F]
 //
 // Prompts are placed by consistent hashing on their content key, so
@@ -29,6 +29,16 @@
 // caps one client's in-flight prompts (keyed by X-LLM4VV-Client).
 // /metrics serves the routing, admission, and per-replica counters in
 // Prometheus text format; /healthz reports per-replica health.
+//
+// -trace appends one JSONL trace fragment per completed request trace
+// to the given file: requests arriving with X-LLM4VV-Trace join the
+// caller's distributed trace, the router's routing attempts (owner,
+// failover hop, bounded-load spill) record spans under it, and the
+// trace headers propagate to the replicas so their spans join too.
+// Recent fragments are served on /debug/traces, the slowest span per
+// stage is exported as llm4vv_trace_slow_exemplar, and all status
+// lines — replica evictions, readmissions, 429 sheds with their
+// trace_id — are structured logs (log/slog).
 package main
 
 import (
@@ -36,6 +46,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -44,6 +55,7 @@ import (
 
 	"repro/internal/fleet"
 	"repro/internal/perf"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -57,6 +69,7 @@ func main() {
 	bulkQueue := flag.Int("bulk-queue", 0, "admission ceiling for bulk-class requests (default: half of -queue)")
 	clientQuota := flag.Int("client-quota", 0, "max in-flight prompts per client, 0 = unlimited")
 	retryAfter := flag.Duration("retry-after", fleet.DefaultRetryAfter, "back-off hint sent with 429 responses")
+	traceFile := flag.String("trace", "", "append JSONL trace fragments to this file (also enables /debug/traces)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file at shutdown")
 	flag.Parse()
@@ -72,10 +85,19 @@ func main() {
 	if *id == "" {
 		*id = *addr
 	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil)).With("router_id", *id)
+	var tracer *trace.Tracer
+	if *traceFile != "" {
+		tf, err := os.OpenFile(*traceFile, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		fail(err)
+		defer tf.Close()
+		tracer = trace.New(trace.WithWriter(tf), trace.WithProcess("llm4vv-router/"+*id))
+	}
 	router, err := fleet.DialConfig(*replicas, fleet.Config{
 		Vnodes:         *vnodes,
 		LoadFactor:     *loadFactor,
 		HealthInterval: *healthInterval,
+		Logger:         logger,
 	})
 	fail(err)
 	frontend := fleet.NewFrontend(fleet.FrontendConfig{
@@ -85,6 +107,8 @@ func main() {
 		BulkLimit:   *bulkQueue,
 		ClientQuota: *clientQuota,
 		RetryAfter:  *retryAfter,
+		Tracer:      tracer,
+		Logger:      logger,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: frontend.Handler()}
 
@@ -93,23 +117,25 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "llm4vv-router: routing over %s on %s\n", *replicas, *addr)
+	logger.Info("llm4vv-router: routing", "replicas", *replicas, "addr", *addr, "tracing", *traceFile != "")
 
 	select {
 	case err := <-errc:
 		fail(err)
 	case <-ctx.Done():
 	}
-	fmt.Fprintln(os.Stderr, "llm4vv-router: shutting down")
+	logger.Info("llm4vv-router: shutting down")
 	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		fmt.Fprintln(os.Stderr, "llm4vv-router: shutdown:", err)
+		logger.Error("llm4vv-router: shutdown", "err", err)
 	}
 	router.Close()
 	rs, fs := router.Stats(), frontend.Stats()
-	fmt.Fprintf(os.Stderr, "llm4vv-router: routed %d prompts (%d single + %d batch requests, %d failovers, %d spills; shed %d interactive + %d bulk, %d quota rejections)\n",
-		rs.RoutedPrompts, rs.Requests, rs.BatchRequests, rs.Failovers, rs.Spills, fs.ShedInteractive, fs.ShedBulk, fs.QuotaRejected)
+	logger.Info("llm4vv-router: routed",
+		"prompts", rs.RoutedPrompts, "requests", rs.Requests, "batch_requests", rs.BatchRequests,
+		"failovers", rs.Failovers, "spills", rs.Spills,
+		"shed_interactive", fs.ShedInteractive, "shed_bulk", fs.ShedBulk, "quota_rejected", fs.QuotaRejected)
 }
 
 // stopProfiles finalises -cpuprofile/-memprofile; fail routes through

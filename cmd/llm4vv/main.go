@@ -7,7 +7,7 @@
 // Usage:
 //
 //	llm4vv [-seed N] [-scale K] [-backend NAME] [-serve-addr HOST:PORT] \
-//	       [-workers N] [-shard N] [-timeout D] \
+//	       [-workers N] [-shard N] [-timeout D] [-trace DIR] \
 //	       [-experiment all|list|NAME] [-progress] [-store PATH [-resume]]
 //
 // -experiment list enumerates the registered experiments (and the
@@ -31,6 +31,12 @@
 // llm4vv-router address or -backend "fleet:addr1,addr2,..." routes
 // by consistent hashing over a whole fleet. -timeout D wraps the whole run in a deadline — the run is
 // cancelled cleanly, exactly like SIGINT, when it expires.
+//
+// -trace DIR enables distributed tracing: every judged file opens its
+// own trace and each completed trace appends one JSONL fragment to
+// DIR/llm4vv-trace.jsonl. Render with `judgebench -trace-view`; when
+// judging through daemons started with -trace, their fragments carry
+// the same trace IDs.
 package main
 
 import (
@@ -39,9 +45,11 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"time"
 
 	llm4vv "repro"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -56,6 +64,7 @@ func main() {
 	progress := flag.Bool("progress", false, "stream per-file progress to stderr")
 	storePath := flag.String("store", "", "append sealed verdicts to this JSONL run store")
 	resume := flag.Bool("resume", false, "skip files already recorded in the run store (requires -store)")
+	traceDir := flag.String("trace", "", "write JSONL trace fragments to DIR/llm4vv-trace.jsonl")
 	flag.Parse()
 
 	if *resume && *storePath == "" {
@@ -88,6 +97,13 @@ func main() {
 	}
 	if *storePath != "" {
 		opts = append(opts, llm4vv.WithStore(*storePath), llm4vv.WithResume(*resume))
+	}
+	if *traceDir != "" {
+		check(os.MkdirAll(*traceDir, 0o755))
+		tf, err := os.OpenFile(filepath.Join(*traceDir, "llm4vv-trace.jsonl"), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		check(err)
+		defer tf.Close()
+		opts = append(opts, llm4vv.WithTracer(trace.New(trace.WithWriter(tf), trace.WithProcess("llm4vv"))))
 	}
 	if *progress {
 		opts = append(opts, llm4vv.WithProgress(func(p llm4vv.Progress) {

@@ -10,7 +10,7 @@
 //	llm4vvd [-addr HOST:PORT] [-backend NAME] [-seed N] \
 //	        [-batch-max N] [-batch-delay D] [-queue N] \
 //	        [-replica-id NAME] [-store PATH] [-cache] \
-//	        [-cpuprofile F] [-memprofile F]
+//	        [-trace F] [-cpuprofile F] [-memprofile F]
 //
 // -replica-id names the instance in /healthz, /v1/backends, and the
 // /metrics replica label (default: the listen address) so routers and
@@ -38,6 +38,15 @@
 // metrics off the daemon exactly as they would in-process.
 // /v1/backends reports the panel members and strategy.
 //
+// -trace appends one JSONL trace fragment per completed request trace
+// to the given file: requests arriving with X-LLM4VV-Trace join the
+// caller's distributed trace, and the daemon's gather/batch/resolve
+// spans land in the fragment tagged with this replica's process name.
+// The most recent fragments are also served as JSON on /debug/traces,
+// and the slowest span per stage is exported as the
+// llm4vv_trace_slow_exemplar metric. Status lines are structured logs
+// (log/slog) carrying replica_id.
+//
 // -cpuprofile/-memprofile write pprof profiles covering the daemon's
 // lifetime (CPU from start to shutdown; heap at exit after a GC), the
 // field instrument for serving hot paths: start the daemon profiled,
@@ -49,6 +58,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -60,6 +70,7 @@ import (
 	"repro/internal/perf"
 	"repro/internal/server"
 	"repro/internal/store"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -72,6 +83,7 @@ func main() {
 	replicaID := flag.String("replica-id", "", "stable instance name in /healthz, /v1/backends, and /metrics labels (default: the listen address)")
 	storePath := flag.String("store", "", "dedup identical requests through this JSONL run store")
 	cache := flag.Bool("cache", false, "memoise completions in memory with singleflight dedup")
+	traceFile := flag.String("trace", "", "append JSONL trace fragments to this file (also enables /debug/traces)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file at shutdown")
 	flag.Parse()
@@ -90,6 +102,14 @@ func main() {
 	if *replicaID == "" {
 		*replicaID = *addr
 	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil)).With("replica_id", *replicaID)
+	var tracer *trace.Tracer
+	if *traceFile != "" {
+		tf, err := os.OpenFile(*traceFile, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		fail(err)
+		defer tf.Close()
+		tracer = trace.New(trace.WithWriter(tf), trace.WithProcess("llm4vvd/"+*replicaID))
+	}
 	cfg := server.Config{
 		LLM:           llm,
 		Backend:       *backend,
@@ -99,6 +119,7 @@ func main() {
 		BatchMaxSize:  *batchMax,
 		BatchMaxDelay: *batchDelay,
 		QueueLimit:    *queue,
+		Tracer:        tracer,
 	}
 	var st *store.Store
 	if *storePath != "" {
@@ -115,26 +136,28 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "llm4vvd: serving %s (seed %d) on %s\n", *backend, *seed, *addr)
+	logger.Info("llm4vvd: serving", "backend", *backend, "seed", *seed, "addr", *addr, "tracing", *traceFile != "")
 
 	select {
 	case err := <-errc:
 		fail(err)
 	case <-ctx.Done():
 	}
-	fmt.Fprintln(os.Stderr, "llm4vvd: shutting down")
+	logger.Info("llm4vvd: shutting down")
 	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		fmt.Fprintln(os.Stderr, "llm4vvd: shutdown:", err)
+		logger.Error("llm4vvd: shutdown", "err", err)
 	}
 	srv.Close()
 	if st != nil {
 		fail(st.Close())
 	}
 	s := srv.Stats()
-	fmt.Fprintf(os.Stderr, "llm4vvd: served %d single + %d batch requests with %d endpoint calls (%d prompts, %d coalesced batches, %d store hits, %d rejected)\n",
-		s.Requests, s.BatchRequests, s.EndpointCalls, s.EndpointPrompts, s.Coalesced, s.StoreHits, s.Rejected)
+	logger.Info("llm4vvd: served",
+		"requests", s.Requests, "batch_requests", s.BatchRequests,
+		"endpoint_calls", s.EndpointCalls, "endpoint_prompts", s.EndpointPrompts,
+		"coalesced", s.Coalesced, "store_hits", s.StoreHits, "rejected", s.Rejected)
 }
 
 // stopProfiles finalises -cpuprofile/-memprofile; fail routes through

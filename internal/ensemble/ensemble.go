@@ -28,10 +28,12 @@ package ensemble
 import (
 	"context"
 	"fmt"
+	"strconv"
 	"strings"
 	"time"
 
 	"repro/internal/judge"
+	"repro/internal/trace"
 )
 
 // Strategy selects how member votes combine into the panel verdict.
@@ -237,16 +239,27 @@ func (p *Panel) CompleteBatch(ctx context.Context, prompts []string) ([]string, 
 	done := make(chan memberResult, len(p.cfg.Members))
 	for i, m := range p.cfg.Members {
 		go func(i int, m Member) {
-			mctx := ctx
+			// Each member's vote on the shard is its own span — under a
+			// traced file this is what separates "the panel was slow"
+			// into "member X was slow".
+			mctx, mspan := trace.Start(ctx, "panel.member")
+			if mspan != nil {
+				mspan.SetAttr("member", m.Name)
+				mspan.SetAttr("prompts", strconv.Itoa(len(prompts)))
+			}
 			if p.cfg.MemberTimeout > 0 {
 				var cancel context.CancelFunc
-				mctx, cancel = context.WithTimeout(ctx, p.cfg.MemberTimeout)
+				mctx, cancel = context.WithTimeout(mctx, p.cfg.MemberTimeout)
 				defer cancel()
 			}
 			resps, err := judge.CompleteAll(mctx, m.LLM, prompts)
 			if err == nil && len(resps) != len(prompts) {
 				err = fmt.Errorf("ensemble: member %q returned %d responses for %d prompts", m.Name, len(resps), len(prompts))
 			}
+			if err != nil {
+				mspan.SetAttr("error", err.Error())
+			}
+			mspan.End()
 			done <- memberResult{member: i, resps: resps, err: err}
 		}(i, m)
 	}

@@ -33,6 +33,8 @@ package fleet
 import (
 	"context"
 	"fmt"
+	"log/slog"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -40,6 +42,7 @@ import (
 
 	"repro/internal/judge"
 	"repro/internal/remote"
+	"repro/internal/trace"
 )
 
 // Defaults for Config zero values.
@@ -50,7 +53,11 @@ const (
 	DefaultLoadFactor = 1.25
 	// DefaultHealthInterval paces the background health loop.
 	DefaultHealthInterval = 250 * time.Millisecond
-	// DefaultPingTimeout bounds one health probe.
+	// DefaultPingTimeout caps one health probe. The effective default
+	// is the smaller of this and the health interval: a probe must
+	// resolve within its own tick, or a hung replica (accepting
+	// connections but never answering) would stall eviction past the
+	// very interval that exists to bound detection time.
 	DefaultPingTimeout = time.Second
 )
 
@@ -82,8 +89,13 @@ type Config struct {
 	// DefaultHealthInterval, negative disables the loop (request-path
 	// probes still evict, tests drive readmission via CheckNow).
 	HealthInterval time.Duration
-	// PingTimeout bounds one probe; <= 0 means DefaultPingTimeout.
+	// PingTimeout bounds one probe; <= 0 derives it from the health
+	// interval (min(HealthInterval, DefaultPingTimeout)) so eviction of
+	// a hung replica never waits longer than one health tick.
 	PingTimeout time.Duration
+	// Logger receives structured membership events (evictions,
+	// readmissions) with replica_id fields; nil discards them.
+	Logger *slog.Logger
 }
 
 // replicaState is one member's runtime: health, load, and counters.
@@ -130,6 +142,12 @@ func NewRouter(cfg Config) (*Router, error) {
 	}
 	if cfg.PingTimeout <= 0 {
 		cfg.PingTimeout = DefaultPingTimeout
+		if cfg.HealthInterval > 0 && cfg.HealthInterval < cfg.PingTimeout {
+			cfg.PingTimeout = cfg.HealthInterval
+		}
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.New(slog.DiscardHandler)
 	}
 	rt := &Router{
 		cfg:    cfg,
@@ -228,6 +246,7 @@ func (rt *Router) CheckNow() {
 func (rt *Router) markDown(st *replicaState) {
 	if st.healthy.CompareAndSwap(true, false) {
 		rt.ring.Remove(st.addr)
+		rt.cfg.Logger.Warn("fleet: replica evicted", "replica_id", st.addr, "failures", st.failures.Load())
 	}
 }
 
@@ -235,6 +254,7 @@ func (rt *Router) markDown(st *replicaState) {
 func (rt *Router) markUp(st *replicaState) {
 	if st.healthy.CompareAndSwap(false, true) {
 		rt.ring.Add(st.addr)
+		rt.cfg.Logger.Info("fleet: replica readmitted", "replica_id", st.addr)
 	}
 }
 
@@ -311,14 +331,27 @@ func (rt *Router) pick(key judge.PromptKey, tried map[string]bool) *replicaState
 
 // route resolves one group of prompts that share a ring placement key:
 // try the pick, fail over to the key's next successor on error, at
-// most once per replica. A success on any replica readmits it.
+// most once per replica. A success on any replica readmits it. When
+// the context carries a trace, every attempt — the owner placement,
+// bounded-load spills, failover hops — records a "fleet.attempt" span,
+// so a traced file explains exactly which replicas it visited and why
+// it left them.
 func (rt *Router) route(ctx context.Context, key judge.PromptKey, prompts []string) ([]string, error) {
 	tried := make(map[string]bool, 2)
 	var lastErr error
-	for len(tried) < len(rt.replicas) {
+	for hop := 0; len(tried) < len(rt.replicas); hop++ {
 		st := rt.pick(key, tried)
 		if st == nil {
 			break
+		}
+		actx, span := trace.Start(ctx, "fleet.attempt")
+		if span != nil {
+			span.SetAttr("replica", st.addr)
+			span.SetAttr("hop", strconv.Itoa(hop))
+			span.SetAttr("prompts", strconv.Itoa(len(prompts)))
+			if owners := rt.ring.Successors(key, 1); len(owners) == 1 && owners[0] != st.addr {
+				span.SetAttr("spill", "true")
+			}
 		}
 		n := int64(len(prompts))
 		st.inflight.Add(n)
@@ -328,18 +361,21 @@ func (rt *Router) route(ctx context.Context, key judge.PromptKey, prompts []stri
 			// Preserve the single-prompt wire path so replica-side
 			// micro-batching still coalesces interactive traffic.
 			var resp string
-			resp, err = st.client.CompleteContext(ctx, prompts[0])
+			resp, err = st.client.CompleteContext(actx, prompts[0])
 			resps = []string{resp}
 		} else {
-			resps, err = st.client.CompleteBatch(ctx, prompts)
+			resps, err = st.client.CompleteBatch(actx, prompts)
 		}
 		st.inflight.Add(-n)
 		if err == nil {
+			span.End()
 			st.prompts.Add(n)
 			rt.routedPrompts.Add(n)
 			rt.markUp(st)
 			return resps, nil
 		}
+		span.SetAttr("error", err.Error())
+		span.End()
 		if ctx.Err() != nil {
 			return nil, err
 		}

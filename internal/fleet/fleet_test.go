@@ -354,3 +354,60 @@ func TestDialParsesAddressList(t *testing.T) {
 		t.Fatal("blank address list accepted")
 	}
 }
+
+// hungReplica is a fakeReplica whose Ping never answers: it blocks
+// until the probe's context expires — the pathology of a replica
+// whose accept queue is alive but whose process is wedged.
+type hungReplica struct {
+	*fakeReplica
+}
+
+func (h *hungReplica) Ping(ctx context.Context) error {
+	<-ctx.Done()
+	return ctx.Err()
+}
+
+// TestRouterHungProbeBoundedByInterval: with PingTimeout unset, the
+// probe timeout derives from the health interval (min of the two), so
+// a replica that hangs its Ping is evicted within roughly one tick —
+// it cannot stall the health pass for the full DefaultPingTimeout.
+func TestRouterHungProbeBoundedByInterval(t *testing.T) {
+	interval := 25 * time.Millisecond
+	hung := &hungReplica{newFakeReplica("hung")}
+	ok := newFakeReplica("ok")
+	rt, err := NewRouter(Config{
+		Replicas:       []Replica{{Addr: "hung", Client: hung}, {Addr: "ok", Client: ok}},
+		HealthInterval: interval,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	if rt.cfg.PingTimeout != interval {
+		t.Fatalf("PingTimeout = %v, want it derived down to the %v interval", rt.cfg.PingTimeout, interval)
+	}
+
+	start := time.Now()
+	rt.CheckNow()
+	elapsed := time.Since(start)
+	if elapsed >= DefaultPingTimeout {
+		t.Fatalf("health pass took %v with a hung replica; probe timeout not bounded by the interval", elapsed)
+	}
+	if rt.ring.Len() != 1 {
+		t.Fatalf("ring has %d replicas after the pass; the hung replica was not evicted", rt.ring.Len())
+	}
+
+	// An explicit PingTimeout always wins over the derivation.
+	rt2, err := NewRouter(Config{
+		Replicas:       []Replica{{Addr: "ok", Client: ok}},
+		HealthInterval: interval,
+		PingTimeout:    3 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt2.Close()
+	if rt2.cfg.PingTimeout != 3*time.Second {
+		t.Fatalf("explicit PingTimeout overridden to %v", rt2.cfg.PingTimeout)
+	}
+}

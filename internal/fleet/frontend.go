@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"strconv"
@@ -17,6 +18,7 @@ import (
 	"repro/internal/perf"
 	"repro/internal/remote"
 	"repro/internal/server"
+	"repro/internal/trace"
 )
 
 // Defaults for FrontendConfig zero values.
@@ -45,6 +47,13 @@ type FrontendConfig struct {
 	// RetryAfter is the back-off hint sent with 429 responses.
 	// Default DefaultRetryAfter.
 	RetryAfter time.Duration
+	// Tracer, when set, joins inbound traces (propagation headers),
+	// records routing spans, serves /debug/traces, and feeds the
+	// slow-exemplar metric family. Nil disables tracing at zero cost.
+	Tracer *trace.Tracer
+	// Logger receives structured admission events — every 429 shed is
+	// logged with its trace_id, priority, and client; nil discards.
+	Logger *slog.Logger
 }
 
 // Frontend is the HTTP admission layer over a Router: the daemon wire
@@ -85,7 +94,20 @@ func NewFrontend(cfg FrontendConfig) *Frontend {
 	if cfg.RetryAfter <= 0 {
 		cfg.RetryAfter = DefaultRetryAfter
 	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.New(slog.DiscardHandler)
+	}
 	return &Frontend{cfg: cfg, rec: perf.NewRecorder(), clients: map[string]int64{}}
+}
+
+// join opens the router-side trace span for one request, continuing
+// the caller's trace when the propagation headers carry one.
+func (f *Frontend) join(r *http.Request, name string) (context.Context, *trace.Span) {
+	if f.cfg.Tracer == nil {
+		return r.Context(), nil
+	}
+	traceHex, spanHex := trace.Extract(r.Header)
+	return f.cfg.Tracer.Join(r.Context(), traceHex, spanHex, name)
 }
 
 // Stats is a snapshot of the admission counters.
@@ -108,7 +130,18 @@ func (f *Frontend) Handler() http.Handler {
 	mux.HandleFunc("/v1/backends", f.handleBackends)
 	mux.HandleFunc("/healthz", f.handleHealthz)
 	mux.HandleFunc("/metrics", f.handleMetrics)
+	mux.HandleFunc("/debug/traces", f.handleDebugTraces)
 	return mux
+}
+
+// handleDebugTraces serves the tracer's recent-fragment ring as a
+// JSON array; an empty array without a tracer, mirroring the daemon.
+func (f *Frontend) handleDebugTraces(w http.ResponseWriter, r *http.Request) {
+	recent := f.cfg.Tracer.Recent()
+	if recent == nil {
+		recent = []trace.Record{}
+	}
+	writeJSON(w, http.StatusOK, recent)
 }
 
 // classOf resolves a request's priority class: the explicit header
@@ -199,6 +232,15 @@ func (f *Frontend) reject(w http.ResponseWriter, msg string) {
 	writeError(w, http.StatusTooManyRequests, msg)
 }
 
+// logShed records a 429 with the identity needed to attribute a shed
+// sweep afterwards: the trace (empty when the caller sent none), the
+// priority class, and the quota client.
+func (f *Frontend) logShed(span *trace.Span, class, client string, prompts int) {
+	span.SetAttr("shed", "true")
+	f.cfg.Logger.Warn("router: request shed (429)",
+		"trace_id", span.TraceHex(), "priority", class, "client", client, "prompts", prompts)
+}
+
 // statusFor maps a routing error: the requester's own context ending
 // is 504, a fleet with no replica able to serve is 502 — a true
 // gateway failure, transient to retrying clients.
@@ -218,15 +260,21 @@ func (f *Frontend) handleComplete(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "empty prompt")
 		return
 	}
-	release, ok := f.admit(w, classOf(r, false), clientOf(r), 1)
+	ctx, span := f.join(r, "router.request")
+	defer span.End()
+	class, client := classOf(r, false), clientOf(r)
+	span.SetAttr("priority", class)
+	release, ok := f.admit(w, class, client, 1)
 	if !ok {
+		f.logShed(span, class, client, 1)
 		return
 	}
 	defer release()
 	start := time.Now()
-	resp, err := f.cfg.Router.CompleteContext(r.Context(), req.Prompt)
+	resp, err := f.cfg.Router.CompleteContext(ctx, req.Prompt)
 	f.rec.Observe("route", time.Since(start))
 	if err != nil {
+		span.SetAttr("error", err.Error())
 		writeError(w, statusFor(err), err.Error())
 		return
 	}
@@ -248,15 +296,22 @@ func (f *Frontend) handleCompleteBatch(w http.ResponseWriter, r *http.Request) {
 			fmt.Sprintf("batch of %d prompts exceeds the router queue limit %d; lower the client shard size or raise -queue", len(req.Prompts), f.cfg.QueueLimit))
 		return
 	}
-	release, ok := f.admit(w, class, clientOf(r), len(req.Prompts))
+	ctx, span := f.join(r, "router.batch_request")
+	defer span.End()
+	client := clientOf(r)
+	span.SetAttr("priority", class)
+	span.SetAttr("prompts", strconv.Itoa(len(req.Prompts)))
+	release, ok := f.admit(w, class, client, len(req.Prompts))
 	if !ok {
+		f.logShed(span, class, client, len(req.Prompts))
 		return
 	}
 	defer release()
 	start := time.Now()
-	resps, err := f.cfg.Router.CompleteBatch(r.Context(), req.Prompts)
+	resps, err := f.cfg.Router.CompleteBatch(ctx, req.Prompts)
 	f.rec.Observe("route_batch", time.Since(start))
 	if err != nil {
+		span.SetAttr("error", err.Error())
 		writeError(w, statusFor(err), err.Error())
 		return
 	}
@@ -368,6 +423,16 @@ func (f *Frontend) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p.Emit(perf.FamRouterReplicaPrompts, prompts...)
 	p.Emit(perf.FamRouterReplicaFailures, failures...)
 	p.EmitSummaries(perf.FamRouterStageSeconds, f.rec.Snapshot(), router)
+	if exemplars := f.cfg.Tracer.SlowExemplars(); len(exemplars) > 0 {
+		samples := make([]perf.Sample, len(exemplars))
+		for i, ex := range exemplars {
+			samples[i] = perf.Sample{
+				Labels: [][2]string{router, perf.Label("stage", ex.Stage), perf.Label("trace_id", ex.Trace)},
+				Value:  time.Duration(ex.DurNS).Seconds(),
+			}
+		}
+		p.Emit(perf.FamTraceSlowExemplar, samples...)
+	}
 	if err := p.Err(); err != nil {
 		writeError(w, http.StatusInternalServerError, err.Error())
 		return

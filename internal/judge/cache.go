@@ -2,7 +2,10 @@ package judge
 
 import (
 	"context"
+	"strconv"
 	"sync"
+
+	"repro/internal/trace"
 )
 
 // Cached wraps an LLM with a concurrency-safe memoisation layer keyed
@@ -97,6 +100,10 @@ func (c *cachedLLM) complete(ctx context.Context, prompt string, call func() (st
 	for {
 		resp, hit, waitOn, leader := c.lead(key)
 		if hit {
+			// A memo hit is worth a (zero-duration) span: it explains a
+			// file whose judge stage cost nothing.
+			_, s := trace.Start(ctx, "cache.hit")
+			s.End()
 			return resp, nil
 		}
 		if leader != nil {
@@ -104,8 +111,10 @@ func (c *cachedLLM) complete(ctx context.Context, prompt string, call func() (st
 			c.land(key, leader, resp, err)
 			return resp, err
 		}
+		_, waitSpan := trace.Start(ctx, "cache.wait")
 		select {
 		case <-waitOn.done:
+			waitSpan.End()
 			if waitOn.err == nil {
 				return waitOn.resp, nil
 			}
@@ -117,6 +126,7 @@ func (c *cachedLLM) complete(ctx context.Context, prompt string, call func() (st
 				return "", err
 			}
 		case <-ctx.Done():
+			waitSpan.End()
 			return "", ctx.Err()
 		}
 	}
@@ -185,6 +195,16 @@ func (c *cachedLLM) CompleteBatch(ctx context.Context, prompts []string) ([]stri
 		waiters = append(waiters, waiter{i, f})
 	}
 	c.mu.Unlock()
+
+	// One span summarises how the shard resolved: memoised, led to the
+	// endpoint, or waited out behind concurrent leaders. Guarded so a
+	// traceless context costs nothing.
+	if _, s := trace.Start(ctx, "cache.batch"); s != nil {
+		s.SetAttr("prompts", strconv.Itoa(len(prompts)))
+		s.SetAttr("led", strconv.Itoa(len(leadPrompts)))
+		s.SetAttr("waited", strconv.Itoa(len(waiters)-len(leadPrompts)))
+		defer s.End()
+	}
 
 	if len(leadPrompts) > 0 {
 		resps, err := c.innerBatch(ctx, leadPrompts)

@@ -58,6 +58,13 @@ var (
 	FamRouterStageSeconds    = FamilyDef{"llm4vv_router_stage_seconds", "summary", "Routing latency quantiles (route = one prompt, route_batch = one shard)."}
 )
 
+// Tracing families, exported by both daemon and router when a tracer
+// is mounted; labelled with the owning instance (replica= or router=)
+// plus stage="<span name>" and trace_id="<hex>".
+var (
+	FamTraceSlowExemplar = FamilyDef{"llm4vv_trace_slow_exemplar", "gauge", "Slowest recent trace per span name: value is the span duration in seconds, trace_id labels the trace to pull from /debug/traces or the JSONL sink."}
+)
+
 // Families returns every registered metric family, daemon first, in
 // exposition order. New families must be added here as well as
 // declared above — the docs-diff test walks this list.
@@ -90,6 +97,7 @@ func Families() []FamilyDef {
 		FamRouterReplicaPrompts,
 		FamRouterReplicaFailures,
 		FamRouterStageSeconds,
+		FamTraceSlowExemplar,
 	}
 }
 

@@ -16,6 +16,7 @@ package pipeline
 
 import (
 	"context"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -25,6 +26,7 @@ import (
 	"repro/internal/judge"
 	"repro/internal/machine"
 	"repro/internal/testlang"
+	"repro/internal/trace"
 )
 
 // Input is one file to validate.
@@ -71,6 +73,14 @@ type Config struct {
 	// When nil the stages pay a single predicate check and no clock
 	// reads.
 	StageObserver func(stage string, d time.Duration)
+	// Tracer, when set, opens one trace per file — the root "file"
+	// span, child spans per stage execution, and a "judge.batch" span
+	// under the first batched file's trace for each coalesced endpoint
+	// submission — and everything downstream (judge cache, remote wire,
+	// fleet routing, daemon) continues the same trace through the
+	// context. Nil disables tracing; the stages then pay one pointer
+	// test and nothing else.
+	Tracer *trace.Tracer
 }
 
 // FileResult is the pipeline's record for one file.
@@ -156,14 +166,35 @@ func Run(ctx context.Context, cfg Config, files []Input) ([]FileResult, Stats, e
 		in      Input
 		compile *compiler.Result
 		run     *machine.Result
+		// ctx carries the file's trace root (span) through the stages;
+		// without a tracer it aliases the run context and span is nil.
+		ctx  context.Context
+		span *trace.Span
+	}
+
+	// stageSpan opens one stage's child span under the file's trace;
+	// nil (free) when the file is untraced.
+	stageSpan := func(it *item, name string) *trace.Span {
+		if it.span == nil {
+			return nil
+		}
+		_, s := trace.Start(it.ctx, name)
+		return s
 	}
 
 	// finish seals a file's fate: its final verdict is computable from
 	// the stages that ran, so it can be streamed to the caller without
-	// waiting for the rest of the suite.
+	// waiting for the rest of the suite. Sealing ends the file's trace.
 	finish := func(it *item) {
 		r := &results[it.idx]
 		r.Valid = finalVerdict(r, cfg.Judge != nil)
+		if it.span != nil {
+			it.span.SetAttr("valid", strconv.FormatBool(r.Valid))
+			if r.JudgeRan {
+				it.span.SetAttr("verdict", r.Verdict.String())
+			}
+			it.span.End()
+		}
 		if cfg.OnResult != nil {
 			cfg.OnResult(*r)
 		}
@@ -186,7 +217,9 @@ func Run(ctx context.Context, cfg Config, files []Input) ([]FileResult, Stats, e
 				}
 				atomic.AddInt64(&stats.Compiles, 1)
 				timed("compile", func() {
+					s := stageSpan(it, "compile")
 					it.compile = cfg.Tools.Personality.Compile(it.in.Name, it.in.Source, it.in.Lang)
+					s.End()
 				})
 				r := &results[it.idx]
 				r.CompileRan = true
@@ -213,7 +246,9 @@ func Run(ctx context.Context, cfg Config, files []Input) ([]FileResult, Stats, e
 				if it.compile.OK && it.compile.Object != nil {
 					atomic.AddInt64(&stats.Executions, 1)
 					timed("exec", func() {
+						s := stageSpan(it, "exec")
 						it.run = machine.Run(it.compile.Object, cfg.Tools.MachineOpts)
+						s.End()
 					})
 					r.ExecRan = true
 					r.ExecOK = it.run.ReturnCode == 0
@@ -277,11 +312,22 @@ func Run(ctx context.Context, cfg Config, files []Input) ([]FileResult, Stats, e
 					info := buildToolInfo(b.compile, b.run)
 					infos[i] = &info
 				}
+				// The coalesced endpoint submission is one unit of work;
+				// its span rides the first batched file's trace (the
+				// carrier), and the context hands the trace onward to the
+				// judge cache, the remote wire, and the fleet.
+				jctx := ctx
+				var jspan *trace.Span
+				if batch[0].span != nil {
+					jctx, jspan = trace.Start(batch[0].ctx, "judge.batch")
+					jspan.SetAttr("batch_size", strconv.Itoa(len(batch)))
+				}
 				var evs []judge.Evaluation
 				var err error
 				timed("judge", func() {
-					evs, err = cfg.Judge.EvaluateBatch(ctx, codes, infos)
+					evs, err = cfg.Judge.EvaluateBatch(jctx, codes, infos)
 				})
+				jspan.End()
 				if err != nil {
 					fail(err) // backend or context failure; abort the run
 					continue
@@ -302,7 +348,12 @@ func Run(ctx context.Context, cfg Config, files []Input) ([]FileResult, Stats, e
 
 	for i := range files {
 		results[i] = FileResult{Index: i, Name: files[i].Name}
-		compileCh <- &item{idx: i, in: files[i]}
+		it := &item{idx: i, in: files[i], ctx: ctx}
+		if cfg.Tracer != nil {
+			it.ctx, it.span = cfg.Tracer.StartTrace(ctx, "file")
+			it.span.SetAttr("name", files[i].Name)
+		}
+		compileCh <- it
 	}
 	close(compileCh)
 	wgCompile.Wait()

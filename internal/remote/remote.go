@@ -45,6 +45,7 @@ import (
 	"time"
 
 	"repro/internal/server"
+	"repro/internal/trace"
 )
 
 // Defaults for New's option zero values.
@@ -275,7 +276,26 @@ func (b *Backend) Ping(ctx context.Context) error {
 // and 5xx responses rotate the preferred replica before the retry;
 // 429 overload stays put — the replica is alive, and moving a busy
 // fleet's load around only spreads the overload.
+//
+// When the context carries a trace span, the whole call — retries
+// included — is recorded as one "remote.call" child span whose ID is
+// injected into the propagation headers, so the daemon's server-side
+// spans parent under this client-side interval.
 func (b *Backend) post(ctx context.Context, path string, in, out any) error {
+	ctx, span := trace.Start(ctx, "remote.call")
+	if span == nil {
+		return b.doPost(ctx, path, in, out)
+	}
+	span.SetAttr("path", path)
+	err := b.doPost(ctx, path, in, out)
+	if err != nil {
+		span.SetAttr("error", err.Error())
+	}
+	span.End()
+	return err
+}
+
+func (b *Backend) doPost(ctx context.Context, path string, in, out any) error {
 	body, err := json.Marshal(in)
 	if err != nil {
 		return err
@@ -294,6 +314,7 @@ func (b *Backend) post(ctx context.Context, path string, in, out any) error {
 		if b.client != "" {
 			req.Header.Set(ClientHeader, b.client)
 		}
+		trace.Inject(ctx, req.Header)
 		resp, err := b.hc.Do(req)
 		var retryAfter time.Duration
 		var hasHint bool

@@ -15,6 +15,7 @@ import (
 	"repro/internal/judge"
 	"repro/internal/perf"
 	"repro/internal/store"
+	"repro/internal/trace"
 )
 
 // Defaults for the zero values of Config's knobs.
@@ -86,6 +87,13 @@ type Config struct {
 	// the record without an endpoint call — dedup that spans workers
 	// and daemon restarts. The server never closes the store.
 	Store *store.Store
+
+	// Tracer, when set, records server-side spans — request, gather,
+	// batch, resolve, endpoint — joined to the caller's trace via the
+	// propagation headers, serves recent traces on /debug/traces, and
+	// feeds the slow-exemplar metric family. Nil disables tracing at
+	// zero cost.
+	Tracer *trace.Tracer
 }
 
 // result is one resolved prompt handed back to a waiting request.
@@ -245,7 +253,19 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/backends", s.handleBackends)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/debug/traces", s.handleDebugTraces)
 	return mux
+}
+
+// join opens the server-side trace span for one request, continuing
+// the caller's trace when the propagation headers carry one. With no
+// tracer configured it returns the context untouched and a nil span.
+func (s *Server) join(r *http.Request, name string) (context.Context, *trace.Span) {
+	if s.cfg.Tracer == nil {
+		return r.Context(), nil
+	}
+	traceHex, spanHex := trace.Extract(r.Header)
+	return s.cfg.Tracer.Join(r.Context(), traceHex, spanHex, name)
 }
 
 // collect is the micro-batcher: it takes the first queued prompt,
@@ -356,7 +376,24 @@ func (s *Server) flush(batch []*pending) {
 	for _, p := range live {
 		prompts = append(prompts, p.prompt)
 	}
-	resps, err := s.resolve(s.baseCtx, prompts)
+	// The coalesced batch is one unit of work shared by every member;
+	// its span opens under the first traced member's request (the
+	// carrier), so that trace shows the whole gather-and-resolve
+	// interval the member actually waited through. Resolution runs on
+	// baseCtx — only the span rides over, never a member's
+	// cancellation.
+	rctx := s.baseCtx
+	if s.cfg.Tracer != nil {
+		for _, p := range live {
+			if bctx, bspan := trace.Start(p.ctx, "server.batch"); bspan != nil {
+				bspan.SetAttr("batch_size", strconv.Itoa(len(live)))
+				defer bspan.End()
+				rctx = trace.ContextWith(s.baseCtx, trace.FromContext(bctx))
+				break
+			}
+		}
+	}
+	resps, err := s.resolve(rctx, prompts)
 	if err != nil && s.baseCtx.Err() != nil {
 		// The base context ends only at Close: report shutdown, not
 		// the bare cancellation it caused.
@@ -387,6 +424,12 @@ func (s *Server) dedupKey(hash string) store.Key {
 // store.HashSource would render it.
 func (s *Server) resolve(ctx context.Context, prompts []string) ([]string, error) {
 	defer func(start time.Time) { s.rec.Observe("resolve", time.Since(start)) }(time.Now())
+	var span *trace.Span
+	ctx, span = trace.Start(ctx, "server.resolve")
+	if span != nil {
+		span.SetAttr("prompts", strconv.Itoa(len(prompts)))
+		defer span.End()
+	}
 	out := make([]string, len(prompts))
 	// resolved maps a prompt key seen earlier in the shard to the slot
 	// holding its response; missing are the unique prompts that still
@@ -421,6 +464,9 @@ func (s *Server) resolve(ctx context.Context, prompts []string) ([]string, error
 		positions[k] = []int{i}
 		missing = append(missing, p)
 		missingKeys = append(missingKeys, k)
+	}
+	if span != nil {
+		span.SetAttr("dedup_hits", strconv.Itoa(len(prompts)-len(missing)))
 	}
 	if len(missing) == 0 {
 		return out, nil
@@ -459,6 +505,11 @@ func (s *Server) completeEndpoint(ctx context.Context, prompts []string) ([]stri
 	}
 	s.endpointPrompts.Add(int64(len(prompts)))
 	defer func(start time.Time) { s.rec.Observe("endpoint", time.Since(start)) }(time.Now())
+	ctx, span := trace.Start(ctx, "server.endpoint")
+	if span != nil {
+		span.SetAttr("prompts", strconv.Itoa(len(prompts)))
+		defer span.End()
+	}
 	return judge.CompleteAll(ctx, s.cfg.LLM, prompts)
 }
 
@@ -484,7 +535,10 @@ func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "empty prompt")
 		return
 	}
+	ctx, span := s.join(r, "server.request")
+	defer span.End()
 	if !s.admit(w, 1) {
+		span.SetAttr("shed", "true")
 		return
 	}
 	// The slot is released when the pending resolves (flush, or the
@@ -492,7 +546,7 @@ func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
 	// that gives up early cannot free capacity its abandoned prompt
 	// still occupies.
 	s.requests.Add(1)
-	p := &pending{ctx: r.Context(), prompt: req.Prompt, done: make(chan result, 1)}
+	p := &pending{ctx: ctx, prompt: req.Prompt, done: make(chan result, 1)}
 	select {
 	case s.queue <- p:
 	case <-s.baseCtx.Done():
@@ -503,6 +557,7 @@ func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
 	select {
 	case res := <-p.done:
 		if res.err != nil {
+			span.SetAttr("error", res.err.Error())
 			writeError(w, statusFor(res.err), res.err.Error())
 			return
 		}
@@ -531,13 +586,18 @@ func (s *Server) handleCompleteBatch(w http.ResponseWriter, r *http.Request) {
 			fmt.Sprintf("batch of %d prompts exceeds the daemon queue limit %d; lower the client shard size or raise -queue", len(req.Prompts), s.cfg.QueueLimit))
 		return
 	}
+	ctx, span := s.join(r, "server.batch_request")
+	defer span.End()
+	span.SetAttr("prompts", strconv.Itoa(len(req.Prompts)))
 	if !s.admit(w, len(req.Prompts)) {
+		span.SetAttr("shed", "true")
 		return
 	}
 	defer s.inflight.Add(int64(-len(req.Prompts)))
 	s.batchRequests.Add(1)
-	resps, err := s.resolve(r.Context(), req.Prompts)
+	resps, err := s.resolve(ctx, req.Prompts)
 	if err != nil {
+		span.SetAttr("error", err.Error())
 		writeError(w, statusFor(err), err.Error())
 		return
 	}
@@ -591,6 +651,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p.EmitValue(perf.FamGatherDelay, time.Duration(st.GatherDelayNS).Seconds(), replica)
 	p.EmitValue(perf.FamInflight, float64(s.inflight.Load()), replica)
 	p.EmitSummaries(perf.FamStageSeconds, s.rec.Snapshot(), replica)
+	emitSlowExemplars(p, s.cfg.Tracer, replica)
 	if s.cfg.Store != nil {
 		sst := s.cfg.Store.Stats()
 		p.EmitValue(perf.FamStoreKeys, float64(sst.Keys), replica)
@@ -604,6 +665,43 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_, _ = w.Write(buf.Bytes())
+}
+
+// handleDebugTraces serves the tracer's recent-fragment ring as a
+// JSON array — the quick look before reaching for the JSONL sink.
+// Without a tracer it serves an empty array, not an error, so probes
+// need no mode awareness.
+func (s *Server) handleDebugTraces(w http.ResponseWriter, r *http.Request) {
+	writeDebugTraces(w, s.cfg.Tracer)
+}
+
+// writeDebugTraces renders a tracer's recent ring (shared with the
+// router's endpoint).
+func writeDebugTraces(w http.ResponseWriter, t *trace.Tracer) {
+	recent := t.Recent()
+	if recent == nil {
+		recent = []trace.Record{}
+	}
+	writeJSON(w, http.StatusOK, recent)
+}
+
+// emitSlowExemplars writes the llm4vv_trace_slow_exemplar family from
+// a tracer's reservoir: one gauge per retained exemplar, valued at
+// the span duration in seconds and labelled with the span name and
+// trace ID (shared with the router's /metrics).
+func emitSlowExemplars(p *perf.Prom, t *trace.Tracer, instance [2]string) {
+	exemplars := t.SlowExemplars()
+	if len(exemplars) == 0 {
+		return
+	}
+	samples := make([]perf.Sample, len(exemplars))
+	for i, ex := range exemplars {
+		samples[i] = perf.Sample{
+			Labels: [][2]string{instance, perf.Label("stage", ex.Stage), perf.Label("trace_id", ex.Trace)},
+			Value:  time.Duration(ex.DurNS).Seconds(),
+		}
+	}
+	p.Emit(perf.FamTraceSlowExemplar, samples...)
 }
 
 // readJSON decodes a POST body, answering 405/400 itself on failure.

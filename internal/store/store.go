@@ -44,6 +44,7 @@ package store
 
 import (
 	"bufio"
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -52,7 +53,10 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"sync"
+
+	"repro/internal/trace"
 )
 
 // Key identifies one judging result: the same file content judged
@@ -150,6 +154,11 @@ type Options struct {
 	// incremental background merge of all sealed segments into one.
 	// 0 means DefaultMergeThreshold; negative disables merging.
 	MergeThreshold int
+	// Tracer, when set, records each seal and background merge as a
+	// one-span trace ("store.seal" / "store.merge") — maintenance acts
+	// have no caller to parent under, but they compete for the same
+	// disk, so a sweep's slow tail often points here. Nil disables.
+	Tracer *trace.Tracer
 }
 
 func (o Options) normalized() Options {
@@ -495,6 +504,11 @@ func (s *Store) sealLocked() error {
 	if len(s.active) == 0 {
 		return nil
 	}
+	if s.opts.Tracer != nil {
+		_, span := s.opts.Tracer.StartTrace(context.Background(), "store.seal")
+		span.SetAttr("records", strconv.Itoa(len(s.active)))
+		defer span.End()
+	}
 	if err := s.w.Flush(); err != nil {
 		return err
 	}
@@ -559,7 +573,18 @@ func (s *Store) maybeMergeLocked() {
 // only records the merged segment supersedes or duplicates.
 func (s *Store) mergeSegments(snapshot []*segment) {
 	defer s.mergeWG.Done()
+	var span *trace.Span
+	if s.opts.Tracer != nil {
+		_, span = s.opts.Tracer.StartTrace(context.Background(), "store.merge")
+		span.SetAttr("segments", strconv.Itoa(len(snapshot)))
+	}
 	merged, err := s.runMerge(snapshot)
+	if span != nil {
+		if err != nil {
+			span.SetAttr("error", err.Error())
+		}
+		span.End()
+	}
 
 	s.mu.Lock()
 	defer func() {

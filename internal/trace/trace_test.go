@@ -1,0 +1,234 @@
+package trace
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestIDsRoundTripAndUniqueness(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 1000; i++ {
+		tid := newTraceID()
+		if tid.IsZero() {
+			t.Fatal("zero trace ID generated")
+		}
+		h := tid.Hex()
+		if seen[h] {
+			t.Fatalf("duplicate trace ID %s", h)
+		}
+		seen[h] = true
+		back, ok := ParseTraceID(h)
+		if !ok || back != tid {
+			t.Fatalf("ParseTraceID(%q) = %v, %v", h, back, ok)
+		}
+	}
+	sid := newSpanID()
+	back, ok := ParseSpanID(sid.Hex())
+	if !ok || back != sid {
+		t.Fatalf("ParseSpanID round trip failed for %s", sid.Hex())
+	}
+	if _, ok := ParseTraceID("nothex"); ok {
+		t.Fatal("ParseTraceID accepted junk")
+	}
+	if _, ok := ParseTraceID(strings.Repeat("0", 32)); ok {
+		t.Fatal("ParseTraceID accepted the zero ID")
+	}
+	if _, ok := ParseSpanID("xyz"); ok {
+		t.Fatal("ParseSpanID accepted junk")
+	}
+}
+
+func TestDisabledTracerIsInert(t *testing.T) {
+	var tr *Tracer
+	ctx, root := tr.StartTrace(context.Background(), "file")
+	if root != nil {
+		t.Fatal("nil tracer returned a span")
+	}
+	if _, s := Start(ctx, "child"); s != nil {
+		t.Fatal("Start without a span in ctx returned a span")
+	}
+	// Every Span method must tolerate nil.
+	root.SetAttr("k", "v")
+	root.End()
+	if got := root.TraceHex(); got != "" {
+		t.Fatalf("nil span TraceHex = %q", got)
+	}
+	if got := root.SpanHex(); got != "" {
+		t.Fatalf("nil span SpanHex = %q", got)
+	}
+	if _, s := tr.Join(ctx, "", "", "x"); s != nil {
+		t.Fatal("nil tracer Join returned a span")
+	}
+	if tr.Recent() != nil || tr.SlowExemplars() != nil {
+		t.Fatal("nil tracer reported data")
+	}
+	h := http.Header{}
+	Inject(ctx, h)
+	if len(h) != 0 {
+		t.Fatalf("Inject without a span wrote headers: %v", h)
+	}
+}
+
+func TestFragmentFlushOnRootEnd(t *testing.T) {
+	var buf bytes.Buffer
+	tr := New(WithWriter(&buf), WithProcess("test-proc"))
+	ctx, root := tr.StartTrace(context.Background(), "file")
+	root.SetAttr("name", "a.c")
+	cctx, child := Start(ctx, "compile")
+	_, grand := Start(cctx, "exec")
+	grand.End()
+	child.End()
+	if buf.Len() != 0 {
+		t.Fatal("fragment flushed before the root ended")
+	}
+	root.End()
+	root.End() // double End must not double-flush
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 1 {
+		t.Fatalf("want 1 JSONL line, got %d: %q", len(lines), buf.String())
+	}
+	var rec Record
+	if err := json.Unmarshal([]byte(lines[0]), &rec); err != nil {
+		t.Fatalf("bad JSONL: %v", err)
+	}
+	if rec.Process != "test-proc" {
+		t.Fatalf("process = %q", rec.Process)
+	}
+	if rec.Trace != root.TraceHex() {
+		t.Fatalf("trace = %q, want %q", rec.Trace, root.TraceHex())
+	}
+	if len(rec.Spans) != 3 {
+		t.Fatalf("want 3 spans, got %d", len(rec.Spans))
+	}
+	byName := map[string]SpanRecord{}
+	for _, s := range rec.Spans {
+		byName[s.Name] = s
+	}
+	if byName["compile"].Parent != byName["file"].ID {
+		t.Fatal("compile span not parented under file")
+	}
+	if byName["exec"].Parent != byName["compile"].ID {
+		t.Fatal("exec span not parented under compile")
+	}
+	if byName["file"].Parent != "" {
+		t.Fatalf("root has parent %q", byName["file"].Parent)
+	}
+	if got := byName["file"].Attrs; len(got) != 1 || got[0].Key != "name" || got[0].Value != "a.c" {
+		t.Fatalf("root attrs = %v", got)
+	}
+}
+
+func TestJoinContinuesForeignTrace(t *testing.T) {
+	var caller, callee bytes.Buffer
+	ctr := New(WithWriter(&caller), WithProcess("caller"))
+	cee := New(WithWriter(&callee), WithProcess("callee"))
+
+	ctx, root := ctr.StartTrace(context.Background(), "request")
+	h := http.Header{}
+	Inject(ctx, h)
+	traceHex, spanHex := Extract(h)
+	if traceHex != root.TraceHex() || spanHex != root.SpanHex() {
+		t.Fatalf("Extract = %q/%q, want %q/%q", traceHex, spanHex, root.TraceHex(), root.SpanHex())
+	}
+
+	_, frag := cee.Join(context.Background(), traceHex, spanHex, "server.request")
+	if frag.TraceHex() != root.TraceHex() {
+		t.Fatal("Join did not adopt the foreign trace ID")
+	}
+	frag.End()
+	root.End()
+
+	var calleeRec Record
+	if err := json.Unmarshal(callee.Bytes(), &calleeRec); err != nil {
+		t.Fatalf("callee JSONL: %v", err)
+	}
+	if calleeRec.Trace != root.TraceHex() {
+		t.Fatal("fragment trace mismatch")
+	}
+	if calleeRec.Spans[0].Parent != root.SpanHex() {
+		t.Fatalf("fragment root parent = %q, want caller span %q", calleeRec.Spans[0].Parent, root.SpanHex())
+	}
+
+	// An invalid inbound trace ID must start a fresh trace, not fail.
+	_, fresh := cee.Join(context.Background(), "junk", "", "server.request")
+	if fresh == nil || fresh.TraceHex() == "" || fresh.TraceHex() == root.TraceHex() {
+		t.Fatal("Join with junk trace ID did not start a fresh trace")
+	}
+	fresh.End()
+}
+
+func TestRingBound(t *testing.T) {
+	tr := New(WithRing(3))
+	for i := 0; i < 10; i++ {
+		_, s := tr.StartTrace(context.Background(), "file")
+		s.End()
+	}
+	recent := tr.Recent()
+	if len(recent) != 3 {
+		t.Fatalf("ring holds %d, want 3", len(recent))
+	}
+	seen := map[string]bool{}
+	for _, r := range recent {
+		if seen[r.Trace] {
+			t.Fatal("duplicate trace in ring")
+		}
+		seen[r.Trace] = true
+	}
+}
+
+func TestSlowExemplarReservoir(t *testing.T) {
+	tr := New(WithSlowK(2))
+	durs := []time.Duration{5 * time.Millisecond, 1 * time.Millisecond, 9 * time.Millisecond, 3 * time.Millisecond}
+	traces := make([]string, len(durs))
+	for i, d := range durs {
+		_, s := tr.StartTrace(context.Background(), "judge")
+		traces[i] = s.TraceHex()
+		s.startWC = s.startWC.Add(-d) // backdate instead of sleeping
+		s.End()
+	}
+	ex := tr.SlowExemplars()
+	if len(ex) != 2 {
+		t.Fatalf("reservoir holds %d, want 2", len(ex))
+	}
+	if ex[0].Stage != "judge" || ex[0].Trace != traces[2] {
+		t.Fatalf("slowest exemplar = %+v, want trace %s", ex[0], traces[2])
+	}
+	if ex[1].Trace != traces[0] {
+		t.Fatalf("second exemplar = %+v, want trace %s", ex[1], traces[0])
+	}
+	if ex[0].DurNS < ex[1].DurNS {
+		t.Fatal("exemplars not ordered by descending duration")
+	}
+}
+
+func TestConcurrentSpans(t *testing.T) {
+	tr := New(WithWriter(io.Discard))
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				ctx, root := tr.StartTrace(context.Background(), "file")
+				for j := 0; j < 3; j++ {
+					_, c := Start(ctx, "stage")
+					c.SetAttr("j", "x")
+					c.End()
+				}
+				root.End()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := len(tr.Recent()); got != 128 {
+		t.Fatalf("ring holds %d, want full 128", got)
+	}
+}

@@ -1,6 +1,9 @@
 package llm4vv
 
-import "repro/internal/store"
+import (
+	"repro/internal/store"
+	"repro/internal/trace"
+)
 
 // Option configures a Runner at construction time.
 type Option func(*Runner)
@@ -112,6 +115,22 @@ func WithEvalCache(on bool) Option {
 // backends named in it resolve through the registry like any other.
 func WithPanel(spec string) Option {
 	return func(r *Runner) { r.panelSpec = spec }
+}
+
+// WithTracer attaches a distributed tracer: every file an experiment
+// processes opens its own trace (span name "file"), pipeline stages,
+// cache hits, batch coalescing, ensemble member votes, and remote
+// calls record child spans under it, and remote calls propagate the
+// trace across the wire (X-LLM4VV-Trace / X-LLM4VV-Span headers) so
+// daemon- and router-side spans join the same trace. The Runner's
+// run store, when opened by this Runner, inherits the tracer for its
+// seal/merge spans unless WithStoreOptions already set one. A nil
+// tracer (the default) disables tracing at near-zero cost — call
+// sites guard on it before building any span. The tracer's own sinks
+// (JSONL writer, in-memory ring, slow-exemplar reservoir) are
+// configured on the trace.Tracer itself; see trace.New.
+func WithTracer(t *trace.Tracer) Option {
+	return func(r *Runner) { r.tracer = t }
 }
 
 // WithProgress installs a streaming progress callback. Experiments

@@ -87,6 +87,7 @@ func (r *Runner) PanelProbing(ctx context.Context, s SuiteSpec) (PanelDialectRes
 			tr.file(suite[i].Name)
 			return true, nil
 		},
+		func(i int) string { return suite[i].Name },
 		func(i int) (string, *judge.ToolInfo) { return suite[i].Source, nil },
 		func(i int, ev judge.Evaluation) (*store.Record, error) {
 			strat, vs, ok := ensemble.ParseVotes(ev.Response)

@@ -3,6 +3,7 @@ package llm4vv
 import (
 	"context"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
@@ -14,6 +15,7 @@ import (
 	"repro/internal/probe"
 	"repro/internal/spec"
 	"repro/internal/store"
+	"repro/internal/trace"
 )
 
 // Runner is the configured entry point to every experiment: a backend
@@ -39,6 +41,7 @@ type Runner struct {
 	store     *store.Store
 	resume    bool
 	panelSpec string
+	tracer    *trace.Tracer
 }
 
 // NewRunner builds a Runner from options, validating the backend name
@@ -58,7 +61,11 @@ func NewRunner(opts ...Option) (*Runner, error) {
 		return nil, err
 	}
 	if r.storePath != "" {
-		st, err := store.OpenWith(r.storePath, r.storeOpts)
+		opts := r.storeOpts
+		if opts.Tracer == nil {
+			opts.Tracer = r.tracer
+		}
+		st, err := store.OpenWith(r.storePath, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -236,14 +243,23 @@ func (r *Runner) forEachShardWorkers(ctx context.Context, n int, newWorker func(
 // skip(i) reports whether file i needs no judging (sealing resumed
 // files itself); a skip error — a corrupt stored record — stops the
 // scheduler like any judging error, before further endpoint work.
-// input(i) supplies the code and optional tool info for file i
-// (infos are forwarded to EvaluateBatch only when withInfo is set);
-// seal(i, ev) seals file i's freshly judged evaluation and may return
-// a store record for it — the whole batch's records land in one
-// PutAll under one store lock, followed by one Flush checkpoint, so
-// a crash re-judges at most one batch per worker.
+// name(i) names file i for progress-independent concerns (today: the
+// "name" attribute on per-file trace spans). input(i) supplies the
+// code and optional tool info for file i (infos are forwarded to
+// EvaluateBatch only when withInfo is set); seal(i, ev) seals file
+// i's freshly judged evaluation and may return a store record for it
+// — the whole batch's records land in one PutAll under one store
+// lock, followed by one Flush checkpoint, so a crash re-judges at
+// most one batch per worker.
+//
+// With a tracer configured (WithTracer), each judged file opens its
+// own per-file trace root, and every endpoint submission opens a
+// "judge.batch" carrier span under the batch's first file — so the
+// remote spans a batched call produces attach to a trace even though
+// the batch serves many; the carrier's trace names the batch size.
 func (r *Runner) judgeSharded(ctx context.Context, j *judge.Judge, n int, withInfo bool,
 	skip func(i int) (bool, error),
+	name func(i int) string,
 	input func(i int) (code string, info *judge.ToolInfo),
 	seal func(i int, ev judge.Evaluation) (*store.Record, error)) error {
 	target := r.shardSizeFor(n)
@@ -251,6 +267,7 @@ func (r *Runner) judgeSharded(ctx context.Context, j *judge.Judge, n int, withIn
 		var idx []int
 		var codes []string
 		var infos []*judge.ToolInfo
+		var spans []*trace.Span
 		var recs []store.Record
 		submit := func() error {
 			if len(idx) == 0 {
@@ -260,14 +277,32 @@ func (r *Runner) judgeSharded(ctx context.Context, j *judge.Judge, n int, withIn
 			if withInfo {
 				infoArg = infos
 			}
-			evs, err := j.EvaluateBatch(ctx, codes, infoArg)
+			jctx := ctx
+			var bspan *trace.Span
+			if len(spans) > 0 && spans[0] != nil {
+				jctx, bspan = trace.Start(trace.ContextWith(ctx, spans[0]), "judge.batch")
+				bspan.SetAttr("batch_size", strconv.Itoa(len(idx)))
+			}
+			evs, err := j.EvaluateBatch(jctx, codes, infoArg)
+			bspan.End()
 			if err != nil {
+				for _, sp := range spans {
+					sp.SetAttr("error", err.Error())
+					sp.End()
+				}
 				return err
 			}
 			recs = recs[:0]
 			for k, ev := range evs {
+				if sp := spanAt(spans, k); sp != nil {
+					sp.SetAttr("verdict", ev.Verdict.String())
+					sp.End()
+				}
 				rec, err := seal(idx[k], ev)
 				if err != nil {
+					for kk := k + 1; kk < len(spans); kk++ {
+						spans[kk].End()
+					}
 					return err
 				}
 				if rec != nil {
@@ -281,7 +316,7 @@ func (r *Runner) judgeSharded(ctx context.Context, j *judge.Judge, n int, withIn
 				_ = r.store.PutAll(recs)
 				r.flushStore()
 			}
-			idx, codes, infos = idx[:0], codes[:0], infos[:0]
+			idx, codes, infos, spans = idx[:0], codes[:0], infos[:0], spans[:0]
 			return nil
 		}
 		fn := func(start, end int) error {
@@ -299,6 +334,11 @@ func (r *Runner) judgeSharded(ctx context.Context, j *judge.Judge, n int, withIn
 				if withInfo {
 					infos = append(infos, info)
 				}
+				if r.tracer != nil {
+					_, sp := r.tracer.StartTrace(ctx, "file")
+					sp.SetAttr("name", name(i))
+					spans = append(spans, sp)
+				}
 			}
 			if len(idx) >= target {
 				return submit()
@@ -307,6 +347,16 @@ func (r *Runner) judgeSharded(ctx context.Context, j *judge.Judge, n int, withIn
 		}
 		return fn, submit
 	})
+}
+
+// spanAt indexes a possibly-empty span slice: judgeSharded only fills
+// spans when a tracer is configured, so batch loops index through this
+// nil-tolerant accessor instead.
+func spanAt(spans []*trace.Span, k int) *trace.Span {
+	if k < len(spans) {
+		return spans[k]
+	}
+	return nil
 }
 
 // flushStore checkpoints the write-behind run store — called at phase
@@ -395,6 +445,7 @@ func (r *Runner) judgeDirect(ctx context.Context, phase string, j *judge.Judge, 
 			tr.file(suite[i].Name)
 			return true, nil
 		},
+		func(i int) string { return suite[i].Name },
 		func(i int) (string, *judge.ToolInfo) {
 			if infoFor != nil {
 				return suite[i].Source, infoFor(suite[i])
@@ -471,6 +522,7 @@ func (r *Runner) runPipeline(ctx context.Context, phase string, jd *judge.Judge,
 		JudgeWorkers:   r.workers,
 		JudgeBatch:     r.shardSizeFor(len(pending)),
 		RecordAll:      recordAll,
+		Tracer:         r.tracer,
 		OnResult: func(fr pipeline.FileResult) {
 			if r.store != nil {
 				r.putRecord(store.Record{
