@@ -29,7 +29,12 @@
 // interrupted sweep restarts where it stopped, and a sweep re-run
 // after registering one more backend judges only the new backend.
 // -shard sets the scheduler's shard (and judge batch) size; 0 picks
-// one automatically. -show transcripts require re-judging, so -store
+// one automatically. -stage-workers sizes individual pipeline stages
+// ("judge=16" or "compile=2,exec=2,judge=32") where the uniform
+// per-stage default is too coarse — a remote judge fleet saturates at
+// a different width than the local compile simulator. Stage names are
+// compile, exec, judge; scheduling knobs never change verdicts.
+// -show transcripts require re-judging, so -store
 // and -resume are ignored when -show is set.
 //
 // -panel runs the panel experiment: the suites judged by a voting
@@ -87,6 +92,7 @@ import (
 	"os/signal"
 	"path/filepath"
 	"runtime"
+	"strconv"
 	"strings"
 
 	llm4vv "repro"
@@ -121,6 +127,7 @@ func main() {
 	compact := flag.Bool("compact", false, "compact the run store (drop superseded duplicates), then exit (requires -store)")
 	storeStats := flag.Bool("store-stats", false, "print the run store's segment layout and exit (requires -store)")
 	shard := flag.Int("shard", 0, "scheduler shard / judge batch size (0 = automatic)")
+	stageWorkers := flag.String("stage-workers", "", "per-stage pipeline workers, name=N comma-separated (stages: compile, exec, judge)")
 	traceDir := flag.String("trace", "", "write JSONL trace fragments to DIR/judgebench-trace.jsonl")
 	traceView := flag.String("trace-view", "", "render a JSONL trace file as a terminal waterfall, then exit")
 	list := flag.Bool("list", false, "list registered experiments and backends, then exit")
@@ -291,6 +298,9 @@ func main() {
 		llm4vv.WithRecordAll(runRecordAll),
 		llm4vv.WithShardSize(*shard),
 	}
+	stageOpts, err := parseStageWorkers(*stageWorkers)
+	fail(err)
+	opts = append(opts, stageOpts...)
 	if *storePath != "" {
 		opts = append(opts, llm4vv.WithStore(*storePath), llm4vv.WithResume(*resume))
 	}
@@ -345,6 +355,25 @@ func main() {
 
 // showTranscripts reruns the configuration with responses kept,
 // printing the first N transcripts alongside the scorecard.
+// parseStageWorkers turns a -stage-workers value ("judge=16" or
+// "compile=2,exec=2,judge=32") into WithStageWorkers options; stage
+// names are validated by NewRunner.
+func parseStageWorkers(spec string) ([]llm4vv.Option, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var opts []llm4vv.Option
+	for _, kv := range strings.Split(spec, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		n, err := strconv.Atoi(strings.TrimSpace(val))
+		if !ok || err != nil {
+			return nil, fmt.Errorf("-stage-workers wants name=N[,name=N...], got %q", kv)
+		}
+		opts = append(opts, llm4vv.WithStageWorkers(strings.TrimSpace(name), n))
+	}
+	return opts, nil
+}
+
 func showTranscripts(ctx context.Context, d spec.Dialect, suiteSpec llm4vv.SuiteSpec, mode string, style judge.Style, pipelineVerdict bool, backend string, seed uint64, scale, show int, recordAll bool) {
 	suite, err := llm4vv.BuildSuite(suiteSpec)
 	fail(err)
@@ -371,13 +400,15 @@ func showTranscripts(ctx context.Context, d spec.Dialect, suiteSpec llm4vv.Suite
 	}
 	workers := runtime.GOMAXPROCS(0)
 	results, stats, err := pipeline.Run(ctx, pipeline.Config{
-		Tools:          agent.NewTools(d),
-		Judge:          jd,
-		CompileWorkers: workers,
-		ExecWorkers:    workers,
-		JudgeWorkers:   workers,
-		RecordAll:      recordAll,
-		KeepResponses:  true,
+		Tools: agent.NewTools(d),
+		Judge: jd,
+		Stages: []pipeline.StageSpec{
+			{Name: pipeline.StageCompile, Workers: workers},
+			{Name: pipeline.StageExec, Workers: workers},
+			{Name: pipeline.StageJudge, Workers: workers},
+		},
+		RecordAll:     recordAll,
+		KeepResponses: true,
 	}, inputs)
 	fail(err)
 	outcomes := make([]metrics.Outcome, len(results))

@@ -7,7 +7,8 @@
 // Usage:
 //
 //	llm4vv [-seed N] [-scale K] [-backend NAME] [-serve-addr HOST:PORT] \
-//	       [-workers N] [-shard N] [-timeout D] [-trace DIR] \
+//	       [-workers N] [-stage-workers name=N,...] [-shard N] \
+//	       [-timeout D] [-trace DIR] \
 //	       [-experiment all|list|NAME] [-progress] [-store PATH [-resume]]
 //
 // -experiment list enumerates the registered experiments (and the
@@ -22,6 +23,11 @@
 // the way, and re-running with -resume picks up where the interrupted
 // run stopped, re-judging zero completed files. -shard sets the
 // sharded scheduler's chunk (and judge batch) size, 0 = automatic.
+// -stage-workers overrides -workers for individual pipeline stages
+// ("judge=16", or comma-separated "compile=2,exec=2,judge=32"; stage
+// names compile, exec, judge) — the knob for sizing the judge pool to
+// a remote fleet while the local tool stages stay narrow. Scheduling
+// knobs never change verdicts or reports.
 //
 // -serve-addr routes all judging through a running llm4vvd daemon:
 // the address registers as the "remote:<addr>" backend and overrides
@@ -46,6 +52,8 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strconv"
+	"strings"
 	"time"
 
 	llm4vv "repro"
@@ -59,6 +67,7 @@ func main() {
 	serveAddr := flag.String("serve-addr", "", "judge through the llm4vvd daemon at this address (overrides -backend; a comma-separated list fails over across replicas)")
 	timeout := flag.Duration("timeout", 0, "cancel the whole run after this duration (0 = no deadline)")
 	workers := flag.Int("workers", 0, "per-stage workers (0 = GOMAXPROCS)")
+	stageWorkers := flag.String("stage-workers", "", "per-stage pipeline workers, name=N comma-separated (stages: compile, exec, judge; overrides -workers)")
 	shard := flag.Int("shard", 0, "scheduler shard / judge batch size (0 = automatic)")
 	experiment := flag.String("experiment", "all", "all|list|<registered name>")
 	progress := flag.Bool("progress", false, "stream per-file progress to stderr")
@@ -94,6 +103,17 @@ func main() {
 	}
 	if *workers > 0 {
 		opts = append(opts, llm4vv.WithWorkers(*workers))
+	}
+	if *stageWorkers != "" {
+		for _, kv := range strings.Split(*stageWorkers, ",") {
+			name, val, ok := strings.Cut(strings.TrimSpace(kv), "=")
+			n, err := strconv.Atoi(strings.TrimSpace(val))
+			if !ok || err != nil {
+				fmt.Fprintf(os.Stderr, "llm4vv: -stage-workers wants name=N[,name=N...], got %q\n", kv)
+				os.Exit(2)
+			}
+			opts = append(opts, llm4vv.WithStageWorkers(strings.TrimSpace(name), n))
+		}
 	}
 	if *storePath != "" {
 		opts = append(opts, llm4vv.WithStore(*storePath), llm4vv.WithResume(*resume))

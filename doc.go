@@ -99,9 +99,23 @@
 // commands profile the same paths in the field. Every optimisation
 // is pinned byte-identical by parity tests — see DESIGN.md §10.
 //
+// The validation pipeline is a stage DAG: internal/pipeline schedules
+// each file through the stages of a Graph the moment its
+// prerequisites complete — no barriers between stages — with
+// multi-file units ordered by Input.DependsOn and per-stage
+// configuration carried by StageSpec (workers, batching, observer).
+// WithStages and WithStageWorkers tune the built-in compile/exec/
+// judge stages per Runner, surfaced as -stage-workers on both
+// commands; NewGraph/RunGraph schedule custom stage DAGs. See
+// DESIGN.md §14.
+//
 // The pre-redesign free functions (RunDirectProbing, RunPartTwo,
 // RunGenerationLoop, ...) remain as deprecated wrappers over a
-// default-configured Runner.
+// default-configured Runner; likewise pipeline.Config's pre-DAG
+// scalar knobs (CompileWorkers, ExecWorkers, JudgeWorkers,
+// StageObserver) remain as deprecated fields that translate onto the
+// default graph's StageSpec values — migrate by moving each scalar
+// into the corresponding Config.Stages entry.
 //
 // Every experiment is deterministic given its seeds. See DESIGN.md for
 // the system inventory, the Runner/Backend/Experiment architecture,

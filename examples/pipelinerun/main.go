@@ -46,7 +46,14 @@ func main() {
 
 	run := func(label string, workers int, recordAll bool) []pipeline.FileResult {
 		cfg := base
-		cfg.CompileWorkers, cfg.ExecWorkers, cfg.JudgeWorkers = workers, workers, workers
+		// Per-stage specs address the built-in stages by name; uneven
+		// pools (a wide judge behind narrow tool stages, say) are just
+		// different Workers values per spec.
+		cfg.Stages = []pipeline.StageSpec{
+			{Name: pipeline.StageCompile, Workers: workers},
+			{Name: pipeline.StageExec, Workers: workers},
+			{Name: pipeline.StageJudge, Workers: workers},
+		}
 		cfg.RecordAll = recordAll
 		start := time.Now()
 		results, stats, err := pipeline.Run(context.Background(), cfg, inputs)

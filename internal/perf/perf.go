@@ -146,6 +146,18 @@ func nearestRank(sorted []time.Duration, q float64) time.Duration {
 	return sorted[rank-1]
 }
 
+// ReportQuantiles emits "<stage>-p50-ns" and "<stage>-p99-ns" metrics
+// for every recorded stage through report — shaped for
+// testing.B.ReportMetric, so a benchmark publishes per-stage latency
+// families for whatever stages its pipeline graph actually ran, with
+// no hard-coded stage list to fall out of date when the graph changes.
+func (r *Recorder) ReportQuantiles(report func(n float64, unit string)) {
+	for _, st := range r.Snapshot() {
+		report(float64(st.P50), st.Stage+"-p50-ns")
+		report(float64(st.P99), st.Stage+"-p99-ns")
+	}
+}
+
 // Rate converts an item count and an elapsed duration (testing.B's
 // own timer) into an items-per-second metric; 0 for a degenerate
 // instant run rather than a division by zero.

@@ -125,3 +125,29 @@ func TestStartProfilesBadPath(t *testing.T) {
 		t.Fatal("want error for uncreatable cpu profile path")
 	}
 }
+
+func TestReportQuantilesEmitsPerStageFamilies(t *testing.T) {
+	r := NewRecorder()
+	r.Observe("compile", 2*time.Millisecond)
+	r.Observe("compile", 4*time.Millisecond)
+	r.Observe("escalate", 9*time.Millisecond)
+	got := map[string]float64{}
+	r.ReportQuantiles(func(n float64, unit string) { got[unit] = n })
+	// One p50 and one p99 family per recorded stage — whatever the
+	// stage names are, with no built-in list.
+	want := []string{"compile-p50-ns", "compile-p99-ns", "escalate-p50-ns", "escalate-p99-ns"}
+	if len(got) != len(want) {
+		t.Fatalf("got %d metrics %v, want %d", len(got), got, len(want))
+	}
+	for _, unit := range want {
+		if _, ok := got[unit]; !ok {
+			t.Errorf("missing metric %s", unit)
+		}
+	}
+	if got["compile-p50-ns"] != float64(2*time.Millisecond) {
+		t.Errorf("compile-p50-ns = %v, want %v", got["compile-p50-ns"], float64(2*time.Millisecond))
+	}
+	if got["escalate-p99-ns"] != float64(9*time.Millisecond) {
+		t.Errorf("escalate-p99-ns = %v, want %v", got["escalate-p99-ns"], float64(9*time.Millisecond))
+	}
+}

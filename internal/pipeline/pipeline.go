@@ -1,11 +1,21 @@
 // Package pipeline implements the paper's validation pipeline
-// (§III-C): files stream through compile → execute → judge stages,
-// each backed by its own worker pool. A file failing an earlier stage
-// has demonstrated its invalidity, so in short-circuit mode it skips
-// the remaining (more expensive) stages; in record-all mode every file
-// runs every stage, which is how the paper gathered the Part-Two data
-// (allowing the same run to score both the pipeline and the
-// agent-based judges on their own).
+// (§III-C) as a stage DAG: files stream through the stages of a
+// Graph — compile → execute → judge by default — each stage backed by
+// its own worker pool, with no barriers between stages. A file whose
+// compile finished streams straight into execution and judging while
+// slower files are still compiling, and multi-file units declare
+// intra-suite ordering with Input.DependsOn. A file failing an
+// earlier stage has demonstrated its invalidity, so in short-circuit
+// mode it skips the remaining (more expensive) stages; in record-all
+// mode every file runs every stage, which is how the paper gathered
+// the Part-Two data (allowing the same run to score both the pipeline
+// and the agent-based judges on their own).
+//
+// Stages are configured by StageSpec (Config.Stages addresses the
+// built-in stages by name; NewGraph + RunGraph schedule arbitrary
+// DAGs of custom stages). The scalar Config knobs — CompileWorkers,
+// ExecWorkers, JudgeWorkers, StageObserver — remain as deprecated
+// wrappers that translate onto the default graph's specs.
 //
 // Run is context-aware: cancelling the context stops the stages
 // promptly and returns the results completed so far alongside the
@@ -16,8 +26,7 @@ package pipeline
 
 import (
 	"context"
-	"strconv"
-	"sync"
+	"fmt"
 	"sync/atomic"
 	"time"
 
@@ -29,11 +38,29 @@ import (
 	"repro/internal/trace"
 )
 
+// Names of the built-in stages — the values StageSpec.Name,
+// Config.Stages, and the Runner's WithStages/WithStageWorkers options
+// address them by.
+const (
+	StageCompile = "compile"
+	StageExec    = "exec"
+	StageJudge   = "judge"
+)
+
 // Input is one file to validate.
 type Input struct {
 	Name   string
 	Source string
 	Lang   testlang.Language
+	// DependsOn names sibling inputs (by Name) this file builds on —
+	// headers, modules, or earlier parts of a multi-file unit. The
+	// scheduler gates the file stage-by-stage behind its
+	// dependencies: it enters a stage only after every named
+	// dependency has completed that stage, with no suite-wide
+	// barriers. Unknown names, self-references, and dependency cycles
+	// are errors; when any input declares dependencies, input names
+	// must be unique.
+	DependsOn []string
 }
 
 // Config configures a pipeline run.
@@ -43,16 +70,31 @@ type Config struct {
 	// Judge is the stage-3 judge; nil disables the judge stage (used
 	// by the stage-contribution ablation).
 	Judge *judge.Judge
-	// Workers per stage; 0 means 1.
+	// Stages overrides the built-in stages' specs by name
+	// (StageCompile, StageExec, StageJudge): each entry's non-zero
+	// fields replace that stage's defaults, zero fields inherit them
+	// (including the deprecated scalar knobs below, which supply the
+	// defaults during the migration). Unknown or duplicate names and
+	// negative Workers/Batch values are errors returned by Run.
+	// Custom stage DAGs go through NewGraph and RunGraph instead.
+	Stages []StageSpec
+	// CompileWorkers, ExecWorkers, and JudgeWorkers size the built-in
+	// stages' worker pools; 0 means 1, negative values are an error.
+	//
+	// Deprecated: set Stages with per-stage StageSpec values instead.
+	// The fields remain as the Stages defaults and will keep working.
 	CompileWorkers int
-	ExecWorkers    int
-	JudgeWorkers   int
+	// Deprecated: see CompileWorkers.
+	ExecWorkers int
+	// Deprecated: see CompileWorkers.
+	JudgeWorkers int
 	// JudgeBatch caps how many queued files one judge worker submits
 	// to the endpoint in a single EvaluateBatch call (0 or 1 = one at
 	// a time). Batching only changes how prompts reach the endpoint —
 	// endpoints implementing judge.BatchLLM receive whole shards in
 	// one CompleteBatch call — never the verdicts, which stay
-	// byte-identical to per-file judging.
+	// byte-identical to per-file judging. Equivalent to (and the
+	// default for) the judge stage's StageSpec.Batch.
 	JudgeBatch int
 	// RecordAll disables short-circuiting so every stage runs for
 	// every file.
@@ -67,20 +109,80 @@ type Config struct {
 	OnResult func(FileResult)
 	// StageObserver, when set, receives the wall-clock duration of
 	// every stage execution — "compile" and "exec" once per file,
-	// "judge" once per endpoint batch — which is how the throughput
-	// harness (internal/perf) extracts p50/p99 stage latencies. Called
-	// from stage worker goroutines; must be safe for concurrent use.
-	// When nil the stages pay a single predicate check and no clock
-	// reads.
+	// "judge" once per endpoint batch. Applied to every built-in
+	// stage whose spec does not set its own Observe.
+	//
+	// Deprecated: set StageSpec.Observe per stage via Stages instead.
 	StageObserver func(stage string, d time.Duration)
 	// Tracer, when set, opens one trace per file — the root "file"
-	// span, child spans per stage execution, and a "judge.batch" span
-	// under the first batched file's trace for each coalesced endpoint
-	// submission — and everything downstream (judge cache, remote wire,
-	// fleet routing, daemon) continues the same trace through the
-	// context. Nil disables tracing; the stages then pay one pointer
-	// test and nothing else.
+	// span, child spans named after each stage that ran for it, and a
+	// "judge.batch" span under the first batched file's trace for each
+	// coalesced endpoint submission — and everything downstream (judge
+	// cache, remote wire, fleet routing, daemon) continues the same
+	// trace through the context. Nil disables tracing; the stages then
+	// pay one pointer test and nothing else.
 	Tracer *trace.Tracer
+}
+
+// legacySpecs translates the deprecated scalar knobs onto the default
+// graph's StageSpec values. It is the compile-time-checked bridge
+// between the two surfaces: a Config field renamed or retyped breaks
+// this function, not silently the translation.
+func (cfg *Config) legacySpecs() []StageSpec {
+	return []StageSpec{
+		{Name: StageCompile, Workers: cfg.CompileWorkers, Observe: cfg.StageObserver},
+		{Name: StageExec, Workers: cfg.ExecWorkers, Observe: cfg.StageObserver},
+		{Name: StageJudge, Workers: cfg.JudgeWorkers, Batch: cfg.JudgeBatch, Observe: cfg.StageObserver},
+	}
+}
+
+// builtinSpecs resolves the effective specs of the default graph:
+// the deprecated scalar knobs supply the defaults, Config.Stages
+// overlays them by name (non-zero fields win), and the judge stage is
+// dropped when no judge is configured.
+func (cfg *Config) builtinSpecs() ([]StageSpec, error) {
+	specs := cfg.legacySpecs()
+	seen := make(map[string]bool, len(cfg.Stages))
+	for _, o := range cfg.Stages {
+		if seen[o.Name] {
+			return nil, fmt.Errorf("pipeline: duplicate stage %q in Config.Stages", o.Name)
+		}
+		seen[o.Name] = true
+		i := -1
+		for k := range specs {
+			if specs[k].Name == o.Name {
+				i = k
+				break
+			}
+		}
+		if i < 0 {
+			return nil, fmt.Errorf("pipeline: unknown stage %q in Config.Stages (the default graph has %q, %q, and %q; custom graphs go through RunGraph)", o.Name, StageCompile, StageExec, StageJudge)
+		}
+		if o.Workers != 0 {
+			specs[i].Workers = o.Workers
+		}
+		if o.Batch != 0 {
+			specs[i].Batch = o.Batch
+		}
+		if o.Observe != nil {
+			specs[i].Observe = o.Observe
+		}
+	}
+	for i := range specs {
+		if err := specs[i].validate(); err != nil {
+			return nil, err
+		}
+	}
+	// The judge stage is always batch-shaped: even single-file
+	// submissions are one coalesced endpoint round-trip, traced as
+	// "judge.batch".
+	if specs[2].Batch < 1 {
+		specs[2].Batch = 1
+	}
+	if cfg.Judge == nil {
+		specs = specs[:2]
+	}
+	return specs, nil
 }
 
 // FileResult is the pipeline's record for one file.
@@ -113,259 +215,114 @@ type Stats struct {
 	JudgeBatches int64
 }
 
-// Run processes files through the staged pipeline and returns per-file
-// results in input order plus run statistics. When ctx is cancelled
-// mid-run — or a context-aware judge endpoint fails — the stages drain
-// without doing further work and Run returns the partial results with
-// the first error; files whose processing never finished keep their
-// zero-valued stage flags.
+// Run processes files through the default validation graph — compile
+// → execute → judge — and returns per-file results in input order
+// plus run statistics. When ctx is cancelled mid-run — or a
+// context-aware judge endpoint fails — the stages drain without doing
+// further work and Run returns the partial results with the first
+// error; files whose processing never finished keep their zero-valued
+// stage flags. A misconfigured Config (negative workers, unknown
+// stage names in Stages) is an error before any file runs.
 func Run(ctx context.Context, cfg Config, files []Input) ([]FileResult, Stats, error) {
-	if ctx == nil {
-		ctx = context.Background()
+	stats := Stats{Files: len(files)}
+	specs, err := cfg.builtinSpecs()
+	if err != nil {
+		return nil, stats, err
 	}
-	nw := func(n int) int {
-		if n <= 0 {
-			return 1
-		}
-		return n
+	stages, edges := builtinStages(&cfg, specs, &stats)
+	g, err := NewGraph(stages, edges...)
+	if err != nil {
+		return nil, stats, err
 	}
-	results := make([]FileResult, len(files))
-	var stats Stats
-	stats.Files = len(files)
+	results, err := runGraph(ctx, runConfig{
+		onResult:     cfg.OnResult,
+		tracer:       cfg.Tracer,
+		judgeEnabled: cfg.Judge != nil,
+	}, g, files)
+	return results, stats, err
+}
 
-	// The first stage error (a failing context-aware backend, or the
-	// context itself) aborts the run: workers drain without working
-	// once it is set, and Run reports it even when ctx stays live.
-	// runErr is only read after the worker pools are joined.
-	var runErr error
-	var errOnce sync.Once
-	var failed atomic.Bool
-	fail := func(err error) {
-		errOnce.Do(func() {
-			runErr = err
-			failed.Store(true)
-		})
-	}
-	aborted := func() bool { return failed.Load() || ctx.Err() != nil }
-
-	// timed wraps one stage execution with the optional observer; with
-	// no observer configured the stages skip the clock reads entirely.
-	observe := cfg.StageObserver
-	timed := func(stage string, work func()) {
-		if observe == nil {
-			work()
-			return
-		}
-		start := time.Now()
-		work()
-		observe(stage, time.Since(start))
-	}
-
-	type item struct {
-		idx     int
-		in      Input
-		compile *compiler.Result
-		run     *machine.Result
-		// ctx carries the file's trace root (span) through the stages;
-		// without a tracer it aliases the run context and span is nil.
-		ctx  context.Context
-		span *trace.Span
-	}
-
-	// stageSpan opens one stage's child span under the file's trace;
-	// nil (free) when the file is untraced.
-	stageSpan := func(it *item, name string) *trace.Span {
-		if it.span == nil {
-			return nil
-		}
-		_, s := trace.Start(it.ctx, name)
-		return s
-	}
-
-	// finish seals a file's fate: its final verdict is computable from
-	// the stages that ran, so it can be streamed to the caller without
-	// waiting for the rest of the suite. Sealing ends the file's trace.
-	finish := func(it *item) {
-		r := &results[it.idx]
-		r.Valid = finalVerdict(r, cfg.Judge != nil)
-		if it.span != nil {
-			it.span.SetAttr("valid", strconv.FormatBool(r.Valid))
-			if r.JudgeRan {
-				it.span.SetAttr("verdict", r.Verdict.String())
-			}
-			it.span.End()
-		}
-		if cfg.OnResult != nil {
-			cfg.OnResult(*r)
-		}
-	}
-
-	compileCh := make(chan *item, len(files))
-	execCh := make(chan *item, len(files))
-	judgeCh := make(chan *item, len(files))
-
-	var wgCompile, wgExec, wgJudge sync.WaitGroup
-
-	// Stage 1: compile.
-	for w := 0; w < nw(cfg.CompileWorkers); w++ {
-		wgCompile.Add(1)
-		go func() {
-			defer wgCompile.Done()
-			for it := range compileCh {
-				if aborted() {
-					continue // drain without working
+// builtinStages declares the paper's three stages on the Stage API,
+// bound to cfg's tools and counters, in spec order (compile, exec,
+// and — when a judge is configured — judge), plus the chain edges
+// connecting them.
+func builtinStages(cfg *Config, specs []StageSpec, stats *Stats) ([]Stage, [][2]string) {
+	stages := []Stage{
+		StageFunc{
+			StageSpec: specs[0],
+			RunFunc: func(_ context.Context, items []*Item) error {
+				for _, it := range items {
+					atomic.AddInt64(&stats.Compiles, 1)
+					it.Compile = cfg.Tools.Personality.Compile(it.Input.Name, it.Input.Source, it.Input.Lang)
+					r := it.Result()
+					r.CompileRan = true
+					r.CompileOK = it.Compile.OK
+					if !it.Compile.OK && !cfg.RecordAll {
+						it.Stop() // invalidity demonstrated; drop from pipeline
+					}
 				}
-				atomic.AddInt64(&stats.Compiles, 1)
-				timed("compile", func() {
-					s := stageSpan(it, "compile")
-					it.compile = cfg.Tools.Personality.Compile(it.in.Name, it.in.Source, it.in.Lang)
-					s.End()
-				})
-				r := &results[it.idx]
-				r.CompileRan = true
-				r.CompileOK = it.compile.OK
-				if !it.compile.OK && !cfg.RecordAll {
-					finish(it) // invalidity demonstrated; drop from pipeline
-					continue
-				}
-				execCh <- it
-			}
-		}()
-	}
-
-	// Stage 2: execute.
-	for w := 0; w < nw(cfg.ExecWorkers); w++ {
-		wgExec.Add(1)
-		go func() {
-			defer wgExec.Done()
-			for it := range execCh {
-				if aborted() {
-					continue
-				}
-				r := &results[it.idx]
-				if it.compile.OK && it.compile.Object != nil {
+				return nil
+			},
+		},
+		StageFunc{
+			StageSpec: specs[1],
+			// Files that compiled to no executable object (Fortran in
+			// this simulation) carry no execution evidence either way,
+			// so they skip straight to the judge in BOTH modes — the
+			// final verdict defers to the judge exactly as finalVerdict
+			// documents. Compile-failed files only reach this gate in
+			// record-all mode (compile stops them otherwise).
+			AppliesFunc: func(it *Item) bool {
+				return it.Compile != nil && it.Compile.OK && it.Compile.Object != nil
+			},
+			RunFunc: func(_ context.Context, items []*Item) error {
+				for _, it := range items {
 					atomic.AddInt64(&stats.Executions, 1)
-					timed("exec", func() {
-						s := stageSpan(it, "exec")
-						it.run = machine.Run(it.compile.Object, cfg.Tools.MachineOpts)
-						s.End()
-					})
+					it.Exec = machine.Run(it.Compile.Object, cfg.Tools.MachineOpts)
+					r := it.Result()
 					r.ExecRan = true
-					r.ExecOK = it.run.ReturnCode == 0
+					r.ExecOK = it.Exec.ReturnCode == 0
 					if !r.ExecOK && !cfg.RecordAll {
-						finish(it)
-						continue
+						it.Stop()
 					}
 				}
-				// Files that compiled to no executable object (Fortran in
-				// this simulation) carry no execution evidence either way,
-				// so they proceed to the judge in BOTH modes — the final
-				// verdict defers to the judge exactly as finalVerdict
-				// documents. Compile-failed files only get here in
-				// record-all mode (stage 1 drops them otherwise).
-				judgeCh <- it
+				return nil
+			},
+		},
+	}
+	edges := [][2]string{{specs[0].Name, specs[1].Name}}
+	if cfg.Judge == nil {
+		return stages, edges
+	}
+	stages = append(stages, StageFunc{
+		StageSpec: specs[2],
+		RunFunc: func(ctx context.Context, items []*Item) error {
+			atomic.AddInt64(&stats.JudgeCalls, int64(len(items)))
+			atomic.AddInt64(&stats.JudgeBatches, 1)
+			codes := make([]string, len(items))
+			infos := make([]*judge.ToolInfo, len(items))
+			for i, it := range items {
+				codes[i] = it.Input.Source
+				info := buildToolInfo(it.Compile, it.Exec)
+				infos[i] = &info
 			}
-		}()
-	}
-
-	// Stage 3: judge. Each worker takes one queued file, then opportunistically
-	// coalesces up to JudgeBatch-1 more already-waiting files into the
-	// same endpoint submission — shards form from whatever the earlier
-	// stages have finished, so batching never delays a lone file.
-	judgeBatch := cfg.JudgeBatch
-	if judgeBatch < 1 {
-		judgeBatch = 1
-	}
-	for w := 0; w < nw(cfg.JudgeWorkers); w++ {
-		wgJudge.Add(1)
-		go func() {
-			defer wgJudge.Done()
-			for it := range judgeCh {
-				if aborted() {
-					continue
-				}
-				batch := []*item{it}
-			coalesce:
-				for len(batch) < judgeBatch {
-					select {
-					case more, ok := <-judgeCh:
-						if !ok {
-							break coalesce
-						}
-						batch = append(batch, more)
-					default:
-						break coalesce
-					}
-				}
-				if cfg.Judge == nil {
-					for _, b := range batch {
-						finish(b)
-					}
-					continue
-				}
-				atomic.AddInt64(&stats.JudgeCalls, int64(len(batch)))
-				atomic.AddInt64(&stats.JudgeBatches, 1)
-				codes := make([]string, len(batch))
-				infos := make([]*judge.ToolInfo, len(batch))
-				for i, b := range batch {
-					codes[i] = b.in.Source
-					info := buildToolInfo(b.compile, b.run)
-					infos[i] = &info
-				}
-				// The coalesced endpoint submission is one unit of work;
-				// its span rides the first batched file's trace (the
-				// carrier), and the context hands the trace onward to the
-				// judge cache, the remote wire, and the fleet.
-				jctx := ctx
-				var jspan *trace.Span
-				if batch[0].span != nil {
-					jctx, jspan = trace.Start(batch[0].ctx, "judge.batch")
-					jspan.SetAttr("batch_size", strconv.Itoa(len(batch)))
-				}
-				var evs []judge.Evaluation
-				var err error
-				timed("judge", func() {
-					evs, err = cfg.Judge.EvaluateBatch(jctx, codes, infos)
-				})
-				jspan.End()
-				if err != nil {
-					fail(err) // backend or context failure; abort the run
-					continue
-				}
-				for i, b := range batch {
-					r := &results[b.idx]
-					r.JudgeRan = true
-					r.Verdict = evs[i].Verdict
-					if cfg.KeepResponses {
-						evCopy := evs[i]
-						r.Evaluation = &evCopy
-					}
-					finish(b)
+			evs, err := cfg.Judge.EvaluateBatch(ctx, codes, infos)
+			if err != nil {
+				return err // backend or context failure; abort the run
+			}
+			for i, it := range items {
+				r := it.Result()
+				r.JudgeRan = true
+				r.Verdict = evs[i].Verdict
+				if cfg.KeepResponses {
+					evCopy := evs[i]
+					r.Evaluation = &evCopy
 				}
 			}
-		}()
-	}
-
-	for i := range files {
-		results[i] = FileResult{Index: i, Name: files[i].Name}
-		it := &item{idx: i, in: files[i], ctx: ctx}
-		if cfg.Tracer != nil {
-			it.ctx, it.span = cfg.Tracer.StartTrace(ctx, "file")
-			it.span.SetAttr("name", files[i].Name)
-		}
-		compileCh <- it
-	}
-	close(compileCh)
-	wgCompile.Wait()
-	close(execCh)
-	wgExec.Wait()
-	close(judgeCh)
-	wgJudge.Wait()
-
-	if err := ctx.Err(); err != nil {
-		fail(err)
-	}
-	return results, stats, runErr
+			return nil
+		},
+	})
+	return stages, append(edges, [2]string{specs[1].Name, specs[2].Name})
 }
 
 // buildToolInfo assembles the agent prompt block from stage results.

@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/judge"
 	"repro/internal/model"
+	"repro/internal/pipeline"
 	"repro/internal/probe"
 	"repro/internal/spec"
 	"repro/internal/store"
@@ -432,5 +433,56 @@ func TestCrossShardBatchCoalescing(t *testing.T) {
 	if got := counting.batchCalls.Load(); got > maxCalls {
 		t.Errorf("endpoint saw %d batch calls for %d pending files (shard %d), want <= %d (cross-shard coalescing)",
 			got, pending, shard, maxCalls)
+	}
+}
+
+// TestStageOptionsValidation: WithStages/WithStageWorkers misuse must
+// fail NewRunner, not hang or misbehave mid-experiment.
+func TestStageOptionsValidation(t *testing.T) {
+	if _, err := NewRunner(WithStageWorkers("lint", 4)); err == nil || !strings.Contains(err.Error(), "unknown pipeline stage") {
+		t.Errorf("unknown stage name: err=%v", err)
+	}
+	if _, err := NewRunner(WithStageWorkers(pipeline.StageJudge, -2)); err == nil || !strings.Contains(err.Error(), "negative") {
+		t.Errorf("negative workers: err=%v", err)
+	}
+	if _, err := NewRunner(WithStages(pipeline.StageSpec{Name: pipeline.StageJudge, Batch: -1})); err == nil || !strings.Contains(err.Error(), "negative") {
+		t.Errorf("negative batch: err=%v", err)
+	}
+	if _, err := NewRunner(WithStages(
+		pipeline.StageSpec{Name: pipeline.StageCompile, Workers: 2},
+		pipeline.StageSpec{Name: pipeline.StageJudge, Workers: 8, Batch: 4},
+	)); err != nil {
+		t.Fatalf("valid stage specs rejected: %v", err)
+	}
+}
+
+// TestStageWorkersParity: per-stage worker overrides are scheduling
+// knobs — the experiment's verdicts must not move.
+func TestStageWorkersParity(t *testing.T) {
+	s := smallSpec(testlang.LangC, testlang.LangCPP, testlang.LangFortran)
+	base, err := NewRunner()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuned, err := NewRunner(
+		WithStageWorkers(pipeline.StageCompile, 1),
+		WithStageWorkers(pipeline.StageExec, 2),
+		WithStages(pipeline.StageSpec{Name: pipeline.StageJudge, Workers: 7, Batch: 3}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := base.ValidateSuite(context.Background(), s, judge.AgentDirect)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := tuned.ValidateSuite(context.Background(), s, judge.AgentDirect)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("file %d: tuned run %+v != default run %+v", i, got[i], want[i])
+		}
 	}
 }
