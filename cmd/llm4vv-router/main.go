@@ -9,7 +9,7 @@
 //	              [-id NAME] [-vnodes N] [-load-factor F] \
 //	              [-health-interval D] [-queue N] [-bulk-queue N] \
 //	              [-client-quota N] [-retry-after D] [-trace F] \
-//	              [-cpuprofile F] [-memprofile F]
+//	              [-fault SPEC] [-cpuprofile F] [-memprofile F]
 //
 // Prompts are placed by consistent hashing on their content key, so
 // each replica's dedup store and cache stay authoritative for its
@@ -39,6 +39,16 @@
 // stage is exported as llm4vv_trace_slow_exemplar, and all status
 // lines — replica evictions, readmissions, 429 sheds with their
 // trace_id — are structured logs (log/slog).
+//
+// -fault arms deterministic chaos injection from a seeded schedule —
+// "<seed>:point=kind[@freq][/dur][#count],..." — at the router's named
+// injection points: "remote.send" (connection resets, 5xx, latency,
+// torn bodies on the router→replica hop; per-replica sub-points
+// "remote.send:<host:port>") and "fleet.probe:<addr>" (failed health
+// probes, flapping a replica in and out of the ring). Identical seeds
+// and schedules reproduce identical fault sequences; injected counts
+// surface in the llm4vv_resilience_* metric families. See
+// docs/OPERATIONS.md §8 for the chaos runbook.
 package main
 
 import (
@@ -53,8 +63,10 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/fleet"
 	"repro/internal/perf"
+	"repro/internal/remote"
 	"repro/internal/trace"
 )
 
@@ -70,9 +82,17 @@ func main() {
 	clientQuota := flag.Int("client-quota", 0, "max in-flight prompts per client, 0 = unlimited")
 	retryAfter := flag.Duration("retry-after", fleet.DefaultRetryAfter, "back-off hint sent with 429 responses")
 	traceFile := flag.String("trace", "", "append JSONL trace fragments to this file (also enables /debug/traces)")
+	faultSpec := flag.String("fault", "", "chaos testing: seeded deterministic fault schedule, \"<seed>:point=kind[@freq][/dur][#count],...\" (see docs/OPERATIONS.md §8)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file at shutdown")
 	flag.Parse()
+
+	var injector *fault.Injector
+	if *faultSpec != "" {
+		var perr error
+		injector, perr = fault.Parse(*faultSpec)
+		fail(perr)
+	}
 
 	stopProf, err := perf.StartProfiles(*cpuprofile, *memprofile)
 	fail(err)
@@ -93,12 +113,22 @@ func main() {
 		defer tf.Close()
 		tracer = trace.New(trace.WithWriter(tf), trace.WithProcess("llm4vv-router/"+*id))
 	}
+	var dialOpts []remote.Option
+	if injector != nil {
+		// Replica-bound requests traverse the injector's "remote.send"
+		// point (per-replica sub-points keyed by host), so resets, 5xx,
+		// latency, and torn bodies can be scheduled on the router→replica
+		// hop deterministically.
+		dialOpts = append(dialOpts, remote.WithHTTPClient(&http.Client{Transport: fault.Transport(injector, "remote.send", nil)}))
+		logger.Info("llm4vv-router: chaos fault schedule armed", "seed", injector.Seed(), "spec", *faultSpec)
+	}
 	router, err := fleet.DialConfig(*replicas, fleet.Config{
 		Vnodes:         *vnodes,
 		LoadFactor:     *loadFactor,
 		HealthInterval: *healthInterval,
 		Logger:         logger,
-	})
+		Fault:          injector,
+	}, dialOpts...)
 	fail(err)
 	frontend := fleet.NewFrontend(fleet.FrontendConfig{
 		Router:      router,
@@ -109,6 +139,7 @@ func main() {
 		RetryAfter:  *retryAfter,
 		Tracer:      tracer,
 		Logger:      logger,
+		Fault:       injector,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: frontend.Handler()}
 

@@ -10,7 +10,7 @@
 //	llm4vvd [-addr HOST:PORT] [-backend NAME] [-seed N] \
 //	        [-batch-max N] [-batch-delay D] [-queue N] \
 //	        [-replica-id NAME] [-store PATH] [-cache] \
-//	        [-trace F] [-cpuprofile F] [-memprofile F]
+//	        [-trace F] [-fault SPEC] [-cpuprofile F] [-memprofile F]
 //
 // -replica-id names the instance in /healthz, /v1/backends, and the
 // /metrics replica label (default: the listen address) so routers and
@@ -47,6 +47,16 @@
 // llm4vv_trace_slow_exemplar metric. Status lines are structured logs
 // (log/slog) carrying replica_id.
 //
+// -fault arms deterministic chaos injection from a seeded schedule —
+// "<seed>:point=kind[@freq][/dur][#count],..." — at the daemon's named
+// injection points: "daemon.complete" (malformed completions, errors,
+// latency at the fronted endpoint), "daemon.handler" (slow responses,
+// hangs, 500s at the completion handlers), and "store.write" /
+// "store.sync" / "store.rename" (failed file I/O in the run store).
+// Identical seeds and schedules reproduce identical fault sequences;
+// injected counts surface in the llm4vv_resilience_* metric families.
+// See docs/OPERATIONS.md §8 for the chaos runbook.
+//
 // -cpuprofile/-memprofile write pprof profiles covering the daemon's
 // lifetime (CPU from start to shutdown; heap at exit after a GC), the
 // field instrument for serving hot paths: start the daemon profiled,
@@ -66,6 +76,7 @@ import (
 	"time"
 
 	llm4vv "repro"
+	"repro/internal/fault"
 	"repro/internal/judge"
 	"repro/internal/perf"
 	"repro/internal/server"
@@ -84,9 +95,17 @@ func main() {
 	storePath := flag.String("store", "", "dedup identical requests through this JSONL run store")
 	cache := flag.Bool("cache", false, "memoise completions in memory with singleflight dedup")
 	traceFile := flag.String("trace", "", "append JSONL trace fragments to this file (also enables /debug/traces)")
+	faultSpec := flag.String("fault", "", "chaos testing: seeded deterministic fault schedule, \"<seed>:point=kind[@freq][/dur][#count],...\" (see docs/OPERATIONS.md §8)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file at shutdown")
 	flag.Parse()
+
+	var injector *fault.Injector
+	if *faultSpec != "" {
+		var err error
+		injector, err = fault.Parse(*faultSpec)
+		fail(err)
+	}
 
 	stopProf, err := perf.StartProfiles(*cpuprofile, *memprofile)
 	fail(err)
@@ -120,12 +139,16 @@ func main() {
 		BatchMaxDelay: *batchDelay,
 		QueueLimit:    *queue,
 		Tracer:        tracer,
+		Fault:         injector,
 	}
 	var st *store.Store
 	if *storePath != "" {
-		st, err = store.Open(*storePath)
+		st, err = store.OpenWith(*storePath, store.Options{FaultHook: fault.Hook(injector, "store")})
 		fail(err)
 		cfg.Store = st
+	}
+	if injector != nil {
+		logger.Info("llm4vvd: chaos fault schedule armed", "seed", injector.Seed(), "spec", *faultSpec)
 	}
 
 	srv := server.New(cfg)

@@ -1,0 +1,382 @@
+package fault
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func fires(in *Injector, point string, ops int) []int {
+	var hit []int
+	for i := 1; i <= ops; i++ {
+		if in.At(point).Kind != None {
+			hit = append(hit, i)
+		}
+	}
+	return hit
+}
+
+func TestRateDecisionsAreDeterministic(t *testing.T) {
+	mk := func() *Injector { return New(42, &Rule{Point: "p", Kind: Reset, Rate: 0.1}) }
+	a := fires(mk(), "p", 2000)
+	b := fires(mk(), "p", 2000)
+	if len(a) == 0 {
+		t.Fatal("10% rule never fired in 2000 ops")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("same seed fired %d vs %d times", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at fire %d: op %d vs %d", i, a[i], b[i])
+		}
+	}
+	// ~10% of 2000 with generous tolerance: determinism is the
+	// contract, the rate only has to be in the right neighbourhood.
+	if len(a) < 120 || len(a) > 280 {
+		t.Errorf("10%% rule fired %d/2000 times", len(a))
+	}
+	// A different seed fires a different op set.
+	c := fires(New(43, &Rule{Point: "p", Kind: Reset, Rate: 0.1}), "p", 2000)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("seeds 42 and 43 drew identical fault schedules")
+	}
+}
+
+func TestEveryNthFiresOnSchedule(t *testing.T) {
+	in := New(1, &Rule{Point: "p", Kind: Err, Every: 3})
+	got := fires(in, "p", 10)
+	want := []int{3, 6, 9}
+	if len(got) != len(want) {
+		t.Fatalf("fired at %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fired at %v, want %v", got, want)
+		}
+	}
+}
+
+func TestCountCapsFires(t *testing.T) {
+	in := New(1, &Rule{Point: "p", Kind: Err, Every: 1, Count: 2})
+	if got := len(fires(in, "p", 100)); got != 2 {
+		t.Fatalf("count-2 rule fired %d times", got)
+	}
+}
+
+func TestCountCapUnderConcurrency(t *testing.T) {
+	in := New(1, &Rule{Point: "p", Kind: Err, Every: 1, Count: 5})
+	var wg sync.WaitGroup
+	var hits sync.Map
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			n := 0
+			for i := 0; i < 100; i++ {
+				if in.At("p").Kind != None {
+					n++
+				}
+			}
+			hits.Store(g, n)
+		}(g)
+	}
+	wg.Wait()
+	total := 0
+	hits.Range(func(_, v any) bool { total += v.(int); return true })
+	if total != 5 {
+		t.Fatalf("count-5 rule fired %d times across goroutines", total)
+	}
+}
+
+func TestPrefixMatchingAndPerPointCounters(t *testing.T) {
+	in := New(1, &Rule{Point: "fleet.probe", Kind: Flap, Every: 2})
+	// Each full point name counts its own operations: both replicas
+	// flap on their own 2nd probe, not on a shared counter.
+	if d := in.At("fleet.probe:a"); d.Kind != None {
+		t.Fatal("replica a op 1 fired")
+	}
+	if d := in.At("fleet.probe:b"); d.Kind != None {
+		t.Fatal("replica b op 1 fired")
+	}
+	if d := in.At("fleet.probe:a"); d.Kind != Flap {
+		t.Fatal("replica a op 2 did not fire")
+	}
+	if d := in.At("fleet.probe:b"); d.Kind != Flap {
+		t.Fatal("replica b op 2 did not fire")
+	}
+	// Exact-point rules do not bleed onto other points.
+	in2 := New(1, &Rule{Point: "fleet.probe:a", Kind: Flap, Every: 1})
+	if d := in2.At("fleet.probe:b"); d.Kind != None {
+		t.Fatal("rule for replica a fired at replica b")
+	}
+	if d := in2.At("fleet.probes"); d.Kind != None {
+		t.Fatal("prefix matched without a ':' boundary")
+	}
+}
+
+func TestInjectedCounts(t *testing.T) {
+	in := New(1, &Rule{Point: "p", Kind: Err, Every: 2})
+	fires(in, "p", 10)
+	pcs := in.Injected()
+	if len(pcs) != 1 || pcs[0].Point != "p" || pcs[0].Count != 5 {
+		t.Fatalf("Injected() = %+v, want [{p 5}]", pcs)
+	}
+	if got := in.InjectedTotal(); got != 5 {
+		t.Fatalf("InjectedTotal() = %d, want 5", got)
+	}
+}
+
+func TestNilInjectorInert(t *testing.T) {
+	var in *Injector
+	if d := in.At("p"); d.Kind != None {
+		t.Fatal("nil injector fired")
+	}
+	if in.Injected() != nil || in.InjectedTotal() != 0 || in.Seed() != 0 {
+		t.Fatal("nil injector reported state")
+	}
+	base := http.DefaultTransport
+	if Transport(nil, "p", base) != base {
+		t.Error("nil-injector Transport wrapped the base")
+	}
+	h := http.NotFoundHandler()
+	if Middleware(nil, "p", h) == nil {
+		t.Error("nil-injector Middleware returned nil")
+	}
+	if Hook(nil, "store") != nil {
+		t.Error("nil-injector Hook returned a function")
+	}
+}
+
+func TestParse(t *testing.T) {
+	in, err := Parse("42:remote.send=500@0.05,remote.send=torn#1,daemon.handler=latency@3/200ms,fleet.probe=flap@2,store.write=err#1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Seed() != 42 {
+		t.Fatalf("seed %d, want 42", in.Seed())
+	}
+	if len(in.rules) != 5 {
+		t.Fatalf("parsed %d rules, want 5", len(in.rules))
+	}
+	r := in.rules[0]
+	if r.Point != "remote.send" || r.Kind != HTTP500 || r.Rate != 0.05 || r.Every != 0 {
+		t.Errorf("rule 0 = %+v", r)
+	}
+	r = in.rules[1]
+	if r.Kind != Torn || r.Count != 1 {
+		t.Errorf("rule 1 = %+v", r)
+	}
+	r = in.rules[2]
+	if r.Kind != Latency || r.Every != 3 || r.Param != 200*time.Millisecond {
+		t.Errorf("rule 2 = %+v", r)
+	}
+	r = in.rules[3]
+	if r.Kind != Flap || r.Every != 2 {
+		t.Errorf("rule 3 = %+v", r)
+	}
+	r = in.rules[4]
+	if r.Point != "store.write" || r.Kind != Err || r.Count != 1 {
+		t.Errorf("rule 4 = %+v", r)
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	for _, s := range []string{
+		"",
+		"42",
+		"x:p=err",
+		"42:p",
+		"42:=err",
+		"42:p=nosuchkind",
+		"42:p=err@0",
+		"42:p=err@1.5",
+		"42:p=err#0",
+		"42:p=latency/xyz",
+		"42:",
+	} {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) accepted", s)
+		}
+	}
+}
+
+func TestTransportKinds(t *testing.T) {
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = w.Write([]byte(`{"response":"a long enough payload to survive halving"}`))
+	}))
+	defer backend.Close()
+
+	get := func(rt http.RoundTripper) (*http.Response, error) {
+		req, _ := http.NewRequest(http.MethodGet, backend.URL, nil)
+		return rt.RoundTrip(req)
+	}
+
+	// Reset: error before the wire, recognisable via ErrInjected.
+	in := New(1, &Rule{Point: "remote.send", Kind: Reset, Every: 1})
+	if _, err := get(Transport(in, "remote.send", nil)); !errors.Is(err, ErrInjected) {
+		t.Fatalf("reset: got %v, want ErrInjected", err)
+	}
+
+	// HTTP500: synthesized response, backend never reached.
+	in = New(1, &Rule{Point: "remote.send", Kind: HTTP500, Every: 1})
+	resp, err := get(Transport(in, "remote.send", nil))
+	if err != nil || resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("500: got %v, %v", resp, err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "injected") {
+		t.Errorf("500 body %q", body)
+	}
+
+	// Torn: a real response whose body ends mid-JSON.
+	in = New(1, &Rule{Point: "remote.send", Kind: Torn, Every: 1})
+	resp, err = get(Transport(in, "remote.send", nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out map[string]string
+	derr := json.NewDecoder(resp.Body).Decode(&out)
+	resp.Body.Close()
+	if derr == nil {
+		t.Fatal("torn body decoded cleanly")
+	}
+
+	// No rule for the point: the transport passes through.
+	in = New(1, &Rule{Point: "elsewhere", Kind: Reset, Every: 1})
+	resp, err = get(Transport(in, "remote.send", nil))
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("passthrough: got %v, %v", resp, err)
+	}
+	if derr := json.NewDecoder(resp.Body).Decode(&out); derr != nil {
+		t.Fatalf("passthrough body: %v", derr)
+	}
+	resp.Body.Close()
+}
+
+func TestMiddlewareKinds(t *testing.T) {
+	next := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = w.Write([]byte("ok"))
+	})
+
+	in := New(1, &Rule{Point: "daemon.handler", Kind: HTTP500, Every: 1})
+	rec := httptest.NewRecorder()
+	Middleware(in, "daemon.handler", next).ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/", nil))
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("500 middleware answered %d", rec.Code)
+	}
+
+	in = New(1, &Rule{Point: "daemon.handler", Kind: Latency, Every: 1, Param: 20 * time.Millisecond})
+	rec = httptest.NewRecorder()
+	start := time.Now()
+	Middleware(in, "daemon.handler", next).ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/", nil))
+	if rec.Code != http.StatusOK || rec.Body.String() != "ok" {
+		t.Fatalf("latency middleware answered %d %q", rec.Code, rec.Body.String())
+	}
+	if time.Since(start) < 20*time.Millisecond {
+		t.Error("latency middleware did not delay")
+	}
+
+	// Hang with a request context: returns when the request dies, never
+	// reaching the handler.
+	in = New(1, &Rule{Point: "daemon.handler", Kind: Hang, Every: 1})
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	rec = httptest.NewRecorder()
+	done := make(chan struct{})
+	go func() {
+		Middleware(in, "daemon.handler", next).ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/", nil).WithContext(ctx))
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("hang middleware did not release on context end")
+	}
+	if rec.Body.String() == "ok" {
+		t.Error("hung request still produced a response")
+	}
+}
+
+type echoLLM struct{}
+
+func (echoLLM) Complete(prompt string) string { return "resp:" + prompt }
+
+type echoBatchLLM struct{ echoLLM }
+
+func (echoBatchLLM) CompleteBatch(_ context.Context, prompts []string) ([]string, error) {
+	out := make([]string, len(prompts))
+	for i, p := range prompts {
+		out[i] = "resp:" + p
+	}
+	return out, nil
+}
+
+func TestLLMMalformed(t *testing.T) {
+	in := New(1, &Rule{Point: "daemon.complete", Kind: Malformed, Every: 2})
+	llm := LLM(in, "daemon.complete", echoLLM{})
+	if got := llm.Complete("a"); got != "resp:a" {
+		t.Fatalf("op 1 corrupted: %q", got)
+	}
+	if got := llm.Complete("b"); got != MalformedCompletion {
+		t.Fatalf("op 2 not corrupted: %q", got)
+	}
+
+	// Batch capability preserved, one decision per prompt.
+	in = New(1, &Rule{Point: "daemon.complete", Kind: Malformed, Every: 2})
+	wrapped := LLM(in, "daemon.complete", echoBatchLLM{})
+	bl, ok := wrapped.(interface {
+		CompleteBatch(ctx context.Context, prompts []string) ([]string, error)
+	})
+	if !ok {
+		t.Fatal("batch capability lost")
+	}
+	resps, err := bl.CompleteBatch(context.Background(), []string{"a", "b", "c", "d"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"resp:a", MalformedCompletion, "resp:c", MalformedCompletion}
+	for i := range want {
+		if resps[i] != want[i] {
+			t.Fatalf("batch[%d] = %q, want %q", i, resps[i], want[i])
+		}
+	}
+
+	// Non-batch inner must not grow a batch method.
+	if _, ok := LLM(in, "p", echoLLM{}).(interface {
+		CompleteBatch(ctx context.Context, prompts []string) ([]string, error)
+	}); ok {
+		t.Error("wrapper invented batch capability")
+	}
+}
+
+func TestHook(t *testing.T) {
+	in := New(1, &Rule{Point: "store.write", Kind: Err, Every: 1, Count: 1})
+	hook := Hook(in, "store")
+	if err := hook("sync"); err != nil {
+		t.Fatalf("unmatched op failed: %v", err)
+	}
+	if err := hook("write"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("write: got %v, want ErrInjected", err)
+	}
+	if err := hook("write"); err != nil {
+		t.Fatalf("count-1 rule fired twice: %v", err)
+	}
+}

@@ -40,8 +40,10 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/judge"
 	"repro/internal/remote"
+	"repro/internal/resilience"
 	"repro/internal/trace"
 )
 
@@ -96,12 +98,25 @@ type Config struct {
 	// Logger receives structured membership events (evictions,
 	// readmissions) with replica_id fields; nil discards them.
 	Logger *slog.Logger
+	// BreakerThreshold is the consecutive-failure count that trips a
+	// replica's circuit breaker; <= 0 means the resilience default.
+	BreakerThreshold int
+	// BreakerCooldown is how long a tripped replica is refused before
+	// a half-open probe; <= 0 means the resilience default.
+	BreakerCooldown time.Duration
+	// Fault, when non-nil, injects deterministic faults into the
+	// health machinery: probes consult "fleet.probe:<addr>" and a
+	// drawn fault fails the probe (the replica flaps). Production
+	// leaves it nil; cmd/llm4vv-router wires its -fault flag here.
+	Fault *fault.Injector
 }
 
-// replicaState is one member's runtime: health, load, and counters.
+// replicaState is one member's runtime: health, load, breaker, and
+// counters.
 type replicaState struct {
 	addr     string
 	client   Client
+	breaker  *resilience.Breaker
 	healthy  atomic.Bool
 	inflight atomic.Int64
 	prompts  atomic.Int64
@@ -162,7 +177,14 @@ func NewRouter(cfg Config) (*Router, error) {
 		if _, dup := rt.byAddr[r.Addr]; dup {
 			return nil, fmt.Errorf("fleet: replica %s configured twice", r.Addr)
 		}
-		st := &replicaState{addr: r.Addr, client: r.Client}
+		st := &replicaState{
+			addr:   r.Addr,
+			client: r.Client,
+			breaker: resilience.NewBreaker(resilience.BreakerConfig{
+				Threshold: cfg.BreakerThreshold,
+				Cooldown:  cfg.BreakerCooldown,
+			}),
+		}
 		st.healthy.Store(true)
 		rt.replicas = append(rt.replicas, st)
 		rt.byAddr[r.Addr] = st
@@ -230,9 +252,7 @@ func (rt *Router) CheckNow() {
 		wg.Add(1)
 		go func(st *replicaState) {
 			defer wg.Done()
-			ctx, cancel := context.WithTimeout(context.Background(), rt.cfg.PingTimeout)
-			defer cancel()
-			if st.client.Ping(ctx) == nil {
+			if rt.probe(st) == nil {
 				rt.markUp(st)
 			} else {
 				rt.markDown(st)
@@ -240,6 +260,19 @@ func (rt *Router) CheckNow() {
 		}(st)
 	}
 	wg.Wait()
+}
+
+// probe pings one replica within the ping timeout, with the
+// "fleet.probe:<addr>" fault injection point applied on top: a drawn
+// fault fails an otherwise healthy probe, which is how a chaos
+// schedule makes a live replica flap in and out of the ring.
+func (rt *Router) probe(st *replicaState) error {
+	if d := rt.cfg.Fault.At("fleet.probe:" + st.addr); d.Kind != fault.None {
+		return fmt.Errorf("%w: probe of %s", fault.ErrInjected, st.addr)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), rt.cfg.PingTimeout)
+	defer cancel()
+	return st.client.Ping(ctx)
 }
 
 // markDown evicts a replica from the ring (idempotent).
@@ -266,9 +299,7 @@ func (rt *Router) probeAsync(st *replicaState) {
 	rt.wg.Add(1)
 	go func() {
 		defer rt.wg.Done()
-		ctx, cancel := context.WithTimeout(context.Background(), rt.cfg.PingTimeout)
-		defer cancel()
-		if st.client.Ping(ctx) != nil {
+		if rt.probe(st) != nil {
 			rt.markDown(st)
 		}
 	}()
@@ -295,12 +326,21 @@ func (rt *Router) loadBound() int64 {
 }
 
 // pick selects the replica for a key, excluding already-tried members:
-// the ring owner when it is under the load bound, else the first
-// successor under it (a bounded-load spill), else the owner regardless
-// — progress beats balance. With the whole ring evicted it falls back
-// to the configured order, so a fleet whose health probes all fail
-// still serves whatever is actually alive.
-func (rt *Router) pick(key judge.PromptKey, tried map[string]bool) *replicaState {
+// the ring owner when it is under the load bound and its circuit
+// breaker admits, else the first successor passing both checks (a
+// bounded-load spill or a breaker shed — either way the key moves to
+// its next ring successor, so batch grouping and reassembly order are
+// untouched), else the owner regardless — progress beats balance and
+// protection both. With the whole ring evicted it falls back to the
+// configured order, so a fleet whose health probes all fail still
+// serves whatever is actually alive.
+//
+// consume distinguishes placement from dispatch: a dispatching pick
+// (route) claims a tripped replica's half-open probe slot via
+// Breaker.Allow, while a planning pick (batch grouping, which route
+// re-picks behind) only reads the breaker state so it cannot leak the
+// probe slot on a request that is regrouped before it is sent.
+func (rt *Router) pick(key judge.PromptKey, tried map[string]bool, consume bool) *replicaState {
 	var first *replicaState
 	bound := rt.loadBound()
 	for _, addr := range rt.ring.Successors(key, len(rt.replicas)) {
@@ -311,12 +351,20 @@ func (rt *Router) pick(key judge.PromptKey, tried map[string]bool) *replicaState
 		if first == nil {
 			first = st
 		}
-		if st.inflight.Load() < bound {
-			if st != first {
-				rt.spills.Add(1)
-			}
-			return st
+		if st.inflight.Load() >= bound {
+			continue
 		}
+		if consume {
+			if !st.breaker.Allow() {
+				continue
+			}
+		} else if st.breaker.State() == resilience.StateOpen {
+			continue
+		}
+		if st != first {
+			rt.spills.Add(1)
+		}
+		return st
 	}
 	if first != nil {
 		return first
@@ -340,7 +388,7 @@ func (rt *Router) route(ctx context.Context, key judge.PromptKey, prompts []stri
 	tried := make(map[string]bool, 2)
 	var lastErr error
 	for hop := 0; len(tried) < len(rt.replicas); hop++ {
-		st := rt.pick(key, tried)
+		st := rt.pick(key, tried, true)
 		if st == nil {
 			break
 		}
@@ -371,6 +419,7 @@ func (rt *Router) route(ctx context.Context, key judge.PromptKey, prompts []stri
 			span.End()
 			st.prompts.Add(n)
 			rt.routedPrompts.Add(n)
+			st.breaker.Success()
 			rt.markUp(st)
 			return resps, nil
 		}
@@ -380,6 +429,7 @@ func (rt *Router) route(ctx context.Context, key judge.PromptKey, prompts []stri
 			return nil, err
 		}
 		st.failures.Add(1)
+		st.breaker.Failure()
 		rt.probeAsync(st)
 		tried[st.addr] = true
 		lastErr = err
@@ -429,7 +479,7 @@ func (rt *Router) CompleteBatch(ctx context.Context, prompts []string) ([]string
 	var order []*group
 	for i, p := range prompts {
 		key := judge.KeyOf(p)
-		st := rt.pick(key, nil)
+		st := rt.pick(key, nil, false)
 		if st == nil {
 			return nil, fmt.Errorf("fleet: no replicas available")
 		}
@@ -479,20 +529,47 @@ func (rt *Router) Stats() RouterStats {
 	}
 }
 
-// Replicas reports every member's address, health, and counters, in
-// configured order.
+// Replicas reports every member's address, health, breaker state, and
+// counters, in configured order.
 func (rt *Router) Replicas() []ReplicaStatus {
 	out := make([]ReplicaStatus, len(rt.replicas))
 	for i, st := range rt.replicas {
 		out[i] = ReplicaStatus{
-			Addr:     st.addr,
-			Healthy:  st.healthy.Load(),
-			Inflight: st.inflight.Load(),
-			Prompts:  st.prompts.Load(),
-			Failures: st.failures.Load(),
+			Addr:         st.addr,
+			Healthy:      st.healthy.Load(),
+			Inflight:     st.inflight.Load(),
+			Prompts:      st.prompts.Load(),
+			Failures:     st.failures.Load(),
+			Breaker:      st.breaker.State().String(),
+			BreakerTrips: st.breaker.Trips(),
 		}
 	}
 	return out
+}
+
+// BreakerStates reports every replica's circuit-breaker status in
+// configured order — the optional interface metrics endpoints
+// discover on endpoints fronting multiple targets, so a daemon
+// serving a "fleet:" backend exports the same gauge the router does.
+func (rt *Router) BreakerStates() []resilience.BreakerStatus {
+	out := make([]resilience.BreakerStatus, len(rt.replicas))
+	for i, st := range rt.replicas {
+		out[i] = resilience.BreakerStatus{ID: st.addr, State: st.breaker.State(), Trips: st.breaker.Trips()}
+	}
+	return out
+}
+
+// Retries sums the retry waits performed by every replica client that
+// exposes a Retries() counter (the internal/remote Backend does) —
+// the series behind llm4vv_resilience_retries_total on the router.
+func (rt *Router) Retries() int64 {
+	var total int64
+	for _, st := range rt.replicas {
+		if r, ok := st.client.(interface{ Retries() int64 }); ok {
+			total += r.Retries()
+		}
+	}
+	return total
 }
 
 // Addrs reports the configured replica addresses in order.

@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/judge"
 )
 
@@ -290,7 +291,7 @@ func TestRouterBoundedLoadSpill(t *testing.T) {
 	// spill to b.
 	rt.byAddr["a"].inflight.Store(1000)
 	for i := 0; i < 30; i++ {
-		st := rt.pick(judge.KeyOf(fmt.Sprintf("spill-%d", i)), nil)
+		st := rt.pick(judge.KeyOf(fmt.Sprintf("spill-%d", i)), nil, true)
 		if st.addr != "b" {
 			t.Fatalf("key routed to overloaded replica %s", st.addr)
 		}
@@ -300,7 +301,7 @@ func TestRouterBoundedLoadSpill(t *testing.T) {
 	}
 	// Both over the bound: fall back to the owner rather than failing.
 	rt.byAddr["b"].inflight.Store(1000)
-	if st := rt.pick(judge.KeyOf("spill-anyway"), nil); st == nil {
+	if st := rt.pick(judge.KeyOf("spill-anyway"), nil, true); st == nil {
 		t.Fatal("pick returned nil with all replicas over bound")
 	}
 }
@@ -409,5 +410,137 @@ func TestRouterHungProbeBoundedByInterval(t *testing.T) {
 	defer rt2.Close()
 	if rt2.cfg.PingTimeout != 3*time.Second {
 		t.Fatalf("explicit PingTimeout overridden to %v", rt2.cfg.PingTimeout)
+	}
+}
+
+// sickReplica pings healthy but fails every completion — the failure
+// mode health probes cannot catch and the circuit breaker exists for.
+type sickReplica struct {
+	addr     string
+	attempts atomic.Int64
+}
+
+func (s *sickReplica) CompleteContext(ctx context.Context, prompt string) (string, error) {
+	s.attempts.Add(1)
+	return "", fmt.Errorf("replica %s: sick", s.addr)
+}
+
+func (s *sickReplica) CompleteBatch(ctx context.Context, prompts []string) ([]string, error) {
+	s.attempts.Add(1)
+	return nil, fmt.Errorf("replica %s: sick", s.addr)
+}
+
+func (s *sickReplica) Ping(ctx context.Context) error { return nil }
+
+// TestBreakerShedsToSuccessorPreservingOrder: a replica that pings
+// healthy but fails every request trips its breaker; its keys shed to
+// ring successors at placement time, and batch responses still come
+// back in prompt order.
+func TestBreakerShedsToSuccessorPreservingOrder(t *testing.T) {
+	a := &sickReplica{addr: "a"}
+	b, c := newFakeReplica("b"), newFakeReplica("c")
+	rt, err := NewRouter(Config{
+		Replicas:         []Replica{{Addr: "a", Client: a}, {Addr: "b", Client: b}, {Addr: "c", Client: c}},
+		HealthInterval:   -1,
+		BreakerThreshold: 3,
+		BreakerCooldown:  time.Hour, // no half-open probe during the test
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+
+	prompts := make([]string, 40)
+	for i := range prompts {
+		prompts[i] = fmt.Sprintf("order-%d", i)
+	}
+	// Single-prompt traffic first: every request whose ring owner is a
+	// fails there once and fails over to a successor, so a accumulates
+	// consecutive failures until its breaker trips. Health stays green
+	// throughout — pings succeed — so the breaker, not eviction, is
+	// what sheds.
+	for i, p := range prompts {
+		resp, err := rt.CompleteContext(context.Background(), p)
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		if addr, _, _ := strings.Cut(resp, ":"); addr == "a" {
+			t.Fatalf("sick replica produced a response for %q", p)
+		}
+	}
+	if got := rt.byAddr["a"].breaker.State(); got.String() != "open" {
+		t.Fatalf("sick replica breaker %v after a full batch of failures", got)
+	}
+	if !rt.Replicas()[0].Healthy {
+		t.Fatal("sick replica was evicted; the test wants the breaker, not health, shedding")
+	}
+
+	// Second batch: placement skips the tripped replica outright — no
+	// attempts burn on it — and order is still preserved.
+	before := a.attempts.Load()
+	resps, err := rt.CompleteBatch(context.Background(), prompts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range resps {
+		if _, rest, _ := strings.Cut(r, ":"); rest != prompts[i] {
+			t.Fatalf("post-trip resp[%d] = %q, want %q", i, r, prompts[i])
+		}
+	}
+	if got := a.attempts.Load() - before; got != 0 {
+		t.Errorf("tripped replica saw %d attempts; placement should shed", got)
+	}
+	st := rt.Replicas()[0]
+	if st.Breaker != "open" || st.BreakerTrips < 1 {
+		t.Errorf("ReplicaStatus breaker = %q trips = %d, want open/>=1", st.Breaker, st.BreakerTrips)
+	}
+}
+
+// TestProbeFaultInjectionFlapsReplica: a fleet.probe fault schedule
+// makes a perfectly healthy replica flap out of and back into the
+// ring, deterministically.
+func TestProbeFaultInjectionFlapsReplica(t *testing.T) {
+	a, b := newFakeReplica("a"), newFakeReplica("b")
+	inj := fault.New(7, &fault.Rule{Point: "fleet.probe:a", Kind: fault.Flap, Every: 2})
+	rt, err := NewRouter(Config{
+		Replicas:       []Replica{{Addr: "a", Client: a}, {Addr: "b", Client: b}},
+		HealthInterval: -1,
+		Fault:          inj,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+
+	rt.CheckNow() // probe 1: no fault, both healthy
+	if !rt.Replicas()[0].Healthy {
+		t.Fatal("replica a evicted on a clean probe")
+	}
+	rt.CheckNow() // probe 2: fault fires, a flaps out
+	if rt.Replicas()[0].Healthy {
+		t.Fatal("replica a survived an injected probe failure")
+	}
+	if rt.Replicas()[1].Healthy != true {
+		t.Fatal("uninjected replica b evicted")
+	}
+	rt.CheckNow() // probe 3: clean again, a readmitted
+	if !rt.Replicas()[0].Healthy {
+		t.Fatal("replica a not readmitted after the flap")
+	}
+	if inj.InjectedTotal() != 1 {
+		t.Errorf("injected %d faults, want 1", inj.InjectedTotal())
+	}
+}
+
+// TestRouterRetriesSum: Router.Retries sums client counters through
+// the optional interface; fakes without one contribute zero.
+func TestRouterRetriesSum(t *testing.T) {
+	a := newFakeReplica("a")
+	rt := testRouter(t, a)
+	if got := rt.Retries(); got != 0 {
+		t.Fatalf("fake clients reported %d retries", got)
+	}
+	if got := len(rt.BreakerStates()); got != 1 {
+		t.Fatalf("BreakerStates reported %d entries", got)
 	}
 }

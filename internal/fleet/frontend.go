@@ -15,6 +15,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/perf"
 	"repro/internal/remote"
 	"repro/internal/server"
@@ -54,6 +55,11 @@ type FrontendConfig struct {
 	// Logger receives structured admission events — every 429 shed is
 	// logged with its trace_id, priority, and client; nil discards.
 	Logger *slog.Logger
+	// Fault, when set, is the chaos injector whose injected-fault
+	// counts surface in the router's llm4vv_resilience_* metric
+	// families (the Router's Config.Fault should reference the same
+	// injector). Nil — the production default — reports zeros.
+	Fault *fault.Injector
 }
 
 // Frontend is the HTTP admission layer over a Router: the daemon wire
@@ -433,6 +439,10 @@ func (f *Frontend) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		}
 		p.Emit(perf.FamTraceSlowExemplar, samples...)
 	}
+	// The Router implements both optional resilience sources (Retries,
+	// BreakerStates), so the router exposition carries per-replica
+	// breaker gauges under the same families the daemon exports.
+	server.EmitResilience(p, f.cfg.Fault, f.cfg.Router, router)
 	if err := p.Err(); err != nil {
 		writeError(w, http.StatusInternalServerError, err.Error())
 		return

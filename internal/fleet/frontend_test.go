@@ -306,6 +306,14 @@ func TestFrontendMetrics(t *testing.T) {
 		`llm4vv_router_stage_seconds_count{router="r-m",stage="route_batch"} 1`,
 		`# TYPE llm4vv_router_shed_total counter`,
 		`# TYPE llm4vv_router_inflight_prompts gauge`,
+		// The resilience families ride the router exposition too: no
+		// injector and no retries means zero-valued series, and the
+		// breaker gauge carries one closed (0) series per replica.
+		`llm4vv_resilience_faults_injected_total{router="r-m"} 0`,
+		`llm4vv_resilience_retries_total{router="r-m"} 0`,
+		`llm4vv_resilience_breaker_state{router="r-m",target="a"} 0`,
+		`llm4vv_resilience_breaker_state{router="r-m",target="b"} 0`,
+		`# TYPE llm4vv_resilience_breaker_state gauge`,
 	} {
 		if !strings.Contains(text, want) {
 			t.Fatalf("metrics missing %q in:\n%s", want, text)

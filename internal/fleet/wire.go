@@ -31,6 +31,11 @@ type ReplicaStatus struct {
 	// Prompts counts prompts this replica answered.
 	Prompts  int64 `json:"prompts"`
 	Failures int64 `json:"failures"`
+	// Breaker is the replica's circuit-breaker state ("closed",
+	// "half-open", "open"); BreakerTrips counts how many times it has
+	// tripped.
+	Breaker      string `json:"breaker"`
+	BreakerTrips uint64 `json:"breaker_trips"`
 }
 
 // FrontendStats are the admission-layer counters, exposed by

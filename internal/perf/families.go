@@ -65,6 +65,16 @@ var (
 	FamTraceSlowExemplar = FamilyDef{"llm4vv_trace_slow_exemplar", "gauge", "Slowest recent trace per span name: value is the span duration in seconds, trace_id labels the trace to pull from /debug/traces or the JSONL sink."}
 )
 
+// Resilience families, exported by both daemon and router; labelled
+// with the owning instance (replica= or router=). The families are
+// always present — zero-valued series are emitted when the source is
+// absent — so dashboards and alerts can rely on their existence.
+var (
+	FamResilienceFaults       = FamilyDef{"llm4vv_resilience_faults_injected_total", "counter", "Deterministic chaos faults injected, by injection point (0 unless a -fault schedule is armed)."}
+	FamResilienceRetries      = FamilyDef{"llm4vv_resilience_retries_total", "counter", "Remote-client request retries after transient failures (backoff sleeps taken)."}
+	FamResilienceBreakerState = FamilyDef{"llm4vv_resilience_breaker_state", "gauge", "Per-target circuit-breaker state: 0 closed, 1 half-open, 2 open."}
+)
+
 // Families returns every registered metric family, daemon first, in
 // exposition order. New families must be added here as well as
 // declared above — the docs-diff test walks this list.
@@ -98,6 +108,9 @@ func Families() []FamilyDef {
 		FamRouterReplicaFailures,
 		FamRouterStageSeconds,
 		FamTraceSlowExemplar,
+		FamResilienceFaults,
+		FamResilienceRetries,
+		FamResilienceBreakerState,
 	}
 }
 

@@ -7,13 +7,21 @@
 // one judging service absorbs the load of many worker processes.
 //
 // The client is built for flaky networks and busy daemons: transient
-// failures (connection errors, 429 overload rejections, 5xx) are
-// retried with jittered exponential backoff — honouring the daemon's
-// Retry-After hint when one comes back, including an explicit zero
-// meaning "retry immediately" — while permanent 4xx errors and
-// context cancellation fail immediately. Connections are reused
-// across requests via a shared keep-alive transport sized for the
-// Runner's worker fan-out.
+// failures (connection errors, torn response bodies, 429 overload
+// rejections, 5xx) are retried under the unified resilience policy —
+// jittered exponential backoff honouring the daemon's Retry-After
+// hint when one comes back, including an explicit zero meaning
+// "retry immediately", but never waiting past the caller's context
+// deadline budget (a hint that cannot fit the remaining budget fails
+// immediately instead of parking the client) — while permanent 4xx
+// errors and context cancellation fail immediately. Each base
+// address carries a consecutive-failure circuit breaker
+// (internal/resilience): a tripped replica is skipped in favour of
+// the next base until its cooldown admits a half-open probe, unless
+// every breaker refuses, in which case the request proceeds anyway —
+// progress beats protection. Connections are reused across requests
+// via a shared keep-alive transport sized for the Runner's worker
+// fan-out.
 //
 // The address may be a comma-separated replica list ("a:1,b:1,c:1"):
 // the client sticks to one preferred replica — so its dedup/cache
@@ -36,14 +44,13 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"math/rand"
 	"net/http"
 	"strconv"
 	"strings"
-	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/resilience"
 	"repro/internal/server"
 	"repro/internal/trace"
 )
@@ -91,8 +98,9 @@ type Backend struct {
 	priority string
 	client   string
 
-	mu     sync.Mutex
-	jitter *rand.Rand
+	policy   *resilience.Policy
+	breakers []*resilience.Breaker // one per base, indexed like bases
+	retried  atomic.Int64          // retry waits performed (metrics)
 }
 
 // Option configures a Backend.
@@ -144,12 +152,31 @@ func New(addr string, opts ...Option) *Backend {
 		hc:      &http.Client{Transport: transport},
 		retries: DefaultRetries,
 		backoff: DefaultBackoff,
-		jitter:  rand.New(rand.NewSource(time.Now().UnixNano())),
 	}
 	for _, opt := range opts {
 		opt(b)
 	}
+	b.policy = resilience.NewPolicy(b.backoff, maxBackoff)
+	b.breakers = make([]*resilience.Breaker, len(b.bases))
+	for i := range b.breakers {
+		b.breakers[i] = resilience.NewBreaker(resilience.BreakerConfig{})
+	}
 	return b
+}
+
+// Retries reports how many retry waits the client has performed —
+// the series behind llm4vv_resilience_retries_total on endpoints
+// fronting this client.
+func (b *Backend) Retries() int64 { return b.retried.Load() }
+
+// BreakerStates reports each base address's circuit-breaker state in
+// configured order, for the llm4vv_resilience_breaker_state gauge.
+func (b *Backend) BreakerStates() []resilience.BreakerStatus {
+	out := make([]resilience.BreakerStatus, len(b.bases))
+	for i, base := range b.bases {
+		out[i] = resilience.BreakerStatus{ID: base, State: b.breakers[i].State(), Trips: b.breakers[i].Trips()}
+	}
+	return out
 }
 
 // Addrs reports the configured base URLs in their configured order
@@ -167,6 +194,28 @@ func (b *Backend) pick() (string, uint64) {
 // concurrent request already did (the counter moved past idx).
 func (b *Backend) rotate(idx uint64) {
 	b.cur.CompareAndSwap(idx, idx+1)
+}
+
+// pickBreaker is the breaker-aware pick: the preferred replica when
+// its breaker admits, else the first later base whose breaker does
+// (moving the preference onto it, so the sticky-replica contract and
+// the warm dedup cache follow the healthy member). When every
+// breaker refuses the preferred replica is returned anyway: with no
+// alternative left, progress beats protection, and the attempt's
+// outcome feeds back into its breaker either way.
+func (b *Backend) pickBreaker() (string, uint64, *resilience.Breaker) {
+	idx := b.cur.Load()
+	n := uint64(len(b.bases))
+	for off := uint64(0); off < n; off++ {
+		i := (idx + off) % n
+		if b.breakers[i].Allow() {
+			if off != 0 {
+				b.cur.CompareAndSwap(idx, idx+off)
+			}
+			return b.bases[i], idx + off, b.breakers[i]
+		}
+	}
+	return b.bases[idx%n], idx, b.breakers[idx%n]
 }
 
 // Complete implements judge.LLM. The error-free contract has nowhere
@@ -302,7 +351,7 @@ func (b *Backend) doPost(ctx context.Context, path string, in, out any) error {
 	}
 	var lastErr error
 	for attempt := 0; ; attempt++ {
-		base, idx := b.pick()
+		base, idx, br := b.pickBreaker()
 		req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+path, bytes.NewReader(body))
 		if err != nil {
 			return err
@@ -326,64 +375,55 @@ func (b *Backend) doPost(ctx context.Context, path string, in, out any) error {
 				return ctx.Err()
 			}
 			lastErr = err
+			br.Failure()
 			b.rotate(idx)
 		case resp.StatusCode == http.StatusOK:
-			err := json.NewDecoder(resp.Body).Decode(out)
+			data, derr := io.ReadAll(resp.Body)
 			drain(resp)
-			return err
+			if derr == nil {
+				if uerr := json.Unmarshal(data, out); uerr == nil {
+					br.Success()
+					return nil
+				} else {
+					derr = uerr
+				}
+			}
+			// Torn, truncated, or otherwise undecodable success body.
+			// Nothing half-parsed may reach the caller, and the bytes on
+			// the wire are as transient as a dropped connection — retry
+			// on the next replica.
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			lastErr = fmt.Errorf("remote: daemon at %s: decoding %s response: %w", base, path, derr)
+			br.Failure()
+			b.rotate(idx)
 		case resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode >= 500:
 			lastErr = httpError(resp)
 			retryAfter, hasHint = parseRetryAfter(resp.Header.Get("Retry-After"))
 			drain(resp)
 			if resp.StatusCode >= 500 {
+				br.Failure()
 				b.rotate(idx)
+			} else {
+				// 429: the replica is alive, just shedding — not breaker
+				// evidence.
+				br.Success()
 			}
 		default:
 			err := httpError(resp)
 			drain(resp)
+			// The replica answered decisively; the request was at fault.
+			br.Success()
 			return err
 		}
 		if attempt >= b.retries {
 			return fmt.Errorf("remote: %s failed after %d attempts: %w", path, attempt+1, lastErr)
 		}
-		if err := b.sleep(ctx, attempt, retryAfter, hasHint); err != nil {
+		b.retried.Add(1)
+		if err := b.policy.Sleep(ctx, attempt, retryAfter, hasHint); err != nil {
 			return err
 		}
-	}
-}
-
-// sleep waits out one backoff period — jittered exponential from the
-// attempt number, floored by the daemon's Retry-After hint — or
-// returns early with the context's error. An explicit Retry-After of
-// zero means the daemon wants the retry immediately (its queue just
-// drained); only an absent header falls back to pure backoff.
-func (b *Backend) sleep(ctx context.Context, attempt int, retryAfter time.Duration, hasHint bool) error {
-	if hasHint && retryAfter == 0 {
-		return ctx.Err()
-	}
-	// Cap the exponent before shifting: a large retry budget must not
-	// overflow the shift into a negative duration.
-	d := maxBackoff
-	if b.backoff <= 0 {
-		d = 0
-	} else if attempt < 30 {
-		if shifted := b.backoff << attempt; shifted > 0 && shifted < maxBackoff {
-			d = shifted
-		}
-	}
-	b.mu.Lock()
-	d += time.Duration(b.jitter.Int63n(int64(d)/2 + 1))
-	b.mu.Unlock()
-	if retryAfter > d {
-		d = retryAfter
-	}
-	t := time.NewTimer(d)
-	defer t.Stop()
-	select {
-	case <-t.C:
-		return nil
-	case <-ctx.Done():
-		return ctx.Err()
 	}
 }
 

@@ -12,6 +12,7 @@ import (
 	"errors"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -284,5 +285,159 @@ func TestBatchLengthMismatchRejected(t *testing.T) {
 	_, err := client(ts, 0).CompleteBatch(context.Background(), []string{"a", "b"})
 	if err == nil || !strings.Contains(err.Error(), "1 responses for 2 prompts") {
 		t.Fatalf("mismatched batch not rejected: %v", err)
+	}
+}
+
+// torn answers each scripted attempt with a truncated JSON body (the
+// connection "cut" mid-response), then full responses forever.
+type torn struct {
+	attempts atomic.Int64
+	cut      int // attempts that send truncated bodies
+}
+
+func (s *torn) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	var req server.CompleteRequest
+	_ = json.NewDecoder(r.Body).Decode(&req)
+	full, _ := json.Marshal(server.CompleteResponse{Response: "ok:" + req.Prompt})
+	if int(s.attempts.Add(1)) <= s.cut {
+		// Claim the full length but deliver half: the client sees a
+		// mid-object EOF, exactly what a dropped connection produces.
+		w.Header().Set("Content-Length", strconv.Itoa(len(full)))
+		_, _ = w.Write(full[:len(full)/2])
+		if f, ok := w.(http.Flusher); ok {
+			f.Flush()
+		}
+		hj, ok := w.(http.Hijacker)
+		if !ok {
+			return
+		}
+		conn, _, err := hj.Hijack()
+		if err == nil {
+			conn.Close()
+		}
+		return
+	}
+	_, _ = w.Write(full)
+}
+
+func TestTornBodyRetriedToSuccess(t *testing.T) {
+	h := &torn{cut: 2}
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+	resp, err := client(ts, 3).CompleteContext(context.Background(), "p")
+	if err != nil {
+		t.Fatalf("torn bodies not retried: %v", err)
+	}
+	if resp != "ok:p" {
+		t.Fatalf("got %q, want the intact retry's response", resp)
+	}
+	if got := h.attempts.Load(); got != 3 {
+		t.Errorf("took %d attempts, want 3 (2 torn + success)", got)
+	}
+}
+
+func TestTornBodyExhaustionFailsCleanly(t *testing.T) {
+	// Every attempt torn: the client must surface an error — never a
+	// half-parsed completion.
+	h := &torn{cut: 100}
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+	resp, err := client(ts, 2).CompleteContext(context.Background(), "p")
+	if err == nil {
+		t.Fatalf("exhausted torn responses returned %q without error", resp)
+	}
+	if resp != "" {
+		t.Fatalf("half-parsed completion leaked: %q", resp)
+	}
+	if !strings.Contains(err.Error(), "after 3 attempts") {
+		t.Errorf("error does not report exhaustion: %v", err)
+	}
+}
+
+func TestPartialJSONNeverHalfParsed(t *testing.T) {
+	// A complete HTTP response whose body is syntactically truncated
+	// JSON (no connection cut): still retry-or-fail, never half-parse.
+	var attempts atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if attempts.Add(1) == 1 {
+			_, _ = w.Write([]byte(`{"response":"truncat`))
+			return
+		}
+		_ = json.NewEncoder(w).Encode(server.CompleteResponse{Response: "intact"})
+	}))
+	defer ts.Close()
+	resp, err := client(ts, 2).CompleteContext(context.Background(), "p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp != "intact" {
+		t.Fatalf("got %q, want %q", resp, "intact")
+	}
+	if got := attempts.Load(); got != 2 {
+		t.Errorf("took %d attempts, want 2", got)
+	}
+}
+
+func TestRetryAfterClampedByDeadlineBudget(t *testing.T) {
+	// An adversarial daemon sends a Retry-After hint far past the
+	// caller's deadline. The client must fail immediately — with the
+	// deadline as the cause — instead of parking for the full hint.
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "3600")
+		w.WriteHeader(http.StatusTooManyRequests)
+	}))
+	defer ts.Close()
+	b := remote.New(ts.URL, remote.WithRetries(5), remote.WithBackoff(time.Millisecond))
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := b.CompleteContext(ctx, "p")
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("got %v, want a deadline-classified error", err)
+	}
+	if elapsed > 50*time.Millisecond {
+		t.Fatalf("client parked %v on an hour-long Retry-After with a 100ms budget", elapsed)
+	}
+}
+
+func TestBreakerSkipsTrippedReplica(t *testing.T) {
+	// Replica one fails every request; after enough consecutive
+	// failures its breaker trips and traffic pins to replica two
+	// without spending attempts on the corpse.
+	var oneHits, twoHits atomic.Int64
+	one := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		oneHits.Add(1)
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer one.Close()
+	two := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		twoHits.Add(1)
+		var req server.CompleteRequest
+		_ = json.NewDecoder(r.Body).Decode(&req)
+		_ = json.NewEncoder(w).Encode(server.CompleteResponse{Response: "two:" + req.Prompt})
+	}))
+	defer two.Close()
+
+	b := remote.New(one.URL+","+two.URL, remote.WithRetries(2), remote.WithBackoff(time.Millisecond))
+	for i := 0; i < 10; i++ {
+		if _, err := b.CompleteContext(context.Background(), "p"); err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+	states := b.BreakerStates()
+	if len(states) != 2 {
+		t.Fatalf("BreakerStates reported %d entries", len(states))
+	}
+	if states[1].State.String() != "closed" {
+		t.Errorf("healthy replica breaker %v", states[1].State)
+	}
+	// The dead replica saw only the few pre-trip attempts, not one per
+	// request: the breaker, not luck, is what pinned traffic away.
+	if got := oneHits.Load(); got > 6 {
+		t.Errorf("tripped replica still served %d attempts", got)
+	}
+	if b.Retries() == 0 {
+		t.Error("Retries() counted no retry waits despite failovers")
 	}
 }

@@ -12,8 +12,10 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/judge"
 	"repro/internal/perf"
+	"repro/internal/resilience"
 	"repro/internal/store"
 	"repro/internal/trace"
 )
@@ -94,6 +96,14 @@ type Config struct {
 	// feeds the slow-exemplar metric family. Nil disables tracing at
 	// zero cost.
 	Tracer *trace.Tracer
+
+	// Fault, when set, arms deterministic chaos injection: the fronted
+	// endpoint is wrapped at the "daemon.complete" point (malformed
+	// completions, errors, latency) and the two completion handlers at
+	// "daemon.handler" (slow responses, hangs, 500s). Injected counts
+	// surface in the llm4vv_resilience_faults_injected_total metric
+	// family. Nil — the production default — injects nothing.
+	Fault *fault.Injector
 }
 
 // result is one resolved prompt handed back to a waiting request.
@@ -112,7 +122,12 @@ type pending struct {
 // Server is the judging daemon. Construct with New, mount Handler on
 // an http.Server, and Close when done.
 type Server struct {
-	cfg      Config
+	cfg Config
+	// llm is the endpoint actually called: Config.LLM, wrapped at the
+	// "daemon.complete" fault point when chaos injection is armed.
+	// Config.LLM stays unwrapped for structural queries (Describe,
+	// breaker states) — the fault shim must never mask those.
+	llm      judge.LLM
 	batch    judge.BatchLLM // nil when the endpoint is single-prompt only
 	queue    chan *pending
 	inflight atomic.Int64 // prompts admitted and not yet answered
@@ -207,7 +222,8 @@ func New(cfg Config) *Server {
 		s.minDelay = 1
 	}
 	s.delay.Store(int64(cfg.BatchMaxDelay))
-	s.batch, _ = cfg.LLM.(judge.BatchLLM)
+	s.llm = fault.LLM(cfg.Fault, "daemon.complete", cfg.LLM)
+	s.batch, _ = s.llm.(judge.BatchLLM)
 	s.baseCtx, s.cancel = context.WithCancel(context.Background())
 	s.wg.Add(1)
 	go s.collect()
@@ -248,8 +264,8 @@ func (s *Server) Stats() Stats {
 // Handler returns the daemon's route table.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/v1/complete", s.handleComplete)
-	mux.HandleFunc("/v1/complete_batch", s.handleCompleteBatch)
+	mux.Handle("/v1/complete", fault.Middleware(s.cfg.Fault, "daemon.handler", http.HandlerFunc(s.handleComplete)))
+	mux.Handle("/v1/complete_batch", fault.Middleware(s.cfg.Fault, "daemon.handler", http.HandlerFunc(s.handleCompleteBatch)))
 	mux.HandleFunc("/v1/backends", s.handleBackends)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
@@ -510,7 +526,7 @@ func (s *Server) completeEndpoint(ctx context.Context, prompts []string) ([]stri
 		span.SetAttr("prompts", strconv.Itoa(len(prompts)))
 		defer span.End()
 	}
-	return judge.CompleteAll(ctx, s.cfg.LLM, prompts)
+	return judge.CompleteAll(ctx, s.llm, prompts)
 }
 
 // admit reserves n prompt slots, reporting false — and answering the
@@ -652,6 +668,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p.EmitValue(perf.FamInflight, float64(s.inflight.Load()), replica)
 	p.EmitSummaries(perf.FamStageSeconds, s.rec.Snapshot(), replica)
 	emitSlowExemplars(p, s.cfg.Tracer, replica)
+	EmitResilience(p, s.cfg.Fault, s.cfg.LLM, replica)
 	if s.cfg.Store != nil {
 		sst := s.cfg.Store.Stats()
 		p.EmitValue(perf.FamStoreKeys, float64(sst.Keys), replica)
@@ -702,6 +719,47 @@ func emitSlowExemplars(p *perf.Prom, t *trace.Tracer, instance [2]string) {
 		}
 	}
 	p.Emit(perf.FamTraceSlowExemplar, samples...)
+}
+
+// EmitResilience writes the llm4vv_resilience_* families: injected
+// chaos-fault counts per point, remote-client retries, and per-target
+// circuit-breaker states. The retry and breaker sources are optional
+// interfaces matched structurally on the fronted endpoint (the remote
+// client and the fleet router implement both; local backends neither)
+// so this package needs no import of either. Zero-valued series are
+// emitted when a source is absent — the families must always appear
+// on /metrics, armed or not. Shared with the router's endpoint.
+func EmitResilience(p *perf.Prom, inj *fault.Injector, source any, instance [2]string) {
+	points := inj.Injected()
+	if len(points) == 0 {
+		p.EmitValue(perf.FamResilienceFaults, 0, instance)
+	} else {
+		samples := make([]perf.Sample, len(points))
+		for i, pc := range points {
+			samples[i] = perf.Sample{Labels: [][2]string{instance, perf.Label("point", pc.Point)}, Value: float64(pc.Count)}
+		}
+		p.Emit(perf.FamResilienceFaults, samples...)
+	}
+	var retries int64
+	if r, ok := source.(interface{ Retries() int64 }); ok {
+		retries = r.Retries()
+	}
+	p.EmitValue(perf.FamResilienceRetries, float64(retries), instance)
+	var states []resilience.BreakerStatus
+	if b, ok := source.(interface {
+		BreakerStates() []resilience.BreakerStatus
+	}); ok {
+		states = b.BreakerStates()
+	}
+	if len(states) == 0 {
+		p.EmitValue(perf.FamResilienceBreakerState, 0, instance)
+		return
+	}
+	samples := make([]perf.Sample, len(states))
+	for i, st := range states {
+		samples[i] = perf.Sample{Labels: [][2]string{instance, perf.Label("target", st.ID)}, Value: float64(st.State)}
+	}
+	p.Emit(perf.FamResilienceBreakerState, samples...)
 }
 
 // readJSON decodes a POST body, answering 405/400 itself on failure.

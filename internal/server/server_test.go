@@ -468,6 +468,12 @@ func TestMetricsExposition(t *testing.T) {
 		`llm4vv_stage_seconds_count{replica="replica-m",stage="resolve"} 2`,
 		"# TYPE llm4vv_stage_seconds summary",
 		"# TYPE llm4vv_gather_delay_seconds gauge",
+		// The resilience families must be present even with no fault
+		// injector, no remote client, and no breakers — zero-valued.
+		`llm4vv_resilience_faults_injected_total{replica="replica-m"} 0`,
+		`llm4vv_resilience_retries_total{replica="replica-m"} 0`,
+		`llm4vv_resilience_breaker_state{replica="replica-m"} 0`,
+		"# TYPE llm4vv_resilience_breaker_state gauge",
 	} {
 		if !strings.Contains(body, want) {
 			t.Errorf("/metrics missing %q:\n%s", want, body)

@@ -426,9 +426,10 @@ type segWriter struct {
 	w        *bufio.Writer
 	seg      *segment
 	interval int
+	fault    func(op string) error // nil outside chaos runs
 }
 
-func newSegWriter(storePath string, seq uint64, expected, interval int) (*segWriter, error) {
+func newSegWriter(storePath string, seq uint64, expected, interval int, fault func(op string) error) (*segWriter, error) {
 	if interval <= 0 {
 		interval = defaultSparseInterval
 	}
@@ -445,10 +446,22 @@ func newSegWriter(storePath string, seq uint64, expected, interval int) (*segWri
 		w:        bufio.NewWriterSize(f, 256*1024),
 		seg:      &segment{path: path, seq: seq, f: f, filter: newBloom(expected)},
 		interval: interval,
+		fault:    fault,
 	}, nil
 }
 
+// faultOp consults the injected fault hook for one file operation.
+func (sw *segWriter) faultOp(op string) error {
+	if sw.fault == nil {
+		return nil
+	}
+	return sw.fault(op)
+}
+
 func (sw *segWriter) add(rec Record) error {
+	if err := sw.faultOp("write"); err != nil {
+		return err
+	}
 	line, err := json.Marshal(rec)
 	if err != nil {
 		return err
@@ -479,10 +492,19 @@ func (sw *segWriter) finish() (*segment, error) {
 		os.Remove(sw.tmpPath)
 		return nil, err
 	}
+	if err := sw.faultOp("write"); err != nil {
+		return fail(err)
+	}
 	if err := sw.w.Flush(); err != nil {
 		return fail(err)
 	}
+	if err := sw.faultOp("sync"); err != nil {
+		return fail(err)
+	}
 	if err := sw.f.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := sw.faultOp("rename"); err != nil {
 		return fail(err)
 	}
 	if err := os.Rename(sw.tmpPath, sw.path); err != nil {

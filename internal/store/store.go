@@ -159,6 +159,15 @@ type Options struct {
 	// have no caller to parent under, but they compete for the same
 	// disk, so a sweep's slow tail often points here. Nil disables.
 	Tracer *trace.Tracer
+	// FaultHook, when set, is consulted before low-level file
+	// operations — "write" (active-segment appends and flushes,
+	// segment-writer output), "sync" (fsync of a sealing, merging, or
+	// compacting file), "rename" (the atomic publish of a sealed,
+	// merged, or compacted file) — and a non-nil return fails that
+	// operation as if the disk had. The chaos suite and the daemons'
+	// -fault flag inject deterministic I/O failure through it (see
+	// internal/fault.Hook); production leaves it nil.
+	FaultHook func(op string) error
 }
 
 func (o Options) normalized() Options {
@@ -365,6 +374,15 @@ func OpenWith(path string, opts Options) (*Store, error) {
 	return s, nil
 }
 
+// fault consults the configured FaultHook for one low-level file
+// operation; a nil hook admits everything.
+func (s *Store) fault(op string) error {
+	if s.opts.FaultHook == nil {
+		return nil
+	}
+	return s.opts.FaultHook(op)
+}
+
 // armWriter (re)binds the write-behind buffer, byte counter, and
 // encoder to the current active file handle.
 func (s *Store) armWriter() {
@@ -477,6 +495,10 @@ func (s *Store) put(rec Record) error {
 	} else {
 		s.distinct++
 	}
+	if err := s.fault("write"); err != nil {
+		s.werr = fmt.Errorf("store: append: %w", err)
+		return s.werr
+	}
 	*s.scratch = rec
 	if err := s.enc.Encode(s.scratch); err != nil {
 		s.werr = fmt.Errorf("store: append: %w", err)
@@ -509,10 +531,13 @@ func (s *Store) sealLocked() error {
 		span.SetAttr("records", strconv.Itoa(len(s.active)))
 		defer span.End()
 	}
+	if err := s.fault("write"); err != nil {
+		return err
+	}
 	if err := s.w.Flush(); err != nil {
 		return err
 	}
-	sw, err := newSegWriter(s.path, s.nextSeq, len(s.active), s.opts.SparseInterval)
+	sw, err := newSegWriter(s.path, s.nextSeq, len(s.active), s.opts.SparseInterval, s.opts.FaultHook)
 	if err != nil {
 		return err
 	}
@@ -622,7 +647,7 @@ func (s *Store) runMerge(snapshot []*segment) (*segment, error) {
 	for _, sg := range snapshot {
 		total += sg.count
 	}
-	sw, err := newSegWriter(s.path, snapshot[len(snapshot)-1].seq, total, s.opts.SparseInterval)
+	sw, err := newSegWriter(s.path, snapshot[len(snapshot)-1].seq, total, s.opts.SparseInterval, s.opts.FaultHook)
 	if err != nil {
 		return nil, err
 	}
@@ -662,6 +687,10 @@ func (s *Store) Flush() error {
 
 func (s *Store) flushLocked() error {
 	if s.werr != nil {
+		return s.werr
+	}
+	if err := s.fault("write"); err != nil {
+		s.werr = fmt.Errorf("store: flush: %w", err)
 		return s.werr
 	}
 	if err := s.w.Flush(); err != nil {
@@ -761,12 +790,19 @@ func (s *Store) Compact() (removed int, err error) {
 		tmp.Close()
 		return 0, fmt.Errorf("store: compact: %w", err)
 	}
+	if err := s.fault("sync"); err != nil {
+		tmp.Close()
+		return 0, fmt.Errorf("store: compact: %w", err)
+	}
 	if err := tmp.Sync(); err != nil {
 		tmp.Close()
 		return 0, err
 	}
 	if err := tmp.Close(); err != nil {
 		return 0, err
+	}
+	if err := s.fault("rename"); err != nil {
+		return 0, fmt.Errorf("store: compact: %w", err)
 	}
 	if err := os.Rename(tmp.Name(), s.path); err != nil {
 		return 0, err

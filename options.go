@@ -1,6 +1,8 @@
 package llm4vv
 
 import (
+	"log/slog"
+
 	"repro/internal/pipeline"
 	"repro/internal/store"
 	"repro/internal/trace"
@@ -160,6 +162,16 @@ func WithPanel(spec string) Option {
 // configured on the trace.Tracer itself; see trace.New.
 func WithTracer(t *trace.Tracer) Option {
 	return func(r *Runner) { r.tracer = t }
+}
+
+// WithLogger installs a structured logger for the Runner's operational
+// warnings — today, the single warning emitted when the run store's
+// write path fails mid-sweep and the Runner degrades to store-less
+// operation. Results are unaffected by degradation; the warning (and
+// the error Runner.Close returns) is how the loss of durability
+// surfaces. Default: nil, which discards the warnings.
+func WithLogger(l *slog.Logger) Option {
+	return func(r *Runner) { r.logger = l }
 }
 
 // WithProgress installs a streaming progress callback. Experiments

@@ -3,6 +3,7 @@ package llm4vv
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"runtime"
 	"strconv"
 	"sync"
@@ -44,6 +45,41 @@ type Runner struct {
 	resume    bool
 	panelSpec string
 	tracer    *trace.Tracer
+	logger    *slog.Logger
+
+	// health is the shared store-degradation latch: withBackend copies
+	// Runners by value, so the latch must live behind a pointer for a
+	// degradation seen by one copy to stop the others' writes too.
+	health *storeHealth
+}
+
+// storeHealth latches the run store's first write failure. Once
+// tripped, the Runner stops writing to the store (degrading to
+// store-less operation — results keep flowing) and Runner.Close
+// surfaces the remembered error.
+type storeHealth struct {
+	degraded atomic.Bool
+	mu       sync.Mutex
+	err      error
+}
+
+// trip records the first failure, reporting true exactly once so the
+// caller can log the degradation warning a single time.
+func (h *storeHealth) trip(err error) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.err != nil {
+		return false
+	}
+	h.err = err
+	h.degraded.Store(true)
+	return true
+}
+
+func (h *storeHealth) failure() error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.err
 }
 
 // NewRunner builds a Runner from options, validating the backend name
@@ -55,6 +91,7 @@ func NewRunner(opts ...Option) (*Runner, error) {
 		backend: DefaultBackend,
 		seed:    DefaultModelSeed,
 		workers: runtime.GOMAXPROCS(0),
+		health:  &storeHealth{},
 	}
 	for _, opt := range opts {
 		opt(r)
@@ -90,13 +127,54 @@ func NewRunner(opts ...Option) (*Runner, error) {
 	return r, nil
 }
 
-// Close releases the Runner's run store, surfacing any append failure
-// from the store's lifetime. It is a no-op for store-less Runners.
+// Close releases the Runner's run store, surfacing the first write
+// failure from the store's lifetime — whether remembered by the store
+// itself or latched when the Runner degraded to store-less operation
+// mid-sweep. It is a no-op for store-less Runners.
 func (r *Runner) Close() error {
 	if r.store == nil {
 		return nil
 	}
-	return r.store.Close()
+	err := r.store.Close()
+	if err == nil {
+		// A degradation latched by another backend copy of this Runner
+		// still counts: the caller asked for durability it did not get.
+		err = r.health.failure()
+	}
+	return err
+}
+
+// StoreDegraded reports whether the Runner abandoned its run store
+// after a write failure (see StoreErr for the failure itself).
+// Experiments keep producing results after degradation; only
+// durability — resume and dedup across runs — is lost.
+func (r *Runner) StoreDegraded() bool {
+	return r.health.degraded.Load()
+}
+
+// StoreErr returns the write failure that degraded the run store, or
+// nil while the store is healthy.
+func (r *Runner) StoreErr() error {
+	return r.health.failure()
+}
+
+// storeOK reports whether store writes should still be attempted.
+func (r *Runner) storeOK() bool {
+	return r.store != nil && !r.health.degraded.Load()
+}
+
+// degradeStore latches a store write failure: the first caller logs
+// the single degradation warning, every caller afterwards finds the
+// latch already tripped and skips store writes entirely. The sweep
+// continues store-less — losing durability, never results.
+func (r *Runner) degradeStore(err error) {
+	if !r.health.trip(err) {
+		return
+	}
+	if r.logger != nil {
+		r.logger.Warn("llm4vv: run store write failed; continuing store-less (results unaffected, durability lost)",
+			"path", r.storePath, "error", err.Error())
+	}
 }
 
 // withBackend returns a copy of the Runner aimed at another registered
@@ -376,12 +454,16 @@ func (r *Runner) judgeSharded(ctx context.Context, j *judge.Judge, n int, withIn
 					recs = append(recs, *rec)
 				}
 			}
-			if r.store != nil && len(recs) > 0 {
+			if r.storeOK() && len(recs) > 0 {
 				// Sealed-batch append failures degrade like putRecord's:
-				// the store remembers them and Runner.Close surfaces
-				// them; the run itself keeps producing results.
-				_ = r.store.PutAll(recs)
-				r.flushStore()
+				// the Runner goes store-less with a logged warning and
+				// Runner.Close surfaces the error; the run itself keeps
+				// producing results.
+				if err := r.store.PutAll(recs); err != nil {
+					r.degradeStore(err)
+				} else {
+					r.flushStore()
+				}
 			}
 			idx, codes, infos, spans = idx[:0], codes[:0], infos[:0], spans[:0]
 			return nil
@@ -426,11 +508,16 @@ func spanAt(spans []*trace.Span, k int) *trace.Span {
 	return nil
 }
 
-// flushStore checkpoints the write-behind run store — called at phase
-// boundaries so a crash between phases loses nothing already sealed.
+// flushStore checkpoints the write-behind run store — called at batch
+// and phase boundaries so a crash between checkpoints loses at most
+// the records buffered since the last one. A failed checkpoint
+// degrades the Runner to store-less operation.
 func (r *Runner) flushStore() {
-	if r.store != nil {
-		_ = r.store.Flush()
+	if !r.storeOK() {
+		return
+	}
+	if err := r.store.Flush(); err != nil {
+		r.degradeStore(err)
 	}
 }
 
@@ -466,14 +553,17 @@ func (r *Runner) storedRecords(phase string, n int, hashes []string) []*store.Re
 }
 
 // putRecord appends a sealed result to the run store, when one is
-// configured. Append failures are remembered by the store and
-// surfaced by Runner.Close — an experiment keeps producing results
-// even when durability is lost mid-run.
+// configured and still healthy. An append failure degrades the Runner
+// to store-less operation (one logged warning, error surfaced by
+// Runner.Close) — an experiment keeps producing results even when
+// durability is lost mid-run.
 func (r *Runner) putRecord(rec store.Record) {
-	if r.store == nil {
+	if !r.storeOK() {
 		return
 	}
-	_ = r.store.Put(rec)
+	if err := r.store.Put(rec); err != nil {
+		r.degradeStore(err)
+	}
 }
 
 // verdictFromName parses a stored verdict string back into the judge
